@@ -1,0 +1,47 @@
+//! Ablation benches for the design choices called out in DESIGN.md §4:
+//! Brent vs bisection, tanh-sinh vs adaptive Simpson, and compensated vs
+//! naive summation.
+
+use bevra_num::{bisect, brent, integrate, integrate_to_inf, tanh_sinh, NeumaierSum};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn ablations(c: &mut Criterion) {
+    // Root finding on the bandwidth-gap transcendental.
+    let beta = 0.01;
+    let cap = 400.0;
+    let f = move |d: f64| beta * d - (1.0 + beta * (cap + d)).ln();
+    c.bench_function("ablate_rootfind_brent", |b| {
+        b.iter(|| black_box(brent(f, 0.0, 10_000.0, 1e-10).unwrap()));
+    });
+    c.bench_function("ablate_rootfind_bisect", |b| {
+        b.iter(|| black_box(bisect(f, 0.0, 10_000.0, 1e-10).unwrap()));
+    });
+
+    // Quadrature on the continuum best-effort integrand.
+    let g = |k: f64| k * 0.01 * (-0.01 * k).exp() * (1.0 - (-(100.0 / k)).exp());
+    c.bench_function("ablate_quad_simpson", |b| {
+        b.iter(|| black_box(integrate(g, 1.0, 2_000.0, 1e-10).unwrap()));
+    });
+    c.bench_function("ablate_quad_tanh_sinh", |b| {
+        b.iter(|| black_box(tanh_sinh(g, 1.0, 2_000.0, 1e-10).unwrap()));
+    });
+    c.bench_function("ablate_quad_semi_infinite", |b| {
+        b.iter(|| black_box(integrate_to_inf(g, 1.0, 1e-10).unwrap()));
+    });
+
+    // Summation.
+    let terms: Vec<f64> = (0..100_000).map(|i| ((i % 17) as f64 - 8.0) * 1e-7).collect();
+    c.bench_function("ablate_sum_neumaier", |b| {
+        b.iter(|| {
+            let acc: NeumaierSum = terms.iter().copied().collect();
+            black_box(acc.total())
+        });
+    });
+    c.bench_function("ablate_sum_naive", |b| {
+        b.iter(|| black_box(terms.iter().sum::<f64>()));
+    });
+}
+
+criterion_group!(benches, ablations);
+criterion_main!(benches);

@@ -1,0 +1,13 @@
+//! Bench: regenerating Figure 1 (adaptive utility curve).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn fig1_adaptive_utility(c: &mut Criterion) {
+    c.bench_function("fig1_adaptive_utility", |b| {
+        b.iter(|| black_box(bevra_report::figures::fig1()));
+    });
+}
+
+criterion_group!(benches, fig1_adaptive_utility);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! Bench: the Figure 2 (Poisson) kernels — utility curves, bandwidth gap,
+//! and welfare sweep at the fast preset, plus the hot inner evaluations.
+
+use bevra_core::{bandwidth_gap, DiscreteModel};
+use bevra_load::{Poisson, Tabulated};
+use bevra_report::figures::{fig2, Quality};
+use bevra_utility::{AdaptiveExp, Rigid};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn fig2_poisson(c: &mut Criterion) {
+    c.bench_function("fig2_full_fast_preset", |b| {
+        b.iter(|| black_box(fig2(Quality::Fast)));
+    });
+    let load = Tabulated::from_model(&Poisson::new(100.0), 1e-12, 1 << 20);
+    let rigid = DiscreteModel::new(load.clone(), Rigid::unit());
+    let adaptive = DiscreteModel::new(load, AdaptiveExp::paper());
+    c.bench_function("fig2_best_effort_eval_rigid", |b| {
+        b.iter(|| black_box(rigid.best_effort(black_box(120.0))));
+    });
+    c.bench_function("fig2_best_effort_eval_adaptive", |b| {
+        b.iter(|| black_box(adaptive.best_effort(black_box(120.0))));
+    });
+    c.bench_function("fig2_bandwidth_gap_point", |b| {
+        b.iter(|| black_box(bandwidth_gap(&adaptive, black_box(80.0)).unwrap()));
+    });
+}
+
+criterion_group!(benches, fig2_poisson);
+criterion_main!(benches);

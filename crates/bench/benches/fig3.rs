@@ -1,0 +1,31 @@
+//! Bench: the Figure 3 (exponential load) kernels, discrete and closed-form.
+
+use bevra_core::continuum::{ExponentialRampClosed, ExponentialRigidClosed};
+use bevra_core::{bandwidth_gap, DiscreteModel};
+use bevra_load::{Geometric, Tabulated};
+use bevra_report::figures::{fig3, Quality};
+use bevra_utility::Rigid;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn fig3_exponential(c: &mut Criterion) {
+    c.bench_function("fig3_full_fast_preset", |b| {
+        b.iter(|| black_box(fig3(Quality::Fast)));
+    });
+    let load = Tabulated::from_model(&Geometric::from_mean(100.0), 1e-12, 1 << 20);
+    let m = DiscreteModel::new(load, Rigid::unit());
+    c.bench_function("fig3_bandwidth_gap_discrete", |b| {
+        b.iter(|| black_box(bandwidth_gap(&m, black_box(400.0)).unwrap()));
+    });
+    let closed = ExponentialRigidClosed::from_mean(100.0);
+    c.bench_function("fig3_bandwidth_gap_closed_form", |b| {
+        b.iter(|| black_box(closed.bandwidth_gap(black_box(400.0)).unwrap()));
+    });
+    let ramp = ExponentialRampClosed::new(0.01, 0.5);
+    c.bench_function("fig3_gamma_closed_form", |b| {
+        b.iter(|| black_box(ramp.gamma(black_box(0.01)).unwrap()));
+    });
+}
+
+criterion_group!(benches, fig3_exponential);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Bench: the Figure 4 (algebraic load) kernels — table calibration, the
+//! megabyte-scale best-effort sum, and the closed forms.
+
+use bevra_core::continuum::AlgebraicClosed;
+use bevra_core::DiscreteModel;
+use bevra_load::{Algebraic, Tabulated};
+use bevra_report::figures::{fig4, Quality};
+use bevra_utility::AdaptiveExp;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn fig4_algebraic(c: &mut Criterion) {
+    c.bench_function("fig4_full_fast_preset", |b| {
+        b.iter(|| black_box(fig4(Quality::Fast)));
+    });
+    c.bench_function("fig4_calibrate_lambda", |b| {
+        b.iter(|| black_box(Algebraic::from_mean(3.0, 100.0).unwrap()));
+    });
+    let model = Algebraic::from_mean(3.0, 100.0).unwrap();
+    let load = Tabulated::from_model(&model, 1e-9, 1 << 18);
+    let m = DiscreteModel::new(load, AdaptiveExp::paper());
+    c.bench_function("fig4_best_effort_eval_262k_table", |b| {
+        b.iter(|| black_box(m.best_effort(black_box(150.0))));
+    });
+    let closed = AlgebraicClosed::rigid(3.0);
+    c.bench_function("fig4_closed_gamma", |b| {
+        b.iter(|| black_box(closed.gamma()));
+    });
+}
+
+criterion_group!(benches, fig4_algebraic);
+criterion_main!(benches);

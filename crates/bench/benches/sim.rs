@@ -1,0 +1,54 @@
+//! Bench: simulator throughput and the event-queue ablation.
+
+use bevra_sim::queue::{BinaryHeapQueue, EventQueue, SortedVecQueue};
+use bevra_sim::{Discipline, HoldingDist, MixedPoisson, SimConfig, Simulation};
+use bevra_utility::AdaptiveExp;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::sync::Arc;
+
+fn sim_benches(c: &mut Criterion) {
+    let cfg = SimConfig {
+        capacity: 40.0,
+        discipline: Discipline::BestEffort,
+        arrivals: MixedPoisson::fixed(30.0),
+        holding: HoldingDist::Exponential { mean: 1.0 },
+        utility: Arc::new(AdaptiveExp::paper()),
+        warmup: 10.0,
+        horizon: 500.0,
+        seed: 1,
+    };
+    c.bench_function("sim_mm_infty_500tu", |b| {
+        b.iter(|| black_box(Simulation::new(cfg.clone()).run()));
+    });
+
+    // Event-queue ablation (DESIGN.md §4): binary heap vs sorted vec under
+    // a hold-model workload.
+    fn churn(q: &mut impl EventQueue, n: u64) -> f64 {
+        use bevra_sim::events::{Entry, EventKind};
+        let mut x: u64 = 0x2545_F491_4F6C_DD1D;
+        let mut t_out = 0.0;
+        for seq in 0..n {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            let t = (x >> 11) as f64 / (1u64 << 53) as f64;
+            q.push(Entry { time: t, seq, kind: EventKind::Arrival });
+            if seq % 2 == 1 {
+                if let Some(e) = q.pop() {
+                    t_out += e.time;
+                }
+            }
+        }
+        t_out
+    }
+    c.bench_function("ablate_eventq_binary_heap", |b| {
+        b.iter(|| black_box(churn(&mut BinaryHeapQueue::new(), 4_096)));
+    });
+    c.bench_function("ablate_eventq_sorted_vec", |b| {
+        b.iter(|| black_box(churn(&mut SortedVecQueue::new(), 4_096)));
+    });
+}
+
+criterion_group!(benches, sim_benches);
+criterion_main!(benches);

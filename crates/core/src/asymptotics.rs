@@ -1,0 +1,149 @@
+//! The paper's asymptotic predictions, as plain functions.
+//!
+//! §3.3–§5 derive limit laws for the bandwidth gap and the equalizing price
+//! ratio in each (load, utility) regime. This module centralizes them so
+//! tests, benches, and EXPERIMENTS.md can compare measured curves against
+//! predicted ones without re-deriving anything.
+//!
+//! `h` below is the ramp coefficient `H(a, z) = 1 + a(1 − a^{z−2})/(1 − a)`
+//! ([`bevra_utility::Ramp::h_coefficient`]); the rigid case is `H = z − 1`.
+
+/// Exponential load, rigid apps: `Δ(C) ≈ ln(βC)/β` — the gap grows
+/// logarithmically forever (§3.3).
+#[must_use]
+pub fn exp_rigid_bandwidth_gap(beta: f64, c: f64) -> f64 {
+    (beta * c).ln() / beta
+}
+
+/// Exponential load, ramp apps: `Δ(∞) = −ln(1 − a)/β` — the gap converges
+/// to a constant (§3.3).
+#[must_use]
+pub fn exp_ramp_bandwidth_gap_limit(beta: f64, a: f64) -> f64 {
+    -(1.0 - a).ln() / beta
+}
+
+/// Exponential load, rigid apps, retrying at penalty `α`: the asymptotic
+/// reservation disutility is `1 − R̃(C) ≈ α·e^{−βC}` (§5.2).
+#[must_use]
+pub fn exp_retry_disutility(beta: f64, alpha: f64, c: f64) -> f64 {
+    alpha * (-beta * c).exp()
+}
+
+/// Exponential load, ramp apps, retrying: `Δ(∞) = −ln(α(1 − a))/β` (§5.2).
+#[must_use]
+pub fn exp_ramp_retry_gap_limit(beta: f64, a: f64, alpha: f64) -> f64 {
+    -(alpha * (1.0 - a)).ln() / beta
+}
+
+/// Algebraic load: `lim (C + Δ(C))/C = H^{1/(z−2)}`, which also equals
+/// `lim_{p→0} γ(p)` (§3.3/§4). Rigid: `H = z−1`, giving `(z−1)^{1/(z−2)}`
+/// → `e` as `z → 2⁺` (the conjectured worst case).
+#[must_use]
+pub fn alg_gap_ratio(z: f64, h: f64) -> f64 {
+    h.powf(1.0 / (z - 2.0))
+}
+
+/// Algebraic load with `S`-fold sampling: the asymptotic ratio becomes
+/// `(S·H)^{1/(z−2)}` — rigid `(S(z−1))^{1/(z−2)}` — which **diverges** as
+/// `z → 2⁺` for any `S > 1` (§5.1).
+#[must_use]
+pub fn alg_sampling_gap_ratio(z: f64, h: f64, s: u32) -> f64 {
+    (f64::from(s) * h).powf(1.0 / (z - 2.0))
+}
+
+/// Algebraic load with retrying at penalty `α`: the asymptotic ratio is
+/// `(H/α)^{1/(z−2)}`, unbounded as `z → 2⁺` for `α < H` (§5.2).
+#[must_use]
+pub fn alg_retry_gap_ratio(z: f64, h: f64, alpha: f64) -> f64 {
+    (h / alpha).powf(1.0 / (z - 2.0))
+}
+
+/// The §3.3 conjecture: the largest asymptotic bandwidth ratio of the basic
+/// model, `lim_{z→2⁺} (z−1)^{1/(z−2)} = e`; best-effort never needs more
+/// than `e×` the reservation network's bandwidth.
+#[must_use]
+pub fn basic_model_max_ratio() -> f64 {
+    std::f64::consts::E
+}
+
+/// Algebraic-tail utilities (`π ≈ 1 − b^{−τ}`) against algebraic loads:
+/// the §3.3 footnote-8 regime classification for the large-`C` behavior of
+/// `Δ(C)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TailRegime {
+    /// `τ > z − 2`: `Δ(C) ~ C` (linear growth, like the rigid case).
+    Linear,
+    /// `z − 3 < τ < z − 2`: `Δ(C) ~ C^{τ+3−z}` — grows, but sublinearly.
+    SublinearGrowth,
+    /// `τ < z − 3`: `Δ(C)` asymptotically **decreases**.
+    Decreasing,
+}
+
+/// Classify the algebraic-tail × algebraic-load regime (§3.3).
+#[must_use]
+pub fn tail_regime(tau: f64, z: f64) -> TailRegime {
+    if tau > z - 2.0 {
+        TailRegime::Linear
+    } else if tau > z - 3.0 {
+        TailRegime::SublinearGrowth
+    } else {
+        TailRegime::Decreasing
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bevra_utility::Ramp;
+
+    #[test]
+    fn rigid_ratio_limits() {
+        // z = 3 ⇒ ratio 2; z → 2⁺ ⇒ ratio → e.
+        assert!((alg_gap_ratio(3.0, 2.0) - 2.0).abs() < 1e-12);
+        assert!((alg_gap_ratio(2.0001, 1.0001) - std::f64::consts::E).abs() < 1e-3);
+    }
+
+    #[test]
+    fn sampling_ratio_exceeds_basic_and_diverges() {
+        let z = 2.5;
+        let h = z - 1.0;
+        assert!(alg_sampling_gap_ratio(z, h, 2) > alg_gap_ratio(z, h));
+        // Divergence as z → 2⁺ with S = 2: (2·(z−1))^{1/(z−2)} explodes.
+        assert!(alg_sampling_gap_ratio(2.05, 1.05, 2) > 1e6);
+    }
+
+    #[test]
+    fn retry_ratio_exceeds_basic_for_small_alpha() {
+        let z = 3.0;
+        let h = 2.0;
+        assert!(alg_retry_gap_ratio(z, h, 0.1) > alg_gap_ratio(z, h));
+        assert!((alg_retry_gap_ratio(z, h, 0.1) - 20.0f64.sqrt().powi(2)).abs() < 20.0);
+        // α = H recovers... ratio 1? (H/H)^{...} = 1: no advantage beyond
+        // basic disutility balance.
+        assert!((alg_retry_gap_ratio(z, h, 2.0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ramp_h_flows_through() {
+        let z = 3.0;
+        let a = 0.5;
+        let h = Ramp::new(a).h_coefficient(z);
+        // H = 1 + a = 1.5 at z = 3; ratio = 1.5.
+        assert!((alg_gap_ratio(z, h) - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tail_regimes_partition() {
+        assert_eq!(tail_regime(2.0, 3.0), TailRegime::Linear);
+        assert_eq!(tail_regime(0.5, 3.0), TailRegime::SublinearGrowth);
+        assert_eq!(tail_regime(0.5, 4.0), TailRegime::Decreasing);
+    }
+
+    #[test]
+    fn exponential_limits_sane() {
+        assert!((exp_ramp_bandwidth_gap_limit(0.01, 0.5) - 100.0 * 2f64.ln()).abs() < 1e-9);
+        assert!(exp_ramp_retry_gap_limit(0.01, 0.5, 0.1) > exp_ramp_bandwidth_gap_limit(0.01, 0.5));
+        assert!((exp_retry_disutility(0.01, 0.1, 100.0) - 0.1 * (-1.0f64).exp()).abs() < 1e-12);
+        assert!((basic_model_max_ratio() - std::f64::consts::E).abs() < 1e-15);
+    }
+}

@@ -1,0 +1,236 @@
+//! Closed forms for algebraic (Pareto) continuum loads (paper §3.3, §4).
+
+/// Algebraic continuum load `P(k) = (z−1)k^{−z}` (`k ≥ 1`, `z > 2`) with a
+/// rigid or ramp utility, all §3.3/§4 quantities in closed form.
+///
+/// Everything is controlled by a single coefficient
+///
+/// ```text
+/// H(a, z) = 1 + a(1 − a^{z−2})/(1 − a)     (rigid: a → 1 gives H = z − 1)
+/// ```
+///
+/// in terms of which (normalized by `k̄ = (z−1)/(z−2)`, valid `C ≥ 1`):
+///
+/// ```text
+/// R(C) = 1 − C^{2−z}/(z−1)        B(C) = 1 − C^{2−z}·H/(z−1)
+/// δ(C) = C^{2−z}(H − 1)/(z−1)     Δ(C) = C·(H^{1/(z−2)} − 1)
+/// γ(p) = H^{1/(z−2)}              (independent of p!)
+/// ```
+///
+/// The bandwidth gap grows **linearly** in capacity and the equalizing price
+/// ratio does **not** converge to 1 as bandwidth gets cheap — the paper's
+/// central argument that heavy-tailed loads keep reservations relevant no
+/// matter how cheap bandwidth becomes. In the `z → 2⁺` rigid limit
+/// `Δ → (e−1)·C` and `γ → e`, the conjectured maximal advantage.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AlgebraicClosed {
+    /// Load tail exponent `z > 2`.
+    pub z: f64,
+    /// The `H` coefficient (see type docs).
+    pub h: f64,
+}
+
+impl AlgebraicClosed {
+    /// Closed forms for **rigid** applications (`b̄ = 1`): `H = z − 1`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `z > 2`.
+    #[must_use]
+    pub fn rigid(z: f64) -> Self {
+        assert!(z > 2.0, "algebraic continuum requires z > 2");
+        Self { z, h: z - 1.0 }
+    }
+
+    /// Closed forms for the **ramp** utility with adaptivity `a ∈ (0, 1]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `z > 2` and `0 < a ≤ 1`.
+    #[must_use]
+    pub fn ramp(z: f64, a: f64) -> Self {
+        assert!(z > 2.0, "algebraic continuum requires z > 2");
+        let ramp = bevra_utility::Ramp::new(a);
+        Self { z, h: ramp.h_coefficient(z) }
+    }
+
+    /// Mean load `k̄ = (z−1)/(z−2)`.
+    #[must_use]
+    pub fn mean_load(&self) -> f64 {
+        (self.z - 1.0) / (self.z - 2.0)
+    }
+
+    /// Normalized reservation utility `R(C) = 1 − C^{2−z}/(z−1)` (`C ≥ 1`).
+    #[must_use]
+    pub fn reservation(&self, c: f64) -> f64 {
+        if c < 1.0 {
+            return f64::NAN;
+        }
+        1.0 - c.powf(2.0 - self.z) / (self.z - 1.0)
+    }
+
+    /// Normalized best-effort utility `B(C) = 1 − C^{2−z}·H/(z−1)` (`C ≥ 1`;
+    /// for ramp utilities additionally requires the ramp foot `C/a ≥ 1`,
+    /// which `C ≥ 1` implies).
+    #[must_use]
+    pub fn best_effort(&self, c: f64) -> f64 {
+        if c < 1.0 {
+            return f64::NAN;
+        }
+        1.0 - c.powf(2.0 - self.z) * self.h / (self.z - 1.0)
+    }
+
+    /// Performance gap `δ(C) = C^{2−z}(H−1)/(z−1)`.
+    #[must_use]
+    pub fn performance_gap(&self, c: f64) -> f64 {
+        c.powf(2.0 - self.z) * (self.h - 1.0) / (self.z - 1.0)
+    }
+
+    /// Bandwidth gap `Δ(C) = C(H^{1/(z−2)} − 1)` — linear in `C`.
+    #[must_use]
+    pub fn bandwidth_gap(&self, c: f64) -> f64 {
+        c * (self.gap_slope_plus_one() - 1.0)
+    }
+
+    /// `lim (C+Δ)/C = H^{1/(z−2)}`, also the value of `γ(p)`.
+    #[must_use]
+    pub fn gap_slope_plus_one(&self) -> f64 {
+        self.h.powf(1.0 / (self.z - 2.0))
+    }
+
+    /// Total best-effort utility `V_B(C) = k̄ − C^{2−z}·H/(z−2)`.
+    #[must_use]
+    pub fn total_best_effort(&self, c: f64) -> f64 {
+        self.mean_load() - c.powf(2.0 - self.z) * self.h / (self.z - 2.0)
+    }
+
+    /// Total reservation utility `V_R(C) = k̄ − C^{2−z}/(z−2)`.
+    #[must_use]
+    pub fn total_reservation(&self, c: f64) -> f64 {
+        self.mean_load() - c.powf(2.0 - self.z) / (self.z - 2.0)
+    }
+
+    /// Best-effort welfare-optimal capacity `C_B(p) = (H/p)^{1/(z−1)}`
+    /// (from `V_B′(C) = H·C^{1−z} = p`). Valid while the result is ≥ 1.
+    #[must_use]
+    pub fn capacity_best_effort(&self, p: f64) -> f64 {
+        (self.h / p).powf(1.0 / (self.z - 1.0))
+    }
+
+    /// Reservation welfare-optimal capacity `C_R(p) = p^{−1/(z−1)}`.
+    #[must_use]
+    pub fn capacity_reservation(&self, p: f64) -> f64 {
+        p.powf(-1.0 / (self.z - 1.0))
+    }
+
+    /// Optimal best-effort welfare
+    /// `W_B(p) = k̄ − (z−1)/(z−2)·(H·p^{z−2})^{1/(z−1)}`.
+    #[must_use]
+    pub fn welfare_best_effort(&self, p: f64) -> f64 {
+        let e = (self.z - 2.0) / (self.z - 1.0);
+        (self.mean_load() * (1.0 - (self.h.powf(1.0 / (self.z - 1.0))) * p.powf(e))).max(0.0)
+    }
+
+    /// Optimal reservation welfare `W_R(p) = k̄·(1 − p^{(z−2)/(z−1)})`.
+    #[must_use]
+    pub fn welfare_reservation(&self, p: f64) -> f64 {
+        let e = (self.z - 2.0) / (self.z - 1.0);
+        (self.mean_load() * (1.0 - p.powf(e))).max(0.0)
+    }
+
+    /// Equalizing price ratio: `γ(p) = H^{1/(z−2)}` for every `p` —
+    /// `W_R(γp) = W_B(p)` holds identically because both welfares share the
+    /// same power of `p`.
+    #[must_use]
+    pub fn gamma(&self) -> f64 {
+        self.gap_slope_plus_one()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rigid_h_is_z_minus_one() {
+        let m = AlgebraicClosed::rigid(3.0);
+        assert_eq!(m.h, 2.0);
+        // Δ = C at z = 3: best-effort needs double the capacity.
+        assert!((m.bandwidth_gap(10.0) - 10.0).abs() < 1e-12);
+        assert!((m.gamma() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn worst_case_limit_is_e() {
+        // z → 2⁺: γ → e and Δ/C → e − 1, the paper's conjectured bounds.
+        let m = AlgebraicClosed::rigid(2.000_001);
+        assert!((m.gamma() - std::f64::consts::E).abs() < 1e-4, "γ = {}", m.gamma());
+        assert!(
+            (m.bandwidth_gap(1.0) - (std::f64::consts::E - 1.0)).abs() < 1e-4,
+            "slope = {}",
+            m.bandwidth_gap(1.0)
+        );
+    }
+
+    #[test]
+    fn ramp_interpolates_between_elastic_and_rigid() {
+        let z = 3.0;
+        let elastic_ish = AlgebraicClosed::ramp(z, 1e-9);
+        assert!((elastic_ish.gamma() - 1.0).abs() < 1e-8);
+        let rigid_ish = AlgebraicClosed::ramp(z, 1.0);
+        assert!((rigid_ish.gamma() - AlgebraicClosed::rigid(z).gamma()).abs() < 1e-9);
+        // Monotone in a.
+        let g_lo = AlgebraicClosed::ramp(z, 0.3).gamma();
+        let g_hi = AlgebraicClosed::ramp(z, 0.8).gamma();
+        assert!(g_lo < g_hi);
+    }
+
+    #[test]
+    fn gap_equation_roundtrip() {
+        // B(C + Δ) must equal R(C) exactly for the closed forms.
+        let m = AlgebraicClosed::ramp(2.7, 0.6);
+        for c in [2.0, 5.0, 50.0] {
+            let d = m.bandwidth_gap(c);
+            assert!((m.best_effort(c + d) - m.reservation(c)).abs() < 1e-12, "C={c}");
+        }
+    }
+
+    #[test]
+    fn welfare_foc_consistency() {
+        // W_B(p) must equal V_B(C_B(p)) − p·C_B(p).
+        let m = AlgebraicClosed::rigid(3.0);
+        for p in [1e-4, 1e-2] {
+            let c = m.capacity_best_effort(p);
+            let direct = m.total_best_effort(c) - p * c;
+            assert!((m.welfare_best_effort(p) - direct).abs() < 1e-10, "p={p}");
+            let cr = m.capacity_reservation(p);
+            let direct_r = m.total_reservation(cr) - p * cr;
+            assert!((m.welfare_reservation(p) - direct_r).abs() < 1e-10, "p={p}");
+        }
+    }
+
+    #[test]
+    fn gamma_equalizes_welfares_identically() {
+        let m = AlgebraicClosed::ramp(3.0, 0.5);
+        let g = m.gamma();
+        for p in [1e-6, 1e-4, 1e-2] {
+            let wb = m.welfare_best_effort(p);
+            let wr = m.welfare_reservation(g * p);
+            assert!((wb - wr).abs() < 1e-10, "p={p}: {wb} vs {wr}");
+        }
+    }
+
+    #[test]
+    fn r_dominates_b_and_both_approach_one() {
+        let m = AlgebraicClosed::rigid(2.5);
+        let mut prev_b = 0.0;
+        for c in [1.5, 3.0, 10.0, 100.0, 10_000.0] {
+            let b = m.best_effort(c);
+            let r = m.reservation(c);
+            assert!(r >= b, "C={c}");
+            assert!(b >= prev_b);
+            prev_b = b;
+        }
+        assert!(m.best_effort(1e8) > 0.999);
+    }
+}

@@ -1,0 +1,438 @@
+//! Closed forms for exponential continuum loads (paper §3.3 and §4).
+
+use bevra_num::{brent, expand_bracket_up, golden_section_max, lambert_wm1, NumResult};
+
+/// Exponential load `P(k) = βe^{−βk}` with **rigid** applications
+/// (`b̄ = 1`) — every formula of §3.3/§4 for this case.
+///
+/// Normalized utilities (`k̄ = 1/β`):
+///
+/// ```text
+/// B(C) = 1 − e^{−βC}(1 + βC)       R(C) = 1 − e^{−βC}
+/// δ(C) = βC·e^{−βC}
+/// Δ(C):  βΔ = ln(1 + β(C + Δ))  ⇒  Δ ≈ ln(βC)/β  (grows forever!)
+/// ```
+///
+/// Welfare at bandwidth price `p` (per §4): the best-effort optimum solves
+/// `p = βC e^{−βC}` (largest root, via the Lambert `W₋₁` branch) and the
+/// reservation optimum solves `p = e^{−βC}`, giving
+/// `W_R(p) = (1/β)(1 − p + p·ln p)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ExponentialRigidClosed {
+    /// Load decay rate β (mean load `1/β`).
+    pub beta: f64,
+}
+
+impl ExponentialRigidClosed {
+    /// New closed-form bundle for decay rate `beta`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `beta` is positive and finite.
+    #[must_use]
+    pub fn new(beta: f64) -> Self {
+        assert!(beta > 0.0 && beta.is_finite(), "beta must be positive and finite");
+        Self { beta }
+    }
+
+    /// Calibrate from the mean load: `β = 1/k̄`.
+    #[must_use]
+    pub fn from_mean(mean: f64) -> Self {
+        Self::new(1.0 / mean)
+    }
+
+    /// Normalized best-effort utility `B(C)`.
+    #[must_use]
+    pub fn best_effort(&self, c: f64) -> f64 {
+        if c <= 0.0 {
+            return 0.0;
+        }
+        let bc = self.beta * c;
+        1.0 - (-bc).exp() * (1.0 + bc)
+    }
+
+    /// Normalized reservation utility `R(C)`.
+    #[must_use]
+    pub fn reservation(&self, c: f64) -> f64 {
+        if c <= 0.0 {
+            return 0.0;
+        }
+        -(-self.beta * c).exp_m1()
+    }
+
+    /// Performance gap `δ(C) = βC·e^{−βC}`.
+    #[must_use]
+    pub fn performance_gap(&self, c: f64) -> f64 {
+        let bc = self.beta * c;
+        bc * (-bc).exp()
+    }
+
+    /// Bandwidth gap: the exact solution of `βΔ = ln(1 + β(C + Δ))`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates root-finder failures (none for positive inputs).
+    pub fn bandwidth_gap(&self, c: f64) -> NumResult<f64> {
+        let beta = self.beta;
+        let f = |d: f64| beta * d - (1.0 + beta * (c + d)).ln();
+        // f(0) = −ln(1+βC) < 0 and f grows linearly: bracket upward.
+        let br = expand_bracket_up(f, 0.0, 1.0 / beta, 1e9 / beta)?;
+        brent(f, br.lo, br.hi, 1e-10 / beta)
+    }
+
+    /// The asymptotic (large `C`) bandwidth gap `ln(βC)/β` — logarithmic
+    /// growth, the §3.3 headline for this case.
+    #[must_use]
+    pub fn bandwidth_gap_asymptote(&self, c: f64) -> f64 {
+        (self.beta * c).ln() / self.beta
+    }
+
+    /// Best-effort welfare-optimal capacity: largest root of
+    /// `p = βC·e^{−βC}`, i.e. `βC = −W₋₁(−p)`. `None` when `p ≥ 1/e` (even
+    /// the best capacity cannot pay for itself; provision nothing).
+    #[must_use]
+    pub fn capacity_best_effort(&self, p: f64) -> Option<f64> {
+        if !(0.0 < p && p < (-1.0f64).exp()) {
+            return None;
+        }
+        let h = -lambert_wm1(-p).ok()?;
+        Some(h / self.beta)
+    }
+
+    /// Reservation welfare-optimal capacity: `C = −ln(p)/β` (for `p < 1`).
+    #[must_use]
+    pub fn capacity_reservation(&self, p: f64) -> Option<f64> {
+        if !(0.0 < p && p < 1.0) {
+            return None;
+        }
+        Some(-p.ln() / self.beta)
+    }
+
+    /// Optimal best-effort welfare
+    /// `W_B(p) = (1/β)(1 − p − p/h − p·h)` with `h = βC_B(p)`.
+    #[must_use]
+    pub fn welfare_best_effort(&self, p: f64) -> f64 {
+        match self.capacity_best_effort(p) {
+            Some(c) => {
+                let h = self.beta * c;
+                ((1.0 - p - p / h - p * h) / self.beta).max(0.0)
+            }
+            None => 0.0,
+        }
+    }
+
+    /// Optimal reservation welfare `W_R(p) = (1/β)(1 − p + p·ln p)`.
+    #[must_use]
+    pub fn welfare_reservation(&self, p: f64) -> f64 {
+        if p <= 0.0 {
+            return 1.0 / self.beta;
+        }
+        if p >= 1.0 {
+            return 0.0;
+        }
+        ((1.0 - p + p * p.ln()) / self.beta).max(0.0)
+    }
+
+    /// Equalizing price ratio `γ(p)`: the `p̂/p` with
+    /// `W_R(p̂) = W_B(p)`. Converges to 1 as `p → 0⁺` — the key §4 result
+    /// that cheap bandwidth erases the reservation advantage for
+    /// exponential loads.
+    ///
+    /// # Errors
+    ///
+    /// Propagates root-finder failures.
+    pub fn gamma(&self, p: f64) -> NumResult<f64> {
+        let target = self.welfare_best_effort(p);
+        let f = |ph: f64| target - self.welfare_reservation(ph);
+        let br = expand_bracket_up(f, p, 0.1 * p, 1e9)?;
+        let ph = if br.lo == br.hi { br.lo } else { brent(f, br.lo, br.hi, 1e-12 * p)? };
+        Ok(ph / p)
+    }
+}
+
+/// Exponential load with the continuum **ramp** (adaptive) utility of
+/// parameter `a` (paper §3.2–§4).
+///
+/// Derived in closed form (and verified against quadrature in tests):
+///
+/// ```text
+/// V_B(C) = (1/β)·[1 − e^{−βC}/(1−a) + (a/(1−a))·e^{−βC/a}]
+/// V_R(C) = (1/β)·(1 − e^{−βC})          (k_max = C, π(1) = 1)
+/// δ(C)   = (a/(1−a))·(e^{−βC} − e^{−βC/a})
+/// Δ(C) → −ln(1−a)/β                      (a finite constant, not ln C!)
+/// ```
+///
+/// The contrast with the rigid case — bounded versus logarithmically growing
+/// bandwidth gap — is the paper's cleanest demonstration that adaptivity
+/// changes the architecture tradeoff *qualitatively*.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ExponentialRampClosed {
+    /// Load decay rate β.
+    pub beta: f64,
+    /// Ramp adaptivity parameter `a ∈ (0, 1)`.
+    pub a: f64,
+}
+
+impl ExponentialRampClosed {
+    /// New bundle.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `beta > 0` and `0 < a < 1` (use
+    /// [`ExponentialRigidClosed`] for the `a = 1` rigid limit).
+    #[must_use]
+    pub fn new(beta: f64, a: f64) -> Self {
+        assert!(beta > 0.0 && beta.is_finite(), "beta must be positive and finite");
+        assert!(a > 0.0 && a < 1.0, "ramp parameter must satisfy 0 < a < 1");
+        Self { beta, a }
+    }
+
+    /// Normalized best-effort utility `B(C)`.
+    #[must_use]
+    pub fn best_effort(&self, c: f64) -> f64 {
+        if c <= 0.0 {
+            return 0.0;
+        }
+        let bc = self.beta * c;
+        let frac = self.a / (1.0 - self.a);
+        1.0 - (-bc).exp() / (1.0 - self.a) + frac * (-bc / self.a).exp()
+    }
+
+    /// Normalized reservation utility `R(C) = 1 − e^{−βC}` (identical to the
+    /// rigid case: `k_max = C` and admitted flows sit at `π ≥ π(1) = 1`).
+    #[must_use]
+    pub fn reservation(&self, c: f64) -> f64 {
+        if c <= 0.0 {
+            return 0.0;
+        }
+        -(-self.beta * c).exp_m1()
+    }
+
+    /// Performance gap `δ(C) = (a/(1−a))(e^{−βC} − e^{−βC/a})`.
+    #[must_use]
+    pub fn performance_gap(&self, c: f64) -> f64 {
+        let frac = self.a / (1.0 - self.a);
+        frac * ((-self.beta * c).exp() - (-self.beta * c / self.a).exp())
+    }
+
+    /// Utility *deficit* `1 − B(C)`, computed without cancellation so the
+    /// bandwidth gap stays solvable even where `B` rounds to 1.0:
+    /// `1 − B(C) = e^{−βC}/(1−a) − (a/(1−a))·e^{−βC/a}`.
+    #[must_use]
+    pub fn best_effort_deficit(&self, c: f64) -> f64 {
+        let bc = self.beta * c;
+        ((-bc).exp() - self.a * (-bc / self.a).exp()) / (1.0 - self.a)
+    }
+
+    /// `ln(1 − B(C))`, factored as `−βC + ln((1 − a·e^{−βC(1/a−1)})/(1−a))`
+    /// so it stays finite long after `e^{−βC}` itself underflows — the form
+    /// the bandwidth-gap equation is solved in.
+    #[must_use]
+    pub fn log_best_effort_deficit(&self, c: f64) -> f64 {
+        let bc = self.beta * c;
+        let cross = self.a * (-bc * (1.0 / self.a - 1.0)).exp();
+        -bc + ((1.0 - cross) / (1.0 - self.a)).ln()
+    }
+
+    /// Bandwidth gap `Δ(C)`: exact numeric solution of `B(C+Δ) = R(C)`.
+    ///
+    /// Solved in log-deficit space — `ln(1−B(C+Δ)) = −βC` — because for
+    /// large `C` both utilities round to 1.0 in f64 while their deficits
+    /// (which the equation actually balances) remain perfectly
+    /// representable.
+    ///
+    /// # Errors
+    ///
+    /// Propagates root-finder failures.
+    pub fn bandwidth_gap(&self, c: f64) -> NumResult<f64> {
+        if c <= 0.0 {
+            return Ok(0.0);
+        }
+        // f(d) = ln(1−B(C+d)) − ln(1−R(C)); positive at d = 0, strictly
+        // decreasing, crosses zero at the gap.
+        let target_log = -self.beta * c; // ln(e^{−βC})
+        let f = |d: f64| self.log_best_effort_deficit(c + d) - target_log;
+        if f(0.0) <= 0.0 {
+            return Ok(0.0);
+        }
+        // The gap is bounded by its large-C limit −ln(1−a)/β plus slack.
+        let br = expand_bracket_up(|d| -f(d), 0.0, 0.1 / self.beta, 1e9 / self.beta)?;
+        brent(f, br.lo, br.hi, 1e-12 / self.beta)
+    }
+
+    /// Large-`C` limit of the bandwidth gap: `−ln(1−a)/β`.
+    #[must_use]
+    pub fn bandwidth_gap_limit(&self) -> f64 {
+        -(1.0 - self.a).ln() / self.beta
+    }
+
+    /// Marginal total utility `V_B′(C) = (e^{−βC} − e^{−βC/a})/(1−a)` — the
+    /// price at which capacity `C` is the best-effort optimum.
+    #[must_use]
+    pub fn marginal_best_effort(&self, c: f64) -> f64 {
+        ((-self.beta * c).exp() - (-self.beta * c / self.a).exp()) / (1.0 - self.a)
+    }
+
+    /// Best-effort welfare-optimal capacity at price `p`: the largest root
+    /// of `marginal = p`, or `None` if the marginal never reaches `p`.
+    #[must_use]
+    pub fn capacity_best_effort(&self, p: f64) -> Option<f64> {
+        if p <= 0.0 {
+            return None;
+        }
+        // The marginal is 0 at C = 0, rises to a peak, then decays; the
+        // welfare optimum is the decaying-side root.
+        let peak = golden_section_max(|c| self.marginal_best_effort(c), 0.0, 20.0 / self.beta, 1e-9 / self.beta).ok()?;
+        if p > peak.value {
+            return None;
+        }
+        let f = |c: f64| self.marginal_best_effort(c) - p;
+        let br = expand_bracket_up(f, peak.x, 1.0 / self.beta, 1e9 / self.beta).ok()?;
+        brent(f, br.lo, br.hi, 1e-10 / self.beta).ok()
+    }
+
+    /// Optimal best-effort welfare `W_B(p) = V_B(C*) − pC*` (0 if building
+    /// nothing is best).
+    #[must_use]
+    pub fn welfare_best_effort(&self, p: f64) -> f64 {
+        match self.capacity_best_effort(p) {
+            Some(c) => ((self.best_effort(c) / self.beta) - p * c).max(0.0),
+            None => 0.0,
+        }
+    }
+
+    /// Optimal reservation welfare — identical formula to the rigid case.
+    #[must_use]
+    pub fn welfare_reservation(&self, p: f64) -> f64 {
+        ExponentialRigidClosed { beta: self.beta }.welfare_reservation(p)
+    }
+
+    /// Equalizing price ratio `γ(p)`; approaches 1 logarithmically as
+    /// `p → 0⁺` (§4).
+    ///
+    /// # Errors
+    ///
+    /// Propagates root-finder failures.
+    pub fn gamma(&self, p: f64) -> NumResult<f64> {
+        let target = self.welfare_best_effort(p);
+        let f = |ph: f64| target - self.welfare_reservation(ph);
+        let br = expand_bracket_up(f, p, 0.1 * p, 1e9)?;
+        let ph = if br.lo == br.hi { br.lo } else { brent(f, br.lo, br.hi, 1e-12 * p)? };
+        Ok(ph / p)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rigid_identities() {
+        let m = ExponentialRigidClosed::from_mean(100.0);
+        let c = 150.0;
+        // R − B = βCe^{−βC}.
+        assert!(
+            (m.reservation(c) - m.best_effort(c) - m.performance_gap(c)).abs() < 1e-14
+        );
+        // Gap equation round-trip.
+        let d = m.bandwidth_gap(c).unwrap();
+        assert!((m.best_effort(c + d) - m.reservation(c)).abs() < 1e-10);
+    }
+
+    #[test]
+    fn rigid_gap_is_logarithmic() {
+        let m = ExponentialRigidClosed::from_mean(100.0);
+        // Δ at 1000k̄ vs 100k̄ should differ by ≈ ln(10)/β, not by 900k̄.
+        // (Deep in the asymptotic regime: βC = 100 and 1000.)
+        let d1 = m.bandwidth_gap(10_000.0).unwrap();
+        let d2 = m.bandwidth_gap(100_000.0).unwrap();
+        let growth = d2 - d1;
+        let predicted = 10f64.ln() / m.beta;
+        assert!((growth - predicted).abs() < 0.05 * predicted, "growth {growth} vs {predicted}");
+        // And tracks the asymptote.
+        assert!((d2 - m.bandwidth_gap_asymptote(100_000.0)).abs() < 0.05 * d2);
+    }
+
+    #[test]
+    fn rigid_welfare_capacity_solves_foc() {
+        let m = ExponentialRigidClosed::from_mean(100.0);
+        let p = 0.05;
+        let c = m.capacity_best_effort(p).unwrap();
+        assert!((m.beta * c * (-m.beta * c).exp() - p).abs() < 1e-12);
+        assert!(c > 100.0, "largest root is past the mean: {c}");
+        let cr = m.capacity_reservation(p).unwrap();
+        assert!(((-m.beta * cr).exp() - p).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rigid_welfare_formulas_match_direct_maximization() {
+        // W(C) = V(C) − pC is NOT unimodal from 0 here (the marginal starts
+        // below p, rises above it, then decays), so use the grid-scanning
+        // welfare optimizer rather than a bare bracket search.
+        let m = ExponentialRigidClosed::from_mean(50.0);
+        let p = 0.08;
+        let direct =
+            crate::welfare::optimal_welfare(|c| m.best_effort(c) / m.beta, p, 50.0, 1e5).unwrap();
+        assert!(
+            (m.welfare_best_effort(p) - direct.welfare).abs() < 1e-6,
+            "closed {} vs direct {}",
+            m.welfare_best_effort(p),
+            direct.welfare
+        );
+        let direct_r =
+            crate::welfare::optimal_welfare(|c| m.reservation(c) / m.beta, p, 50.0, 1e5).unwrap();
+        assert!((m.welfare_reservation(p) - direct_r.welfare).abs() < 1e-6);
+    }
+
+    #[test]
+    fn rigid_gamma_exceeds_one_and_tends_to_one() {
+        let m = ExponentialRigidClosed::from_mean(100.0);
+        let g_mid = m.gamma(0.05).unwrap();
+        let g_small = m.gamma(1e-6).unwrap();
+        let g_tiny = m.gamma(1e-12).unwrap();
+        assert!(g_mid > 1.0);
+        assert!(g_small > 1.0);
+        assert!(g_small < g_mid, "γ decreases toward 1 as p → 0: {g_small} vs {g_mid}");
+        // The convergence is only logarithmic (γ ≈ 1 + ln(−ln p)-ish/−ln p),
+        // so even p = 1e−12 leaves γ visibly above 1.
+        assert!(g_tiny < g_small);
+        assert!(g_tiny < 1.15, "γ(1e−12) = {g_tiny}");
+    }
+
+    #[test]
+    fn ramp_limits_recover_rigid_and_elastic() {
+        let beta = 0.01;
+        let c = 250.0;
+        let rigid = ExponentialRigidClosed::new(beta);
+        let nearly_rigid = ExponentialRampClosed::new(beta, 0.999_999);
+        assert!((nearly_rigid.best_effort(c) - rigid.best_effort(c)).abs() < 1e-3);
+        let nearly_elastic = ExponentialRampClosed::new(beta, 1e-9);
+        assert!((nearly_elastic.best_effort(c) - nearly_elastic.reservation(c)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn ramp_gap_bounded() {
+        let m = ExponentialRampClosed::new(0.01, 0.5);
+        let limit = m.bandwidth_gap_limit();
+        assert!((limit - 2f64.ln() * 100.0).abs() < 1e-9);
+        let d_far = m.bandwidth_gap(5_000.0).unwrap();
+        assert!((d_far - limit).abs() < 0.01 * limit, "Δ(∞)={d_far} vs {limit}");
+        // Unlike rigid, the gap does NOT keep growing.
+        let d_farther = m.bandwidth_gap(20_000.0).unwrap();
+        assert!((d_farther - limit).abs() < 0.01 * limit);
+    }
+
+    #[test]
+    fn ramp_welfare_and_gamma_behave() {
+        let m = ExponentialRampClosed::new(0.01, 0.5);
+        let p = 0.02;
+        let wb = m.welfare_best_effort(p);
+        let wr = m.welfare_reservation(p);
+        assert!(wr >= wb, "W_R {wr} must dominate W_B {wb}");
+        let g = m.gamma(p).unwrap();
+        assert!(g >= 1.0);
+        // γ smaller than the rigid counterpart at the same price.
+        let g_rigid = ExponentialRigidClosed::new(0.01).gamma(p).unwrap();
+        assert!(g < g_rigid, "adaptive γ {g} vs rigid {g_rigid}");
+    }
+}

@@ -1,0 +1,294 @@
+//! Quadrature-based evaluation of the continuum model for arbitrary
+//! (load density, utility) pairs.
+
+use bevra_load::ContinuumLoad;
+use bevra_num::{brent, expand_bracket_up, golden_section_max, integrate, integrate_to_inf, NumResult};
+use bevra_utility::Utility;
+
+/// The continuum model: load density `P(k)` on `[lo, ∞)`, per-flow utility
+/// `π(b)`; total utilities
+///
+/// ```text
+/// V_B(C) = ∫ P(k)·k·π(C/k) dk
+/// V_R(C) = ∫_lo^{k_max} P(k)·k·π(C/k) dk + k_max·π(C/k_max)·P[k > k_max]
+/// ```
+///
+/// normalized by the mean `k̄`. Integrals are split at the load levels
+/// `C/b` for each utility knot `b` (slope breaks of piecewise utilities), so
+/// rigid and ramp utilities integrate exactly as a smooth quadrature problem
+/// per segment; the final unbounded segment uses the tanh-sinh semi-infinite
+/// rule.
+pub struct ContinuumModel<L: ContinuumLoad, U: Utility> {
+    load: L,
+    utility: U,
+    tol: f64,
+}
+
+impl<L: ContinuumLoad, U: Utility> ContinuumModel<L, U> {
+    /// New continuum model with the default quadrature tolerance (1e−10).
+    pub fn new(load: L, utility: U) -> Self {
+        Self { load, utility, tol: 1e-10 }
+    }
+
+    /// Override the quadrature tolerance.
+    #[must_use]
+    pub fn with_tolerance(mut self, tol: f64) -> Self {
+        assert!(tol > 0.0, "tolerance must be positive");
+        self.tol = tol;
+        self
+    }
+
+    /// The load density.
+    pub fn load(&self) -> &L {
+        &self.load
+    }
+
+    /// The utility function.
+    pub fn utility(&self) -> &U {
+        &self.utility
+    }
+
+    /// Mean offered load `k̄`.
+    pub fn mean_load(&self) -> f64 {
+        self.load.mean()
+    }
+
+    /// Continuous admission threshold `k_max(C)` and the peak total utility
+    /// `k_max·π(C/k_max)` it attains.
+    ///
+    /// Returns `None` for elastic utilities (no finite maximizer): the
+    /// architectures then coincide.
+    pub fn k_max(&self, capacity: f64) -> Option<(f64, f64)> {
+        if capacity <= 0.0 {
+            return None;
+        }
+        let f = |k: f64| {
+            if k <= 0.0 {
+                0.0
+            } else {
+                k * self.utility.value(capacity / k)
+            }
+        };
+        let hi = 1e6 * capacity.max(1.0);
+        let m = golden_section_max(f, 1e-12, hi, 1e-10 * capacity.max(1.0)).ok()?;
+        // A maximizer pinned at the search boundary means V was still
+        // increasing: elastic. Detect by comparing against a far probe.
+        if f(hi * 0.999_999) >= m.value {
+            return None;
+        }
+        if m.value <= 0.0 {
+            return None;
+        }
+        Some((m.x, m.value))
+    }
+
+    /// Load levels at which the integrand `k·P(k)·π(C/k)` is non-smooth.
+    fn split_points(&self, capacity: f64, lo: f64, hi: f64) -> Vec<f64> {
+        let mut pts = vec![lo];
+        let mut knots: Vec<f64> = self
+            .utility
+            .knots()
+            .into_iter()
+            .filter(|&b| b > 0.0)
+            .map(|b| capacity / b)
+            .collect();
+        // Also split at C itself: many utilities change character at b = 1.
+        knots.push(capacity);
+        knots.sort_by(f64::total_cmp);
+        for k in knots {
+            if k > lo && k < hi {
+                pts.push(k);
+            }
+        }
+        pts.push(hi);
+        pts.dedup();
+        pts
+    }
+
+    /// `∫_a^b P(k)·k·π(C/k) dk` with knot-aware splitting; `b = ∞` allowed.
+    fn utility_integral(&self, capacity: f64, a: f64, b: f64) -> NumResult<f64> {
+        let integrand = |k: f64| {
+            if k <= 0.0 {
+                return 0.0;
+            }
+            self.load.density(k) * k * self.utility.value(capacity / k)
+        };
+        // Finite splits; treat the last segment as semi-infinite if b = ∞.
+        let finite_hi = if b.is_finite() { b } else { (16.0 * capacity).max(4.0 * a) };
+        let pts = self.split_points(capacity, a, finite_hi);
+        let mut total = 0.0;
+        for w in pts.windows(2) {
+            total += integrate(integrand, w[0], w[1], self.tol)?;
+        }
+        if !b.is_finite() {
+            total += integrate_to_inf(integrand, finite_hi, self.tol)?;
+        }
+        Ok(total)
+    }
+
+    /// Total best-effort utility `V_B(C)`.
+    pub fn total_best_effort(&self, capacity: f64) -> NumResult<f64> {
+        if capacity <= 0.0 {
+            return Ok(0.0);
+        }
+        self.utility_integral(capacity, self.load.support_lo(), f64::INFINITY)
+    }
+
+    /// Total reservation utility `V_R(C)`.
+    pub fn total_reservation(&self, capacity: f64) -> NumResult<f64> {
+        if capacity <= 0.0 {
+            return Ok(0.0);
+        }
+        let Some((kmax, peak)) = self.k_max(capacity) else {
+            return self.total_best_effort(capacity);
+        };
+        let lo = self.load.support_lo();
+        if kmax <= lo {
+            // Even the smallest possible population exceeds the optimum:
+            // all mass is in overload, every load level is truncated to
+            // k_max admitted flows.
+            return Ok(peak * self.load.ccdf(lo));
+        }
+        let body = self.utility_integral(capacity, lo, kmax)?;
+        // Overload: each load level k > k_max serves k_max flows at the
+        // peak per-capacity utility (peak = k_max·π(C/k_max), evaluated at
+        // the optimizer so rigid steps cannot be lost to rounding).
+        Ok(body + peak * self.load.ccdf(kmax))
+    }
+
+    /// Normalized best-effort utility `B(C) = V_B(C)/k̄`.
+    pub fn best_effort(&self, capacity: f64) -> NumResult<f64> {
+        Ok(self.total_best_effort(capacity)? / self.load.mean())
+    }
+
+    /// Normalized reservation utility `R(C) = V_R(C)/k̄`.
+    pub fn reservation(&self, capacity: f64) -> NumResult<f64> {
+        Ok(self.total_reservation(capacity)? / self.load.mean())
+    }
+
+    /// Performance gap `δ(C) = R(C) − B(C)`.
+    pub fn performance_gap(&self, capacity: f64) -> NumResult<f64> {
+        Ok((self.reservation(capacity)? - self.best_effort(capacity)?).max(0.0))
+    }
+
+    /// Bandwidth gap `Δ(C)`: solves `B(C + Δ) = R(C)` by bracket + Brent.
+    pub fn bandwidth_gap(&self, capacity: f64) -> NumResult<f64> {
+        let target = self.reservation(capacity)?;
+        if self.best_effort(capacity)? >= target {
+            return Ok(0.0);
+        }
+        let kbar = self.load.mean();
+        let f = |d: f64| match self.best_effort(capacity + d) {
+            Ok(b) => b - target,
+            Err(_) => f64::NAN,
+        };
+        let br = expand_bracket_up(f, 0.0, 0.05 * kbar.max(1.0), 1e9 * kbar)?;
+        if br.lo == br.hi {
+            return Ok(br.lo);
+        }
+        brent(f, br.lo, br.hi, 1e-9 * kbar.max(1.0))
+    }
+
+    /// Flow-perspective blocking fraction
+    /// `θ(C) = (1/k̄)·∫_{k_max}^∞ (k − k_max)·P(k) dk`, in closed form via
+    /// the load's tail moments.
+    pub fn blocking_fraction(&self, capacity: f64) -> f64 {
+        let Some((kmax, _)) = self.k_max(capacity) else {
+            return 0.0;
+        };
+        let kbar = self.load.mean();
+        ((self.load.tail_mean(kmax) - kmax * self.load.ccdf(kmax)) / kbar).max(0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bevra_load::{ExponentialDensity, ParetoDensity};
+    use bevra_utility::{Ramp, Rigid};
+
+    #[test]
+    fn exponential_rigid_matches_closed_form() {
+        // Paper §3.3: V_B = (1/β)(1 − e^{−βC}(1+βC)), V_R = (1/β)(1−e^{−βC}).
+        let beta = 0.02;
+        let m = ContinuumModel::new(ExponentialDensity::new(beta), Rigid::unit());
+        for c in [10.0, 50.0, 120.0] {
+            let vb = m.total_best_effort(c).unwrap();
+            let want_b = (1.0 - (-beta * c).exp() * (1.0 + beta * c)) / beta;
+            assert!((vb - want_b).abs() < 1e-6, "C={c}: V_B {vb} vs {want_b}");
+            let vr = m.total_reservation(c).unwrap();
+            let want_r = (1.0 - (-beta * c).exp()) / beta;
+            assert!((vr - want_r).abs() < 1e-5, "C={c}: V_R {vr} vs {want_r}");
+        }
+    }
+
+    #[test]
+    fn pareto_rigid_matches_closed_form() {
+        // Normalized: B = 1 − C^{2−z}, R = 1 − C^{2−z}/(z−1).
+        let z = 3.0;
+        let m = ContinuumModel::new(ParetoDensity::new(z), Rigid::unit());
+        for c in [2.0, 5.0, 20.0] {
+            let b = m.best_effort(c).unwrap();
+            assert!((b - (1.0 - c.powf(2.0 - z))).abs() < 1e-7, "C={c}: B={b}");
+            let r = m.reservation(c).unwrap();
+            assert!((r - (1.0 - c.powf(2.0 - z) / (z - 1.0))).abs() < 1e-6, "C={c}: R={r}");
+        }
+    }
+
+    #[test]
+    fn pareto_ramp_gap_matches_derivation() {
+        // δ·k̄ = C^{2−z}·a(1−a^{z−2})/((1−a)(z−2)) — the formula the paper
+        // prints for the continuum adaptive case.
+        let (z, a) = (3.0, 0.5);
+        let m = ContinuumModel::new(ParetoDensity::new(z), Ramp::new(a));
+        for c in [4.0, 10.0] {
+            let delta = m.performance_gap(c).unwrap();
+            let want = c.powf(2.0 - z) * a * (1.0 - a.powf(z - 2.0))
+                / ((1.0 - a) * (z - 2.0))
+                / m.mean_load();
+            assert!((delta - want).abs() < 1e-7, "C={c}: δ={delta} vs {want}");
+        }
+    }
+
+    #[test]
+    fn bandwidth_gap_linear_for_pareto_rigid() {
+        // Δ(C) = C((z−1)^{1/(z−2)} − 1); z = 3 ⇒ Δ = C.
+        let m = ContinuumModel::new(ParetoDensity::new(3.0), Rigid::unit());
+        for c in [3.0, 8.0, 20.0] {
+            let d = m.bandwidth_gap(c).unwrap();
+            assert!((d - c).abs() < 0.02 * c, "C={c}: Δ={d}");
+        }
+    }
+
+    #[test]
+    fn k_max_is_capacity_for_rigid_and_ramp() {
+        let m = ContinuumModel::new(ParetoDensity::new(3.0), Rigid::unit());
+        let (k, v) = m.k_max(10.0).unwrap();
+        assert!((k - 10.0).abs() < 1e-3, "k_max {k}");
+        assert!((v - 10.0).abs() < 1e-3);
+        let m2 = ContinuumModel::new(ParetoDensity::new(3.0), Ramp::new(0.3));
+        let (k2, _) = m2.k_max(10.0).unwrap();
+        assert!((k2 - 10.0).abs() < 1e-3, "ramp k_max {k2}");
+    }
+
+    #[test]
+    fn blocking_fraction_closed_form_pareto() {
+        // With kmax = C: tail_mean(C) − C·ccdf(C) = k̄C^{2−z} − C^{2−z};
+        // dividing by k̄ = (z−1)/(z−2) gives θ = C^{2−z}/(z−1).
+        let z = 3.0;
+        let m = ContinuumModel::new(ParetoDensity::new(z), Rigid::unit());
+        for c in [2.0, 6.0] {
+            let theta = m.blocking_fraction(c);
+            let want = c.powf(2.0 - z) / (z - 1.0);
+            assert!((theta - want).abs() < 2e-3 * want, "C={c}: θ={theta} want={want}");
+        }
+    }
+
+    #[test]
+    fn r_dominates_b() {
+        let m = ContinuumModel::new(ExponentialDensity::from_mean(100.0), Ramp::new(0.5));
+        for c in [20.0, 100.0, 400.0] {
+            assert!(m.reservation(c).unwrap() >= m.best_effort(c).unwrap() - 1e-9);
+        }
+    }
+}

@@ -1,0 +1,25 @@
+//! The continuum variable-load model (paper §3.2).
+//!
+//! The paper pairs its discrete numerics with a continuum twin — load a
+//! continuous density, sums become integrals — because "these
+//! simplifications do not affect the asymptotic behavior of the quantities
+//! we examine" while making closed forms possible. This module follows the
+//! same two-track structure:
+//!
+//! * [`generic`] evaluates `B(C)`, `R(C)`, and the gaps for *any*
+//!   ([`bevra_load::ContinuumLoad`], [`bevra_utility::Utility`]) pair by
+//!   piecewise adaptive quadrature;
+//! * [`closed_exponential`] and [`closed_algebraic`] implement every closed
+//!   form derived in §3.3 and §4 (utilities, gaps, welfare optima, price
+//!   ratios).
+//!
+//! Tests and the `closed_vs_quad` integration suite assert the two tracks
+//! agree, so the paper's algebra is *checked*, not transcribed on faith.
+
+pub mod closed_algebraic;
+pub mod closed_exponential;
+pub mod generic;
+
+pub use closed_algebraic::AlgebraicClosed;
+pub use closed_exponential::{ExponentialRampClosed, ExponentialRigidClosed};
+pub use generic::ContinuumModel;

@@ -1,0 +1,254 @@
+//! The sampling extension (paper §5.1): utility driven by the worst of `S`
+//! independent load samples.
+//!
+//! The basic model evaluates a flow at a single load level. In reality the
+//! load fluctuates during a flow's lifetime, and a user's perceived quality
+//! tracks the *worst* episode more than the average. The extension draws
+//! `S` load levels independently from the flow-perspective distribution
+//! `Q(k) = k·P(k)/k̄` and evaluates `π` at the maximum:
+//!
+//! * **best-effort**: `B_S(C) = Σ_k Q_S(k)·π(C/k)` with `Q_S` the
+//!   distribution of the max of `S` draws from `Q`;
+//! * **reservations**: admission happens on the *first* sample — a flow
+//!   arriving at load `k` is admitted with probability `min(1, k_max/k)` —
+//!   and an admitted flow never experiences load above `k_max`, so its
+//!   subsequent samples are drawn from `Q` *clipped* at `k_max`.
+//!
+//! Reservations thus insure against load spikes: the clipping caps the max,
+//! which is why the §5.1 gaps grow with `S` while the asymptotic algebraic
+//! ratio becomes `(S(z−1))^{1/(z−2)}` — unbounded as `z → 2⁺`.
+
+use crate::discrete::DiscreteModel;
+use bevra_load::{flow_perspective, max_of_s, Tabulated};
+use bevra_num::{brent, expand_bracket_up, NeumaierSum, NumResult};
+use bevra_utility::Utility;
+
+/// The §5.1 sampling model wrapping a [`DiscreteModel`].
+pub struct SamplingModel<U: Utility> {
+    model: DiscreteModel<U>,
+    /// Flow-perspective load `Q`.
+    q: Tabulated,
+    /// Max-of-S of `Q` (cached; capacity-independent).
+    q_max_s: Tabulated,
+    /// Number of samples `S ≥ 1`.
+    s: u32,
+}
+
+impl<U: Utility> SamplingModel<U> {
+    /// Build from a base discrete model and a sample count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s == 0`.
+    pub fn new(model: DiscreteModel<U>, s: u32) -> Self {
+        assert!(s >= 1, "sampling extension requires S >= 1");
+        let q = flow_perspective(model.load());
+        let q_max_s = max_of_s(&q, s);
+        Self { model, q, q_max_s, s }
+    }
+
+    /// The underlying basic model.
+    pub fn base(&self) -> &DiscreteModel<U> {
+        &self.model
+    }
+
+    /// Number of samples `S`.
+    pub fn samples(&self) -> u32 {
+        self.s
+    }
+
+    /// Best-effort utility under sampling:
+    /// `B_S(C) = E[π(C / max(k₁…k_S))]`, `k_i ~ Q` iid.
+    pub fn best_effort(&self, capacity: f64) -> f64 {
+        if capacity <= 0.0 {
+            return 0.0;
+        }
+        let u = self.model.utility();
+        self.q_max_s.expect(|k| if k == 0 { 0.0 } else { u.value(capacity / k as f64) })
+    }
+
+    /// Reservation utility under sampling (see module docs for the
+    /// admission/clipping semantics). Reduces exactly to the basic `R(C)`
+    /// at `S = 1`.
+    pub fn reservation(&self, capacity: f64) -> f64 {
+        if capacity <= 0.0 {
+            return 0.0;
+        }
+        let Some(kmax) = self.model.k_max(capacity) else {
+            return self.best_effort(capacity);
+        };
+        if kmax == 0 {
+            return 0.0;
+        }
+        let u = self.model.utility();
+        let n = self.q.len() as u64;
+        let cap = kmax.min(n - 1);
+        // First-sample distribution conditioned on admission, clipped at
+        // k_max: weight Q(j) below the cap, plus Σ_{j≥cap} Q(j)·k_max/j at
+        // the cap. The total of these weights is the admission probability.
+        let mut first = vec![0.0f64; cap as usize + 1];
+        let mut admitted = NeumaierSum::new();
+        for (j, qj) in self.q.iter() {
+            if qj <= 0.0 {
+                continue;
+            }
+            if j < cap {
+                first[j as usize] += qj;
+                admitted.add(qj);
+            } else {
+                let w = qj * kmax as f64 / j as f64;
+                first[cap as usize] += w;
+                admitted.add(w);
+            }
+        }
+        let admitted = admitted.total();
+        if admitted <= 0.0 {
+            return 0.0;
+        }
+        // cdf of the first sample (unnormalized) and of one clipped sample.
+        let mut f1 = Vec::with_capacity(first.len());
+        let mut acc = 0.0;
+        for &w in &first {
+            acc += w;
+            f1.push(acc / admitted);
+        }
+        let fc = |m: u64| -> f64 {
+            if m >= cap {
+                1.0
+            } else {
+                self.q.cdf(m)
+            }
+        };
+        // Distribution of the effective maximum M = max(first, S−1 clipped
+        // draws): F(m) = F1(m)·Fc(m)^{S−1}; utility is E[π(C/M)].
+        let mut total = NeumaierSum::new();
+        let mut prev = 0.0;
+        for m in 0..=cap {
+            let cdf_m = f1[m as usize] * fc(m).powi(self.s as i32 - 1);
+            let pm = (cdf_m - prev).max(0.0);
+            prev = cdf_m;
+            if pm > 0.0 && m > 0 {
+                total.add(pm * u.value(capacity / m as f64));
+            }
+        }
+        admitted * total.total()
+    }
+
+    /// Performance gap `δ_S(C) = R_S(C) − B_S(C)`.
+    pub fn performance_gap(&self, capacity: f64) -> f64 {
+        (self.reservation(capacity) - self.best_effort(capacity)).max(0.0)
+    }
+
+    /// Bandwidth gap `Δ_S(C)`: solves `B_S(C + Δ) = R_S(C)`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates root-finder failures.
+    pub fn bandwidth_gap(&self, capacity: f64) -> NumResult<f64> {
+        let target = self.reservation(capacity);
+        if self.best_effort(capacity) + 1e-12 >= target {
+            return Ok(0.0);
+        }
+        let kbar = self.model.mean_load();
+        let f = |d: f64| self.best_effort(capacity + d) - target;
+        let br = expand_bracket_up(f, 0.0, 0.01 * kbar.max(1.0), 1e7 * kbar)?;
+        if br.lo == br.hi {
+            return Ok(br.lo);
+        }
+        brent(f, br.lo, br.hi, 1e-9 * kbar.max(1.0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bevra_load::{Geometric, Poisson, Tabulated};
+    use bevra_utility::{AdaptiveExp, Rigid};
+
+    fn model(mean: f64, u: impl Utility) -> DiscreteModel<impl Utility> {
+        let load = Tabulated::from_model(&Geometric::from_mean(mean), 1e-12, 1 << 20);
+        DiscreteModel::new(load, u)
+    }
+
+    #[test]
+    fn s_equals_one_reduces_to_basic_model() {
+        let m = model(50.0, AdaptiveExp::paper());
+        let basic_b: Vec<f64> = [25.0, 50.0, 100.0].iter().map(|&c| m.best_effort(c)).collect();
+        let basic_r: Vec<f64> = [25.0, 50.0, 100.0].iter().map(|&c| m.reservation(c)).collect();
+        let s1 = SamplingModel::new(m, 1);
+        for (i, &c) in [25.0, 50.0, 100.0].iter().enumerate() {
+            assert!((s1.best_effort(c) - basic_b[i]).abs() < 1e-10, "B at C={c}");
+            assert!((s1.reservation(c) - basic_r[i]).abs() < 1e-10, "R at C={c}");
+        }
+    }
+
+    #[test]
+    fn more_samples_hurt_best_effort_more() {
+        // The max over more samples is stochastically larger, so B_S
+        // decreases in S; R_S decreases much less (clipping at k_max).
+        let c = 100.0;
+        let mut prev_b = f64::INFINITY;
+        for s in [1u32, 2, 5, 10] {
+            let m = model(50.0, AdaptiveExp::paper());
+            let sm = SamplingModel::new(m, s);
+            let b = sm.best_effort(c);
+            assert!(b < prev_b + 1e-12, "S={s}");
+            prev_b = b;
+            assert!(sm.reservation(c) >= b - 1e-12);
+        }
+    }
+
+    #[test]
+    fn sampling_widens_the_gap() {
+        // §5.1's point: the performance gap grows with S.
+        let c = 75.0;
+        let gap1 = {
+            let sm = SamplingModel::new(model(50.0, AdaptiveExp::paper()), 1);
+            sm.performance_gap(c)
+        };
+        let gap10 = {
+            let sm = SamplingModel::new(model(50.0, AdaptiveExp::paper()), 10);
+            sm.performance_gap(c)
+        };
+        assert!(gap10 > 3.0 * gap1, "gap S=10 {gap10} vs S=1 {gap1}");
+    }
+
+    #[test]
+    fn reservation_clipping_caps_effective_load() {
+        // With rigid utility, an admitted flow always gets share
+        // C/k_max ≥ 1 ⇒ utility exactly 1, so R_S = admission probability
+        // — independent of S.
+        let c = 50.0;
+        let r2 = SamplingModel::new(model(50.0, Rigid::unit()), 2).reservation(c);
+        let r10 = SamplingModel::new(model(50.0, Rigid::unit()), 10).reservation(c);
+        assert!((r2 - r10).abs() < 1e-12, "{r2} vs {r10}");
+    }
+
+    #[test]
+    fn poisson_barely_affected_by_sampling() {
+        // §5.1: "multiple samplings has little effect on the Poisson case"
+        // — low variance means the max is close to the single draw.
+        let load = Tabulated::from_model(&Poisson::new(100.0), 1e-12, 1 << 20);
+        let m = DiscreteModel::new(load, AdaptiveExp::paper());
+        let c = 150.0;
+        let g1 = SamplingModel::new(
+            DiscreteModel::new(
+                Tabulated::from_model(&Poisson::new(100.0), 1e-12, 1 << 20),
+                AdaptiveExp::paper(),
+            ),
+            1,
+        )
+        .performance_gap(c);
+        let g5 = SamplingModel::new(m, 5).performance_gap(c);
+        assert!(g5 < g1 + 0.02, "Poisson gap S=5 {g5} vs S=1 {g1}");
+    }
+
+    #[test]
+    fn bandwidth_gap_roundtrip() {
+        let sm = SamplingModel::new(model(50.0, AdaptiveExp::paper()), 5);
+        let c = 75.0;
+        let d = sm.bandwidth_gap(c).unwrap();
+        assert!((sm.best_effort(c + d) - sm.reservation(c)).abs() < 1e-6);
+        assert!(d > 0.0);
+    }
+}

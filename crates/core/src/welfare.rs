@@ -1,0 +1,318 @@
+//! The variable-capacity (welfare) model — paper §4.
+//!
+//! A provider pays `p` per unit bandwidth and provisions
+//! `C(p) = argmax_C V(C) − pC`; the resulting welfare is
+//! `W(p) = V(C(p)) − p·C(p)`. Architectures are compared at equal *price*
+//! rather than equal capacity, recognizing that provisioning decisions
+//! respond to the architecture: the **equalizing price ratio**
+//! `γ(p) = p̂/p` with `W_R(p̂) = W_B(p)` measures how much more expensive
+//! reservation-capable bandwidth may be before best-effort becomes the more
+//! cost-effective architecture.
+
+use bevra_num::{brent, expand_bracket_up, golden_section_max, NumResult};
+
+/// Result of a welfare optimization: the provisioned capacity and the
+/// welfare it achieves.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WelfarePoint {
+    /// Optimal capacity `C(p)` (0 = don't build the network).
+    pub capacity: f64,
+    /// Optimal welfare `W(p) = V(C(p)) − p·C(p)` (≥ 0 by the option of
+    /// building nothing).
+    pub welfare: f64,
+}
+
+/// Maximize `V(C) − p·C` over `C ∈ [0, c_max]`.
+///
+/// `V` may be a step function (rigid utilities in the discrete model), so a
+/// pure golden-section search is unsafe. The strategy is: scan a dense grid
+/// (linear around `c_scale`, geometric beyond), then refine the best cell
+/// with golden-section. `c_scale` should be the natural capacity scale —
+/// the mean load `k̄` is a good choice.
+///
+/// # Errors
+///
+/// Propagates optimizer failures (practically unreachable: the grid always
+/// yields a candidate).
+pub fn optimal_welfare(
+    v: impl Fn(f64) -> f64,
+    price: f64,
+    c_scale: f64,
+    c_max: f64,
+) -> NumResult<WelfarePoint> {
+    assert!(price >= 0.0, "price must be nonnegative");
+    assert!(c_scale > 0.0 && c_max > 0.0, "capacity scales must be positive");
+    let w = |c: f64| v(c) - price * c;
+    // Candidate grid: 0, linear sweep to 4·c_scale, geometric to c_max.
+    let mut best = WelfarePoint { capacity: 0.0, welfare: w(0.0).max(0.0) };
+    let mut candidates: Vec<f64> = Vec::with_capacity(420);
+    let lin_step = c_scale / 50.0;
+    let mut c = lin_step;
+    while c <= 4.0 * c_scale {
+        candidates.push(c);
+        c += lin_step;
+    }
+    while c <= c_max {
+        candidates.push(c);
+        c *= 1.05;
+    }
+    let mut best_idx = None;
+    for (i, &c) in candidates.iter().enumerate() {
+        let wc = w(c);
+        if wc > best.welfare {
+            best = WelfarePoint { capacity: c, welfare: wc };
+            best_idx = Some(i);
+        }
+    }
+    // Refine within the neighboring grid cells.
+    if let Some(i) = best_idx {
+        let lo = if i == 0 { 0.0 } else { candidates[i - 1] };
+        let hi = if i + 1 < candidates.len() { candidates[i + 1] } else { c_max };
+        let m = golden_section_max(&w, lo, hi, 1e-9 * c_scale)?;
+        if m.value > best.welfare {
+            best = WelfarePoint { capacity: m.x, welfare: m.value };
+        }
+    }
+    // Never report negative welfare: building nothing yields exactly 0.
+    if best.welfare < 0.0 {
+        best = WelfarePoint { capacity: 0.0, welfare: 0.0 };
+    }
+    Ok(best)
+}
+
+/// Equalizing price ratio `γ(p)`: find `p̂ ≥ p` with
+/// `W_R(p̂) = target_welfare` (the best-effort welfare at price `p`) and
+/// return `p̂/p`.
+///
+/// `welfare_r` must be nonincreasing in its price argument (true for any
+/// optimal-welfare function by the envelope theorem).
+///
+/// # Errors
+///
+/// Propagates bracketing failures (e.g. `W_R` never falls to the target
+/// below the search cap — only possible for degenerate inputs).
+pub fn equalizing_price_ratio(
+    welfare_r: impl Fn(f64) -> f64,
+    target_welfare: f64,
+    price: f64,
+) -> NumResult<f64> {
+    assert!(price > 0.0, "price must be positive");
+    // f increases from W-advantage ≤ 0 at p̂ = p toward positive values.
+    let f = |ph: f64| target_welfare - welfare_r(ph);
+    if f(price) >= 0.0 {
+        // Reservation holds no advantage at this price.
+        return Ok(1.0);
+    }
+    let br = expand_bracket_up(f, price, 0.25 * price, 1e9 * price.max(1.0))?;
+    if br.lo == br.hi {
+        return Ok(br.lo / price);
+    }
+    let ph = brent(f, br.lo, br.hi, 1e-10 * price)?;
+    Ok(ph / price)
+}
+
+/// A total-utility curve `V(C)` precomputed on a capacity grid, with linear
+/// interpolation between grid points.
+///
+/// The `γ(p)` figures require nested optimization — a welfare maximization
+/// inside a price root-find inside a price sweep — and evaluating the
+/// discrete `V(C)` exactly at every probe is quadratically wasteful for
+/// megabyte-scale load tables. Sampling `V` once on a dense grid and
+/// interpolating makes the whole sweep linear in table size. `V` is
+/// nondecreasing and (piecewise) smooth, so the interpolation error is far
+/// below figure resolution for a ~1000-point grid.
+#[derive(Debug, Clone)]
+pub struct SampledValue {
+    cs: Vec<f64>,
+    vs: Vec<f64>,
+}
+
+impl SampledValue {
+    /// Sample `v` on a half-linear, half-geometric grid over `(0, c_max]`
+    /// with `n` points, anchored at the natural scale `c_scale`.
+    ///
+    /// # Panics
+    ///
+    /// Panics for `n < 16` or nonpositive scales.
+    pub fn build(v: impl Fn(f64) -> f64, c_scale: f64, c_max: f64, n: usize) -> Self {
+        assert!(n >= 16, "grid too coarse");
+        assert!(c_scale > 0.0 && c_max > c_scale, "bad capacity scales");
+        let mut cs = Vec::with_capacity(n + 1);
+        cs.push(0.0);
+        let n_lin = n / 2;
+        for i in 1..=n_lin {
+            cs.push(4.0 * c_scale * i as f64 / n_lin as f64);
+        }
+        let n_geo = n - n_lin;
+        let ratio = (c_max / (4.0 * c_scale)).powf(1.0 / n_geo as f64);
+        let mut c = 4.0 * c_scale;
+        for _ in 0..n_geo {
+            c *= ratio;
+            cs.push(c);
+        }
+        let vs = cs.iter().map(|&c| v(c)).collect();
+        Self { cs, vs }
+    }
+
+    /// Interpolated `V(C)` (clamped to the grid ends).
+    #[must_use]
+    pub fn value(&self, c: f64) -> f64 {
+        if c <= self.cs[0] {
+            return self.vs[0];
+        }
+        let last = self.cs.len() - 1;
+        if c >= self.cs[last] {
+            return self.vs[last];
+        }
+        let i = self.cs.partition_point(|&x| x <= c);
+        let (c0, c1) = (self.cs[i - 1], self.cs[i]);
+        let (v0, v1) = (self.vs[i - 1], self.vs[i]);
+        v0 + (v1 - v0) * (c - c0) / (c1 - c0)
+    }
+
+    /// Welfare maximum over the grid: `max_i V(C_i) − p·C_i` (plus the
+    /// build-nothing option).
+    #[must_use]
+    pub fn welfare(&self, price: f64) -> WelfarePoint {
+        let mut best = WelfarePoint { capacity: 0.0, welfare: 0.0 };
+        for (&c, &v) in self.cs.iter().zip(&self.vs) {
+            let w = v - price * c;
+            if w > best.welfare {
+                best = WelfarePoint { capacity: c, welfare: w };
+            }
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::discrete::DiscreteModel;
+    use bevra_load::{Poisson, Tabulated};
+    use bevra_utility::{AdaptiveExp, Rigid};
+
+    #[test]
+    fn sampled_value_tracks_function() {
+        let sv = SampledValue::build(|c: f64| c.sqrt(), 10.0, 1e4, 1000);
+        for c in [1.0, 25.0, 400.0, 9000.0] {
+            assert!((sv.value(c) - c.sqrt()).abs() < 0.05 * c.sqrt(), "c={c}");
+        }
+    }
+
+    #[test]
+    fn sampled_welfare_close_to_exact() {
+        // V = 2√C, p = 0.1 ⇒ W = 10 at C = 100.
+        let sv = SampledValue::build(|c: f64| 2.0 * c.sqrt(), 20.0, 1e5, 2000);
+        let wp = sv.welfare(0.1);
+        assert!((wp.welfare - 10.0).abs() < 0.05, "W = {}", wp.welfare);
+        assert!((wp.capacity - 100.0).abs() < 10.0);
+    }
+
+    #[test]
+    fn sampled_welfare_zero_price_takes_max() {
+        let sv = SampledValue::build(|c: f64| 1.0 - (-c).exp(), 1.0, 100.0, 100);
+        let wp = sv.welfare(0.0);
+        assert!(wp.welfare > 0.99);
+    }
+
+    #[test]
+    fn quadratic_value_function() {
+        // V(C) = 2√C: optimum at V' = 1/√C = p ⇒ C = 1/p², W = 1/p.
+        let p = 0.1;
+        let wp = optimal_welfare(|c: f64| 2.0 * c.sqrt(), p, 10.0, 1e6).unwrap();
+        assert!((wp.capacity - 100.0).abs() < 0.5, "C = {}", wp.capacity);
+        assert!((wp.welfare - 10.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn expensive_bandwidth_builds_nothing() {
+        let wp = optimal_welfare(|c: f64| 1.0 - (-c).exp(), 2.0, 1.0, 1e6).unwrap();
+        assert_eq!(wp.capacity, 0.0);
+        assert_eq!(wp.welfare, 0.0);
+    }
+
+    #[test]
+    fn step_value_function_lands_on_step() {
+        // V jumps by 1 at C = 10 and by 1 at C = 20; p = 0.05.
+        let v = |c: f64| {
+            let mut t = 0.0;
+            if c >= 10.0 {
+                t += 1.0;
+            }
+            if c >= 20.0 {
+                t += 1.0;
+            }
+            t
+        };
+        let wp = optimal_welfare(v, 0.05, 10.0, 1e4).unwrap();
+        assert!((wp.capacity - 20.0).abs() < 0.2, "C = {}", wp.capacity);
+        assert!((wp.welfare - 1.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn discrete_model_welfare_ordered() {
+        let load = Tabulated::from_model(&Poisson::new(50.0), 1e-12, 1 << 20);
+        let m = DiscreteModel::new(load, Rigid::unit());
+        let p = 0.2;
+        let wb = optimal_welfare(|c| m.total_best_effort(c), p, 50.0, 5e4).unwrap();
+        let wr = optimal_welfare(|c| m.total_reservation(c), p, 50.0, 5e4).unwrap();
+        assert!(wr.welfare >= wb.welfare, "W_R {} < W_B {}", wr.welfare, wb.welfare);
+        assert!(wb.capacity > 0.0 && wr.capacity > 0.0);
+    }
+
+    #[test]
+    fn gamma_one_when_no_advantage() {
+        let g = equalizing_price_ratio(|p| 1.0 - p, 1.0 - 0.3, 0.3).unwrap();
+        assert_eq!(g, 1.0);
+    }
+
+    #[test]
+    fn gamma_solves_the_equation() {
+        // W_R(p) = 1/p (toy). Target welfare 2 at price 0.1: p̂ = 0.5, γ = 5.
+        let g = equalizing_price_ratio(|p| 1.0 / p, 2.0, 0.1).unwrap();
+        assert!((g - 5.0).abs() < 1e-6, "γ = {g}");
+    }
+
+    #[test]
+    fn poisson_rigid_gamma_in_paper_band() {
+        // §4: for Poisson loads and rigid applications γ(p) sits between
+        // ~1.1 and ~1.2 over most of the price range.
+        let load = Tabulated::from_model(&Poisson::new(100.0), 1e-12, 1 << 20);
+        let m = DiscreteModel::new(load, Rigid::unit());
+        let p = 0.3;
+        let wb = optimal_welfare(|c| m.total_best_effort(c), p, 100.0, 1e5).unwrap();
+        let g = equalizing_price_ratio(
+            |ph| {
+                optimal_welfare(|c| m.total_reservation(c), ph, 100.0, 1e5)
+                    .map(|w| w.welfare)
+                    .unwrap_or(0.0)
+            },
+            wb.welfare,
+            p,
+        )
+        .unwrap();
+        assert!(g > 1.03 && g < 1.35, "γ = {g}");
+    }
+
+    #[test]
+    fn poisson_adaptive_gamma_near_one() {
+        // §4: with adaptive applications the Poisson γ(p) is effectively 1
+        // for all but the highest prices.
+        let load = Tabulated::from_model(&Poisson::new(100.0), 1e-12, 1 << 20);
+        let m = DiscreteModel::new(load, AdaptiveExp::paper());
+        let p = 0.05;
+        let wb = optimal_welfare(|c| m.total_best_effort(c), p, 100.0, 1e5).unwrap();
+        let g = equalizing_price_ratio(
+            |ph| {
+                optimal_welfare(|c| m.total_reservation(c), ph, 100.0, 1e5)
+                    .map(|w| w.welfare)
+                    .unwrap_or(0.0)
+            },
+            wb.welfare,
+            p,
+        )
+        .unwrap();
+        assert!(g < 1.02, "γ = {g}");
+    }
+}

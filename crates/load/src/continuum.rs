@@ -1,0 +1,207 @@
+//! Continuous load densities for the continuum model (paper §3.2).
+
+/// A continuous offered-load density `P(k)` on `[support_lo, ∞)`.
+///
+/// The paper's continuum model trades the discrete distribution for a
+/// density so the utilities integrate in closed form; only the exponential
+/// and algebraic families are used ("as they are most easily computable").
+pub trait ContinuumLoad: Send + Sync {
+    /// Density at load level `k`.
+    fn density(&self, k: f64) -> f64;
+
+    /// Mean `∫ k·P(k) dk`.
+    fn mean(&self) -> f64;
+
+    /// Lower edge of the support (0 for exponential, 1 for algebraic).
+    fn support_lo(&self) -> f64 {
+        0.0
+    }
+
+    /// `P[K > k]` — complementary cdf, available in closed form for both
+    /// families and used by the generic continuum evaluator to avoid
+    /// integrating tails numerically.
+    fn ccdf(&self, k: f64) -> f64;
+
+    /// Partial mean `∫_k^∞ x·P(x) dx`, also closed-form for both families.
+    fn tail_mean(&self, k: f64) -> f64;
+
+    /// Short stable name for reports.
+    fn name(&self) -> &'static str;
+}
+
+/// Exponential continuum load `P(k) = β e^{−βk}`, `k ≥ 0`; mean `1/β`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ExponentialDensity {
+    /// Decay rate β > 0.
+    pub beta: f64,
+}
+
+impl ExponentialDensity {
+    /// Exponential density with rate `beta`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `beta` is positive and finite.
+    #[must_use]
+    pub fn new(beta: f64) -> Self {
+        assert!(beta > 0.0 && beta.is_finite(), "beta must be positive and finite");
+        Self { beta }
+    }
+
+    /// Calibrate from a target mean: `β = 1/k̄`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `mean` is positive and finite.
+    #[must_use]
+    pub fn from_mean(mean: f64) -> Self {
+        assert!(mean > 0.0 && mean.is_finite(), "mean must be positive and finite");
+        Self::new(1.0 / mean)
+    }
+}
+
+impl ContinuumLoad for ExponentialDensity {
+    fn density(&self, k: f64) -> f64 {
+        if k < 0.0 {
+            0.0
+        } else {
+            self.beta * (-self.beta * k).exp()
+        }
+    }
+
+    fn mean(&self) -> f64 {
+        1.0 / self.beta
+    }
+
+    fn ccdf(&self, k: f64) -> f64 {
+        if k <= 0.0 {
+            1.0
+        } else {
+            (-self.beta * k).exp()
+        }
+    }
+
+    fn tail_mean(&self, k: f64) -> f64 {
+        // ∫_k^∞ x β e^{−βx} dx = e^{−βk}(k + 1/β).
+        let k = k.max(0.0);
+        (-self.beta * k).exp() * (k + 1.0 / self.beta)
+    }
+
+    fn name(&self) -> &'static str {
+        "exponential-continuum"
+    }
+}
+
+/// Algebraic continuum load `P(k) = (z−1)·k^{−z}`, `k ≥ 1` (a Pareto
+/// density); mean `(z−1)/(z−2)`, finite only for `z > 2`.
+///
+/// Note the continuum algebraic family has **no** mean-tuning parameter —
+/// the paper's own simplification ("to make the algebraic distribution more
+/// tractable"). Its mean is locked to `(z−1)/(z−2)`, so continuum results
+/// are compared to discrete ones in normalized units `C/k̄` rather than
+/// absolute capacities.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ParetoDensity {
+    /// Tail exponent z > 2.
+    pub z: f64,
+}
+
+impl ParetoDensity {
+    /// Pareto density with exponent `z`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `z > 2` (mean must exist, as the paper requires).
+    #[must_use]
+    pub fn new(z: f64) -> Self {
+        assert!(z > 2.0, "continuum algebraic load requires z > 2");
+        Self { z }
+    }
+}
+
+impl ContinuumLoad for ParetoDensity {
+    fn density(&self, k: f64) -> f64 {
+        if k < 1.0 {
+            0.0
+        } else {
+            (self.z - 1.0) * k.powf(-self.z)
+        }
+    }
+
+    fn mean(&self) -> f64 {
+        (self.z - 1.0) / (self.z - 2.0)
+    }
+
+    fn support_lo(&self) -> f64 {
+        1.0
+    }
+
+    fn ccdf(&self, k: f64) -> f64 {
+        if k <= 1.0 {
+            1.0
+        } else {
+            k.powf(1.0 - self.z)
+        }
+    }
+
+    fn tail_mean(&self, k: f64) -> f64 {
+        // ∫_k^∞ x (z−1) x^{−z} dx = (z−1)/(z−2) · k^{2−z}.
+        let k = k.max(1.0);
+        (self.z - 1.0) / (self.z - 2.0) * k.powf(2.0 - self.z)
+    }
+
+    fn name(&self) -> &'static str {
+        "algebraic-continuum"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bevra_num::integrate_to_inf;
+
+    #[test]
+    fn exponential_density_normalizes() {
+        let d = ExponentialDensity::from_mean(100.0);
+        let mass = integrate_to_inf(|k| d.density(k), 0.0, 1e-11).unwrap();
+        assert!((mass - 1.0).abs() < 1e-8);
+        let mean = integrate_to_inf(|k| k * d.density(k), 0.0, 1e-11).unwrap();
+        assert!((mean - 100.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn exponential_closed_tails_match_quadrature() {
+        let d = ExponentialDensity::new(0.01);
+        for k in [0.0, 50.0, 200.0] {
+            let ccdf_q = integrate_to_inf(|x| d.density(x), k, 1e-11).unwrap();
+            assert!((d.ccdf(k) - ccdf_q).abs() < 1e-7, "k={k}");
+            let tm_q = integrate_to_inf(|x| x * d.density(x), k, 1e-11).unwrap();
+            assert!((d.tail_mean(k) - tm_q).abs() < 1e-4 * d.tail_mean(k).max(1.0), "k={k}");
+        }
+    }
+
+    #[test]
+    fn pareto_density_normalizes() {
+        let d = ParetoDensity::new(3.0);
+        let mass = integrate_to_inf(|k| d.density(k), 1.0, 1e-11).unwrap();
+        assert!((mass - 1.0).abs() < 1e-8);
+        assert!((d.mean() - 2.0).abs() < 1e-14);
+    }
+
+    #[test]
+    fn pareto_closed_tails_match_quadrature() {
+        let d = ParetoDensity::new(2.5);
+        for k in [1.0, 3.0, 10.0] {
+            let ccdf_q = integrate_to_inf(|x| d.density(x), k, 1e-11).unwrap();
+            assert!((d.ccdf(k) - ccdf_q).abs() < 1e-7, "k={k}");
+            let tm_q = integrate_to_inf(|x| x * d.density(x), k, 1e-11).unwrap();
+            assert!((d.tail_mean(k) - tm_q).abs() < 1e-6 * d.tail_mean(k), "k={k}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "z > 2")]
+    fn pareto_rejects_infinite_mean() {
+        let _ = ParetoDensity::new(2.0);
+    }
+}

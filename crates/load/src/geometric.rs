@@ -1,0 +1,122 @@
+//! Exponential ("geometric") offered load (paper §3.1).
+
+use crate::traits::LoadModel;
+
+/// The paper's exponential load: `P(k) = (1 − e^{−β}) e^{−βk}`, `k ≥ 0` —
+/// a geometric distribution in disguise.
+///
+/// "Load not peaked around the average but decaying over the whole range at
+/// an exponential rate." Mean `k̄ = 1/(e^β − 1)`, so `β = ln(1 + 1/k̄)`;
+/// the paper's `k̄ = 100` gives β ≈ 0.00995.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Geometric {
+    /// Decay rate β > 0.
+    pub beta: f64,
+}
+
+impl Geometric {
+    /// Exponential load with decay rate `beta`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `beta` is positive and finite.
+    #[must_use]
+    pub fn new(beta: f64) -> Self {
+        assert!(beta > 0.0 && beta.is_finite(), "beta must be positive and finite");
+        Self { beta }
+    }
+
+    /// Calibrate β from a target mean: `β = ln(1 + 1/k̄)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `mean` is positive and finite.
+    #[must_use]
+    pub fn from_mean(mean: f64) -> Self {
+        assert!(mean > 0.0 && mean.is_finite(), "mean must be positive and finite");
+        Self::new((1.0f64 / mean).ln_1p())
+    }
+
+    /// Normalization constant `1 − e^{−β}`.
+    #[must_use]
+    fn norm(&self) -> f64 {
+        -(-self.beta).exp_m1()
+    }
+}
+
+impl LoadModel for Geometric {
+    fn pmf(&self, k: u64) -> f64 {
+        self.norm() * (-self.beta * k as f64).exp()
+    }
+
+    fn mean(&self) -> f64 {
+        // 1/(e^β − 1), computed stably for small β.
+        1.0 / self.beta.exp_m1()
+    }
+
+    fn truncation_index(&self, tol: f64) -> u64 {
+        // Exact geometric tails: mass beyond K is e^{−β(K+1)} and mean
+        // beyond K is e^{−β(K+1)}·(K+1 + e^{−β}/(1−e^{−β})). Solve the mean
+        // bound (the binding one) by a short upward scan from the mass-only
+        // closed form.
+        let budget = tol * self.mean().max(1.0);
+        let mut k = ((-(budget.ln()) / self.beta).ceil().max(1.0)) as u64;
+        loop {
+            let tail_mass = (-self.beta * (k as f64 + 1.0)).exp();
+            let tail_mean = tail_mass * (k as f64 + 1.0 + 1.0 / self.beta.exp_m1());
+            if tail_mean <= budget {
+                return k;
+            }
+            k += 1 + k / 8;
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "exponential"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_calibration_beta() {
+        // k̄ = 100 ⇒ β = ln(1.01) ≈ 0.00995.
+        let g = Geometric::from_mean(100.0);
+        assert!((g.beta - 1.01f64.ln()).abs() < 1e-15);
+        assert!((g.mean() - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mass_and_mean_sum_correctly() {
+        let g = Geometric::from_mean(100.0);
+        let k_hi = g.truncation_index(1e-12);
+        let mut mass = 0.0;
+        let mut mean = 0.0;
+        for k in 0..=k_hi {
+            let q = g.pmf(k);
+            mass += q;
+            mean += k as f64 * q;
+        }
+        assert!((mass - 1.0).abs() < 1e-10, "mass {mass}");
+        assert!((mean - 100.0).abs() < 1e-7, "mean {mean}");
+    }
+
+    #[test]
+    fn pmf_ratio_is_constant() {
+        let g = Geometric::new(0.01);
+        let r0 = g.pmf(1) / g.pmf(0);
+        let r1 = g.pmf(57) / g.pmf(56);
+        assert!((r0 - r1).abs() < 1e-15);
+        assert!((r0 - (-0.01f64).exp()).abs() < 1e-15);
+    }
+
+    #[test]
+    fn truncation_honest_for_loose_tolerance() {
+        let g = Geometric::from_mean(10.0);
+        let k_hi = g.truncation_index(1e-6);
+        let tail_mean: f64 = (k_hi + 1..k_hi + 10_000).map(|k| k as f64 * g.pmf(k)).sum();
+        assert!(tail_mean <= 1e-6 * 10.0, "tail mean {tail_mean}");
+    }
+}

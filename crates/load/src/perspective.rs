@@ -1,0 +1,74 @@
+//! The flow-perspective (size-biased) view of a load distribution.
+
+use crate::tabulated::Tabulated;
+
+/// Transform a load distribution `P(k)` (the *link's* view: how many flows
+/// are present) into the flow-perspective distribution
+/// `Q(k) = k·P(k)/k̄` (a *flow's* view: how many flows share the link with
+/// me, myself included).
+///
+/// This is the size-biased transform the paper uses implicitly throughout:
+/// the normalized best-effort utility can be written either as
+/// `B(C) = (1/k̄)·Σ P(k)·k·π(C/k)` or equivalently as
+/// `B(C) = Σ Q(k)·π(C/k)`, and the sampling extension of §5.1 draws its
+/// `S` samples from `Q` explicitly.
+///
+/// The result never has mass at `k = 0` (a flow always sees at least
+/// itself).
+///
+/// # Panics
+///
+/// Panics if the input has zero mean (all mass at `k = 0`).
+#[must_use]
+pub fn flow_perspective(p: &Tabulated) -> Tabulated {
+    assert!(p.mean() > 0.0, "flow perspective undefined for zero-mean load");
+    let weights: Vec<f64> = p.iter().map(|(k, pk)| k as f64 * pk).collect();
+    Tabulated::from_weights(weights)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::poisson::Poisson;
+    use crate::traits::LoadModel;
+
+    #[test]
+    fn no_mass_at_zero() {
+        let p = Tabulated::from_model(&Poisson::new(5.0), 1e-12, 1 << 16);
+        let q = flow_perspective(&p);
+        assert_eq!(q.pmf(0), 0.0);
+    }
+
+    #[test]
+    fn size_biased_poisson_is_shifted_poisson() {
+        // For Poisson(ν): Q(k) = k e^{−ν} ν^k / (k! ν) = P(k−1), i.e. the
+        // flow-perspective load is 1 + Poisson(ν).
+        let nu = 30.0;
+        let p = Tabulated::from_model(&Poisson::new(nu), 1e-13, 1 << 16);
+        let q = flow_perspective(&p);
+        let ideal = Poisson::new(nu);
+        for k in 1..60u64 {
+            let want = ideal.pmf(k - 1);
+            assert!((q.pmf(k) - want).abs() < 1e-10, "k={k}: {} vs {want}", q.pmf(k));
+        }
+        assert!((q.mean() - (nu + 1.0)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn identities_between_views() {
+        // E_Q[f(k)] = E_P[k f(k)] / k̄ for any f.
+        let p = Tabulated::from_model(&Poisson::new(12.0), 1e-13, 1 << 16);
+        let q = flow_perspective(&p);
+        let f = |k: u64| 1.0 / (1.0 + k as f64);
+        let lhs = q.expect(f);
+        let rhs = p.expect(|k| k as f64 * f(k)) / p.mean();
+        assert!((lhs - rhs).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero-mean")]
+    fn zero_mean_rejected() {
+        let degenerate = Tabulated::from_weights(vec![1.0]);
+        let _ = flow_perspective(&degenerate);
+    }
+}

@@ -1,0 +1,113 @@
+//! Poisson offered load (paper §3.1).
+
+use crate::traits::LoadModel;
+use bevra_num::ln_gamma;
+
+/// Poisson load: `P(k) = e^{−ν} ν^k / k!`.
+///
+/// The paper motivates it as "load fairly tightly controlled within a region
+/// around the average, excursions to large loads extremely rare" — the
+/// stationary occupancy of Poisson arrivals with independent departures
+/// (an M/G/∞ system). Mean and variance are both `ν`, so at `k̄ = 100`
+/// the load rarely strays more than ±30 from the mean; this is the most
+/// best-effort-friendly of the paper's three families.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Poisson {
+    /// Rate parameter ν (also the mean).
+    pub nu: f64,
+}
+
+impl Poisson {
+    /// Poisson load with mean `nu`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `nu` is positive and finite.
+    #[must_use]
+    pub fn new(nu: f64) -> Self {
+        assert!(nu > 0.0 && nu.is_finite(), "Poisson mean must be positive and finite");
+        Self { nu }
+    }
+
+    /// Construct from a target mean (identical to [`Poisson::new`], present
+    /// for API symmetry with the other load families).
+    #[must_use]
+    pub fn from_mean(mean: f64) -> Self {
+        Self::new(mean)
+    }
+}
+
+impl LoadModel for Poisson {
+    fn pmf(&self, k: u64) -> f64 {
+        let kf = k as f64;
+        // exp(k lnν − ν − lnΓ(k+1)) is stable for all k and ν.
+        (kf * self.nu.ln() - self.nu - ln_gamma(kf + 1.0)).exp()
+    }
+
+    fn mean(&self) -> f64 {
+        self.nu
+    }
+
+    fn truncation_index(&self, tol: f64) -> u64 {
+        // Beyond K ≥ 2ν the term ratio P(k+1)/P(k) = ν/(k+1) ≤ 1/2, so
+        // tail mass ≤ 2·P(K+1) and tail mean ≤ 2·P(K+1)·(K+3).
+        let budget = tol * self.nu.max(1.0);
+        let mut k = (2.0 * self.nu).ceil() as u64 + 2;
+        loop {
+            let bound = 2.0 * self.pmf(k + 1) * (k as f64 + 3.0);
+            if bound <= budget {
+                return k;
+            }
+            k += 1 + k / 16;
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "poisson"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pmf_matches_direct_formula_small_k() {
+        let p = Poisson::new(3.0);
+        // P(0) = e^{-3}, P(1) = 3e^{-3}, P(2) = 4.5e^{-3}.
+        assert!((p.pmf(0) - (-3.0f64).exp()).abs() < 1e-15);
+        assert!((p.pmf(1) - 3.0 * (-3.0f64).exp()).abs() < 1e-15);
+        assert!((p.pmf(2) - 4.5 * (-3.0f64).exp()).abs() < 1e-14);
+    }
+
+    #[test]
+    fn mass_and_mean_sum_correctly() {
+        let p = Poisson::new(100.0);
+        let k_hi = p.truncation_index(1e-13);
+        let mut mass = 0.0;
+        let mut mean = 0.0;
+        for k in 0..=k_hi {
+            let q = p.pmf(k);
+            mass += q;
+            mean += k as f64 * q;
+        }
+        assert!((mass - 1.0).abs() < 1e-10, "mass {mass}");
+        assert!((mean - 100.0).abs() < 1e-7, "mean {mean}");
+    }
+
+    #[test]
+    fn truncation_bound_is_honest() {
+        let p = Poisson::new(50.0);
+        let k_hi = p.truncation_index(1e-10);
+        // Directly sum a long stretch of the tail and check it is tiny.
+        let tail_mean: f64 = (k_hi + 1..k_hi + 500).map(|k| k as f64 * p.pmf(k)).sum();
+        assert!(tail_mean < 1e-10 * 50.0, "tail mean {tail_mean}");
+    }
+
+    #[test]
+    fn large_k_does_not_overflow() {
+        let p = Poisson::new(100.0);
+        assert_eq!(p.pmf(100_000), 0.0); // underflows cleanly, not NaN
+        assert!(p.pmf(100_000).is_finite());
+    }
+}

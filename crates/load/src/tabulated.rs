@@ -1,0 +1,321 @@
+//! Finite tabulated distributions — the working representation for all
+//! discrete-model computations.
+
+use crate::traits::LoadModel;
+use bevra_num::{first_true_u64, NeumaierSum};
+
+/// An exact finite probability distribution on `{0, 1, …, len−1}` obtained
+/// by truncating and renormalizing an ideal [`LoadModel`].
+///
+/// Design: ideal distributions stay analytic; everything numerical operates
+/// on a `Tabulated`. Truncation is *explicit and recorded* — the dropped
+/// ideal-tail mass and mean are stored so reports can state the
+/// approximation error instead of silently pretending it is zero. After
+/// renormalization the table is a genuine distribution (mass exactly 1 up to
+/// compensated-summation accuracy), so identities like `B(C) ≤ R(C) ≤ 1`
+/// hold exactly within the truncated model.
+#[derive(Debug, Clone)]
+pub struct Tabulated {
+    /// `pmf[k]` = probability of load `k` (renormalized).
+    pmf: Vec<f64>,
+    /// `cdf[k]` = `Σ_{j≤k} pmf[j]` (ends at exactly 1.0).
+    cdf: Vec<f64>,
+    /// `cum1[k]` = `Σ_{j≤k} j·pmf[j]` — cached first-moment prefix sums, so
+    /// overload/blocking terms of the analysis are O(1) per capacity.
+    cum1: Vec<f64>,
+    /// Mean of the tabulated distribution.
+    mean: f64,
+    /// Ideal-model tail mass dropped at truncation (before renormalizing).
+    tail_mass_dropped: f64,
+    /// Ideal-model tail mean dropped at truncation.
+    tail_mean_dropped: f64,
+    /// Name inherited from the source model.
+    name: &'static str,
+}
+
+impl Tabulated {
+    /// Tabulate `model` to tolerance `tol`, capping the table at `max_len`
+    /// entries.
+    ///
+    /// If the model's certified truncation index exceeds `max_len` (heavy
+    /// tails), the table is cut at `max_len` and the recorded drop bounds
+    /// reflect the larger truncation error.
+    #[must_use]
+    pub fn from_model(model: &dyn LoadModel, tol: f64, max_len: usize) -> Self {
+        let k_hi = model.truncation_index(tol).min(max_len.saturating_sub(1) as u64);
+        let mut pmf = Vec::with_capacity(k_hi as usize + 1);
+        let mut mass = NeumaierSum::new();
+        let mut mean = NeumaierSum::new();
+        for k in 0..=k_hi {
+            let p = model.pmf(k);
+            pmf.push(p);
+            mass.add(p);
+            mean.add(k as f64 * p);
+        }
+        let mass = mass.total();
+        let tail_mass_dropped = (1.0 - mass).max(0.0);
+        let tail_mean_dropped = (model.mean() - mean.total()).max(0.0);
+        Self::from_weights_named(pmf, model.name(), tail_mass_dropped, tail_mean_dropped)
+    }
+
+    /// Build directly from (possibly unnormalized) nonnegative weights.
+    /// Used for derived distributions (flow perspective, order statistics,
+    /// clipping) and for empirical occupancy censuses from the simulator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the weights are empty, contain negatives/NaN, or sum to 0.
+    #[must_use]
+    pub fn from_weights(weights: Vec<f64>) -> Self {
+        Self::from_weights_named(weights, "tabulated", 0.0, 0.0)
+    }
+
+    fn from_weights_named(
+        mut weights: Vec<f64>,
+        name: &'static str,
+        tail_mass_dropped: f64,
+        tail_mean_dropped: f64,
+    ) -> Self {
+        assert!(!weights.is_empty(), "tabulated distribution needs at least one weight");
+        let mut mass = NeumaierSum::new();
+        for &w in &weights {
+            assert!(w >= 0.0 && w.is_finite(), "weights must be finite and nonnegative");
+            mass.add(w);
+        }
+        let total = mass.total();
+        assert!(total > 0.0, "weights must not all be zero");
+        let inv = 1.0 / total;
+        let mut cdf = Vec::with_capacity(weights.len());
+        let mut cum1 = Vec::with_capacity(weights.len());
+        let mut acc = NeumaierSum::new();
+        let mut mean = NeumaierSum::new();
+        for (k, w) in weights.iter_mut().enumerate() {
+            *w *= inv;
+            acc.add(*w);
+            mean.add(k as f64 * *w);
+            cdf.push(acc.total().min(1.0));
+            cum1.push(mean.total());
+        }
+        // Pin the final cdf entry to exactly 1 so quantile lookups never
+        // fall off the end.
+        if let Some(last) = cdf.last_mut() {
+            *last = 1.0;
+        }
+        Self {
+            pmf: weights,
+            cdf,
+            cum1,
+            mean: mean.total(),
+            tail_mass_dropped,
+            tail_mean_dropped,
+            name,
+        }
+    }
+
+    /// Probability of load `k` (zero beyond the table).
+    #[must_use]
+    pub fn pmf(&self, k: u64) -> f64 {
+        self.pmf.get(k as usize).copied().unwrap_or(0.0)
+    }
+
+    /// `P[K ≤ k]`, exactly 1 at and beyond the table end.
+    #[must_use]
+    pub fn cdf(&self, k: u64) -> f64 {
+        if self.cdf.is_empty() {
+            return 1.0;
+        }
+        let idx = (k as usize).min(self.cdf.len() - 1);
+        if k as usize >= self.cdf.len() {
+            1.0
+        } else {
+            self.cdf[idx]
+        }
+    }
+
+    /// Mean of the tabulated distribution.
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Partial first moment `Σ_{j≤k} j·pmf(j)`, O(1) via cached prefix sums.
+    #[must_use]
+    pub fn partial_mean(&self, k: u64) -> f64 {
+        if self.cum1.is_empty() {
+            return 0.0;
+        }
+        let idx = (k as usize).min(self.cum1.len() - 1);
+        self.cum1[idx]
+    }
+
+    /// Tail first moment `Σ_{j>k} j·pmf(j) = mean − partial_mean(k)`.
+    #[must_use]
+    pub fn tail_mean_above(&self, k: u64) -> f64 {
+        (self.mean - self.partial_mean(k)).max(0.0)
+    }
+
+    /// Tail mass `Σ_{j>k} pmf(j) = 1 − cdf(k)`.
+    #[must_use]
+    pub fn tail_mass_above(&self, k: u64) -> f64 {
+        (1.0 - self.cdf(k)).max(0.0)
+    }
+
+    /// Number of table entries (support is `{0, …, len−1}`).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.pmf.len()
+    }
+
+    /// True iff the table is empty (cannot happen via constructors; present
+    /// for API completeness).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.pmf.is_empty()
+    }
+
+    /// The `q`-quantile: smallest `k` with `cdf(k) ≥ q`.
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> u64 {
+        let q = q.clamp(0.0, 1.0);
+        first_true_u64(|k| self.cdf(k) >= q, 0, self.len() as u64 - 1).unwrap_or(0)
+    }
+
+    /// Variance of the tabulated distribution.
+    #[must_use]
+    pub fn variance(&self) -> f64 {
+        let m = self.mean;
+        self.pmf
+            .iter()
+            .enumerate()
+            .map(|(k, &p)| {
+                let d = k as f64 - m;
+                p * d * d
+            })
+            .collect::<NeumaierSum>()
+            .total()
+    }
+
+    /// Ideal-model tail mass dropped at truncation (0 for exact tables).
+    #[must_use]
+    pub fn tail_mass_dropped(&self) -> f64 {
+        self.tail_mass_dropped
+    }
+
+    /// Ideal-model tail mean dropped at truncation.
+    #[must_use]
+    pub fn tail_mean_dropped(&self) -> f64 {
+        self.tail_mean_dropped
+    }
+
+    /// Name inherited from the source model.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Iterate `(k, pmf(k))` over the support.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, f64)> + '_ {
+        self.pmf.iter().enumerate().map(|(k, &p)| (k as u64, p))
+    }
+
+    /// Expectation `Σ_k pmf(k)·f(k)` with compensated summation.
+    #[must_use]
+    pub fn expect(&self, mut f: impl FnMut(u64) -> f64) -> f64 {
+        let mut acc = NeumaierSum::new();
+        for (k, p) in self.iter() {
+            if p > 0.0 {
+                acc.add(p * f(k));
+            }
+        }
+        acc.total()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geometric::Geometric;
+    use crate::poisson::Poisson;
+
+    #[test]
+    fn tabulated_poisson_is_normalized() {
+        let t = Tabulated::from_model(&Poisson::new(100.0), 1e-12, 1 << 20);
+        let mass: f64 = t.iter().map(|(_, p)| p).sum();
+        assert!((mass - 1.0).abs() < 1e-12);
+        assert!((t.mean() - 100.0).abs() < 1e-6);
+        assert!(t.tail_mass_dropped() < 1e-10);
+    }
+
+    #[test]
+    fn cdf_monotone_and_ends_at_one() {
+        let t = Tabulated::from_model(&Geometric::from_mean(10.0), 1e-10, 1 << 20);
+        let mut prev = 0.0;
+        for k in 0..t.len() as u64 {
+            let c = t.cdf(k);
+            assert!(c >= prev);
+            prev = c;
+        }
+        assert_eq!(t.cdf(t.len() as u64 + 100), 1.0);
+        assert_eq!(t.cdf(t.len() as u64 - 1), 1.0);
+    }
+
+    #[test]
+    fn quantiles_bracket_mean() {
+        let t = Tabulated::from_model(&Poisson::new(100.0), 1e-12, 1 << 20);
+        assert!(t.quantile(0.5) >= 95 && t.quantile(0.5) <= 105);
+        assert!(t.quantile(0.999) > t.quantile(0.5));
+        assert_eq!(t.quantile(0.0), 0);
+    }
+
+    #[test]
+    fn variance_of_poisson_equals_mean() {
+        let t = Tabulated::from_model(&Poisson::new(50.0), 1e-13, 1 << 20);
+        assert!((t.variance() - 50.0).abs() < 1e-5, "var {}", t.variance());
+    }
+
+    #[test]
+    fn from_weights_renormalizes() {
+        let t = Tabulated::from_weights(vec![2.0, 2.0, 4.0]);
+        assert!((t.pmf(0) - 0.25).abs() < 1e-15);
+        assert!((t.pmf(2) - 0.5).abs() < 1e-15);
+        assert!((t.mean() - 1.25).abs() < 1e-15);
+    }
+
+    #[test]
+    fn capped_table_records_dropped_tail() {
+        // Cap a geometric table well below its natural truncation point.
+        let g = Geometric::from_mean(100.0);
+        let t = Tabulated::from_model(&g, 1e-12, 200);
+        assert!(t.len() == 200);
+        assert!(t.tail_mass_dropped() > 1e-3, "dropped {}", t.tail_mass_dropped());
+        assert!(t.tail_mean_dropped() > 0.0);
+        // Still a genuine distribution after renormalization.
+        let mass: f64 = t.iter().map(|(_, p)| p).sum();
+        assert!((mass - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn expect_matches_mean() {
+        let t = Tabulated::from_model(&Poisson::new(20.0), 1e-12, 1 << 20);
+        let m = t.expect(|k| k as f64);
+        assert!((m - t.mean()).abs() < 1e-10);
+    }
+
+    #[test]
+    #[should_panic(expected = "weights must not all be zero")]
+    fn all_zero_weights_rejected() {
+        let _ = Tabulated::from_weights(vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn partial_and_tail_moments_are_consistent() {
+        let t = Tabulated::from_model(&Poisson::new(30.0), 1e-13, 1 << 20);
+        for k in [0u64, 10, 30, 60, 10_000] {
+            let direct: f64 = t.iter().take_while(|&(j, _)| j <= k).map(|(j, p)| j as f64 * p).sum();
+            assert!((t.partial_mean(k) - direct).abs() < 1e-12, "k={k}");
+            assert!((t.partial_mean(k) + t.tail_mean_above(k) - t.mean()).abs() < 1e-12);
+        }
+        assert!((t.tail_mass_above(0) - (1.0 - t.pmf(0))).abs() < 1e-12);
+        assert_eq!(t.tail_mass_above(1 << 21), 0.0);
+    }
+}

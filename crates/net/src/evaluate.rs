@@ -1,0 +1,122 @@
+//! Utility evaluation of network allocations.
+
+use crate::admission::admit_reservations;
+use crate::maxmin::max_min_allocation;
+use crate::topology::{FlowSpec, Topology};
+use bevra_utility::Utility;
+
+/// Total and per-flow utility of an allocation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NetworkUtility {
+    /// Sum of `π(rate_i)` over all flows (blocked flows contribute 0).
+    pub total: f64,
+    /// `total / flow_count` — comparable to the paper's normalized `B`/`R`.
+    pub per_flow: f64,
+}
+
+/// Utility of an arbitrary rate vector.
+///
+/// # Panics
+///
+/// Panics if `rates` and `flows` disagree in length.
+#[must_use]
+pub fn evaluate_allocation(
+    flows: &[FlowSpec],
+    rates: &[f64],
+    utility: &dyn Utility,
+) -> NetworkUtility {
+    assert_eq!(flows.len(), rates.len(), "one rate per flow required");
+    let total: f64 = rates.iter().map(|&r| utility.value(r)).sum();
+    let per_flow = if flows.is_empty() { 0.0 } else { total / flows.len() as f64 };
+    NetworkUtility { total, per_flow }
+}
+
+/// Best-effort network utility: max-min fair shares, everyone admitted.
+#[must_use]
+pub fn best_effort_utility(
+    topology: &Topology,
+    flows: &[FlowSpec],
+    utility: &dyn Utility,
+) -> NetworkUtility {
+    let rates = max_min_allocation(topology, flows);
+    evaluate_allocation(flows, &rates, utility)
+}
+
+/// Reservation network utility: path admission at the nominal demands, then
+/// max-min fair division of each link among the *admitted* flows (admitted
+/// flows may exceed their reservation when capacity is spare, mirroring the
+/// single-link model where admitted flows share `C/min(k, k_max)`).
+#[must_use]
+pub fn reservation_utility(
+    topology: &Topology,
+    flows: &[FlowSpec],
+    utility: &dyn Utility,
+) -> NetworkUtility {
+    let outcome = admit_reservations(topology, flows);
+    let admitted: Vec<FlowSpec> = flows
+        .iter()
+        .zip(&outcome.admitted)
+        .filter(|(_, &a)| a)
+        .map(|(f, _)| f.clone())
+        .collect();
+    let admitted_rates = max_min_allocation(topology, &admitted);
+    let total: f64 = admitted_rates.iter().map(|&r| utility.value(r)).sum();
+    let per_flow = if flows.is_empty() { 0.0 } else { total / flows.len() as f64 };
+    NetworkUtility { total, per_flow }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bevra_utility::{AdaptiveExp, Rigid};
+
+    #[test]
+    fn underload_architectures_agree() {
+        let t = Topology::new(vec![10.0]);
+        let flows: Vec<FlowSpec> = (0..5).map(|_| FlowSpec::unit(vec![0])).collect();
+        let u = Rigid::unit();
+        let b = best_effort_utility(&t, &flows, &u);
+        let r = reservation_utility(&t, &flows, &u);
+        assert!((b.total - 5.0).abs() < 1e-12);
+        assert!((r.total - b.total).abs() < 1e-12);
+    }
+
+    #[test]
+    fn overload_reservations_win_for_rigid() {
+        let t = Topology::new(vec![10.0]);
+        let flows: Vec<FlowSpec> = (0..25).map(|_| FlowSpec::unit(vec![0])).collect();
+        let u = Rigid::unit();
+        let b = best_effort_utility(&t, &flows, &u);
+        let r = reservation_utility(&t, &flows, &u);
+        // Best-effort: every flow gets 0.4 < 1 ⇒ zero utility; reservations
+        // save 10 flows.
+        assert_eq!(b.total, 0.0);
+        assert!((r.total - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn per_flow_normalization_counts_blocked_flows() {
+        let t = Topology::new(vec![2.0]);
+        let flows: Vec<FlowSpec> = (0..4).map(|_| FlowSpec::unit(vec![0])).collect();
+        let r = reservation_utility(&t, &flows, &Rigid::unit());
+        assert!((r.per_flow - 0.5).abs() < 1e-12, "2 of 4 admitted");
+    }
+
+    #[test]
+    fn adaptive_softens_the_gap() {
+        let t = Topology::new(vec![10.0]);
+        let flows: Vec<FlowSpec> = (0..25).map(|_| FlowSpec::unit(vec![0])).collect();
+        let u = AdaptiveExp::paper();
+        let b = best_effort_utility(&t, &flows, &u);
+        let r = reservation_utility(&t, &flows, &u);
+        assert!(r.total > b.total, "reservations still ahead");
+        assert!(b.total > 0.0, "but adaptive best-effort is not wiped out");
+    }
+
+    #[test]
+    fn evaluate_allocation_empty() {
+        let out = evaluate_allocation(&[], &[], &Rigid::unit());
+        assert_eq!(out.total, 0.0);
+        assert_eq!(out.per_flow, 0.0);
+    }
+}

@@ -1,0 +1,159 @@
+//! Max-min fair bandwidth allocation by progressive filling.
+//!
+//! On a single link, best-effort equal sharing gives every flow `C/k` — the
+//! paper's model. On a network the canonical generalization is **max-min
+//! fairness**: raise every flow's rate uniformly until some link saturates,
+//! freeze the flows crossing it at that link's fair share, remove the
+//! saturated link's residual capacity, and repeat. The result is the unique
+//! allocation in which no flow's rate can be raised without lowering that of
+//! a flow with an equal or smaller rate.
+
+use crate::topology::{FlowSpec, Topology};
+
+/// Compute the max-min fair allocation. Returns one rate per flow.
+///
+/// Progressive filling: at each round the bottleneck link is the one with
+/// the smallest `residual / unfrozen_flow_count`; its flows freeze at that
+/// share. Runs in `O(L·F)` per round and at most `L` rounds.
+///
+/// Flows with empty rate (no route across a live link — impossible by
+/// construction) never occur; a topology/flow mismatch panics.
+///
+/// # Panics
+///
+/// Panics if any route references a nonexistent link.
+#[must_use]
+pub fn max_min_allocation(topology: &Topology, flows: &[FlowSpec]) -> Vec<f64> {
+    assert!(topology.routes_valid(flows), "route references nonexistent link");
+    let n_links = topology.len();
+    let mut residual: Vec<f64> = (0..n_links).map(|l| topology.capacity(l)).collect();
+    let mut live_flows_on: Vec<usize> = vec![0; n_links];
+    let mut rate = vec![0.0f64; flows.len()];
+    let mut frozen = vec![false; flows.len()];
+    for f in flows {
+        for &l in &f.route {
+            live_flows_on[l] += 1;
+        }
+    }
+    loop {
+        // Find the tightest link among those carrying live flows.
+        let mut bottleneck: Option<(usize, f64)> = None;
+        for l in 0..n_links {
+            if live_flows_on[l] == 0 {
+                continue;
+            }
+            let share = residual[l] / live_flows_on[l] as f64;
+            match bottleneck {
+                Some((_, s)) if s <= share => {}
+                _ => bottleneck = Some((l, share)),
+            }
+        }
+        let Some((bl, share)) = bottleneck else {
+            break; // all flows frozen
+        };
+        // Freeze every live flow crossing the bottleneck at the fair share.
+        for (i, f) in flows.iter().enumerate() {
+            if frozen[i] || !f.route.contains(&bl) {
+                continue;
+            }
+            frozen[i] = true;
+            rate[i] = share;
+            for &l in &f.route {
+                residual[l] -= share;
+                live_flows_on[l] -= 1;
+            }
+        }
+        // Numerical hygiene: clamp tiny negative residuals.
+        residual[bl] = residual[bl].max(0.0);
+    }
+    rate
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_link_equal_split() {
+        let t = Topology::new(vec![12.0]);
+        let flows: Vec<FlowSpec> = (0..4).map(|_| FlowSpec::unit(vec![0])).collect();
+        let rates = max_min_allocation(&t, &flows);
+        for r in rates {
+            assert!((r - 3.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn classic_parking_lot() {
+        // Two links of capacity 1; one long flow crosses both, one short
+        // flow on each link. Max-min: every flow gets 1/2.
+        let t = Topology::new(vec![1.0, 1.0]);
+        let flows = vec![
+            FlowSpec::unit(vec![0, 1]),
+            FlowSpec::unit(vec![0]),
+            FlowSpec::unit(vec![1]),
+        ];
+        let rates = max_min_allocation(&t, &flows);
+        for r in &rates {
+            assert!((r - 0.5).abs() < 1e-12, "{rates:?}");
+        }
+    }
+
+    #[test]
+    fn asymmetric_bottleneck_redistributes() {
+        // Link 0 capacity 1 shared by flows A (0 only) and B (0 and 1);
+        // link 1 capacity 10 also carries flow C (1 only). A and B freeze
+        // at 1/2; C then takes the rest of link 1: 9.5.
+        let t = Topology::new(vec![1.0, 10.0]);
+        let flows = vec![
+            FlowSpec::unit(vec![0]),
+            FlowSpec::unit(vec![0, 1]),
+            FlowSpec::unit(vec![1]),
+        ];
+        let rates = max_min_allocation(&t, &flows);
+        assert!((rates[0] - 0.5).abs() < 1e-12);
+        assert!((rates[1] - 0.5).abs() < 1e-12);
+        assert!((rates[2] - 9.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn allocation_is_feasible_and_saturates_bottlenecks() {
+        let t = Topology::new(vec![4.0, 6.0, 2.0]);
+        let flows = vec![
+            FlowSpec::unit(vec![0, 1]),
+            FlowSpec::unit(vec![1, 2]),
+            FlowSpec::unit(vec![0]),
+            FlowSpec::unit(vec![2]),
+            FlowSpec::unit(vec![1]),
+        ];
+        let rates = max_min_allocation(&t, &flows);
+        // Feasibility on every link.
+        for l in 0..t.len() {
+            let used: f64 = flows
+                .iter()
+                .zip(&rates)
+                .filter(|(f, _)| f.route.contains(&l))
+                .map(|(_, &r)| r)
+                .sum();
+            assert!(used <= t.capacity(l) + 1e-9, "link {l} overloaded: {used}");
+        }
+        // Max-min property (no flow can be raised without hurting an equal
+        // or smaller one) implies at least one link is saturated.
+        let saturated = (0..t.len()).any(|l| {
+            let used: f64 = flows
+                .iter()
+                .zip(&rates)
+                .filter(|(f, _)| f.route.contains(&l))
+                .map(|(_, &r)| r)
+                .sum();
+            (used - t.capacity(l)).abs() < 1e-9
+        });
+        assert!(saturated);
+    }
+
+    #[test]
+    fn no_flows_no_rates() {
+        let t = Topology::new(vec![1.0]);
+        assert!(max_min_allocation(&t, &[]).is_empty());
+    }
+}

@@ -1,0 +1,103 @@
+//! Canonical topologies and flow sets for examples, tests, and benches.
+
+use crate::topology::{FlowSpec, Topology};
+use bevra_load::TabulatedSampler;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Single link of capacity `c` with `k` unit flows — the paper's own model,
+/// used to cross-check the network substrate against `bevra-core`.
+#[must_use]
+pub fn single_link(c: f64, k: usize) -> (Topology, Vec<FlowSpec>) {
+    let t = Topology::new(vec![c]);
+    let flows = (0..k).map(|_| FlowSpec::unit(vec![0])).collect();
+    (t, flows)
+}
+
+/// Parking-lot topology: `hops` links of capacity `c`; `long` flows cross
+/// every link, and `short_per_hop` flows sit on each single link.
+#[must_use]
+pub fn parking_lot(
+    hops: usize,
+    c: f64,
+    long: usize,
+    short_per_hop: usize,
+) -> (Topology, Vec<FlowSpec>) {
+    assert!(hops >= 1, "need at least one hop");
+    let t = Topology::new(vec![c; hops]);
+    let mut flows = Vec::with_capacity(long + hops * short_per_hop);
+    let full_route: Vec<usize> = (0..hops).collect();
+    for _ in 0..long {
+        flows.push(FlowSpec::unit(full_route.clone()));
+    }
+    for h in 0..hops {
+        for _ in 0..short_per_hop {
+            flows.push(FlowSpec::unit(vec![h]));
+        }
+    }
+    (t, flows)
+}
+
+/// Random mesh: `links` links of capacity `c`; `flows` flows each crossing
+/// a random subset of 1–3 links, with per-link populations drawn from the
+/// supplied sampler to mimic a variable-load pattern. Deterministic under
+/// `seed`.
+#[must_use]
+pub fn random_mesh(
+    links: usize,
+    c: f64,
+    flow_count_sampler: &TabulatedSampler,
+    seed: u64,
+) -> (Topology, Vec<FlowSpec>) {
+    assert!(links >= 1, "need at least one link");
+    let t = Topology::new(vec![c; links]);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n_flows = flow_count_sampler.sample(&mut rng) as usize;
+    let mut flows = Vec::with_capacity(n_flows);
+    for _ in 0..n_flows {
+        let hops = 1 + rng.random_range(0..3usize.min(links));
+        let mut route = Vec::with_capacity(hops);
+        while route.len() < hops {
+            let l = rng.random_range(0..links);
+            if !route.contains(&l) {
+                route.push(l);
+            }
+        }
+        flows.push(FlowSpec::unit(route));
+    }
+    (t, flows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bevra_load::Tabulated;
+
+    #[test]
+    fn single_link_shape() {
+        let (t, flows) = single_link(10.0, 7);
+        assert_eq!(t.len(), 1);
+        assert_eq!(flows.len(), 7);
+        assert!(t.routes_valid(&flows));
+    }
+
+    #[test]
+    fn parking_lot_shape() {
+        let (t, flows) = parking_lot(3, 5.0, 2, 4);
+        assert_eq!(t.len(), 3);
+        assert_eq!(flows.len(), 2 + 12);
+        assert_eq!(flows[0].route.len(), 3);
+        assert!(t.routes_valid(&flows));
+    }
+
+    #[test]
+    fn random_mesh_is_deterministic() {
+        let dist = Tabulated::from_weights(vec![0.0; 10].into_iter().chain([1.0]).collect());
+        let sampler = TabulatedSampler::new(&dist);
+        let (t, f1) = random_mesh(4, 10.0, &sampler, 5);
+        let (_, f2) = random_mesh(4, 10.0, &sampler, 5);
+        assert_eq!(f1.len(), 10);
+        assert_eq!(f1, f2);
+        assert!(t.routes_valid(&f1));
+    }
+}

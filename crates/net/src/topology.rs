@@ -1,0 +1,120 @@
+//! Links, routes, and flow specifications.
+
+/// Index of a link in a [`Topology`].
+pub type LinkId = usize;
+
+/// A flow: a route (set of links it traverses) and a nominal demand used by
+/// reservation admission (`1.0` matches the paper's unit-bandwidth flows).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlowSpec {
+    /// Links the flow traverses, in order (order is irrelevant to the
+    /// allocation; kept for readability of scenarios).
+    pub route: Vec<LinkId>,
+    /// Reserved bandwidth requested by this flow (best-effort ignores it).
+    pub demand: f64,
+}
+
+impl FlowSpec {
+    /// Unit-demand flow over a route.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty route.
+    #[must_use]
+    pub fn unit(route: Vec<LinkId>) -> Self {
+        Self::with_demand(route, 1.0)
+    }
+
+    /// Flow with an explicit demand.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty route or nonpositive demand.
+    #[must_use]
+    pub fn with_demand(route: Vec<LinkId>, demand: f64) -> Self {
+        assert!(!route.is_empty(), "a flow must traverse at least one link");
+        assert!(demand > 0.0, "demand must be positive");
+        Self { route, demand }
+    }
+}
+
+/// A capacitated topology.
+#[derive(Debug, Clone, Default)]
+pub struct Topology {
+    capacities: Vec<f64>,
+}
+
+impl Topology {
+    /// New topology with the given link capacities.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any capacity is nonpositive or non-finite.
+    #[must_use]
+    pub fn new(capacities: Vec<f64>) -> Self {
+        for &c in &capacities {
+            assert!(c > 0.0 && c.is_finite(), "capacities must be positive and finite");
+        }
+        Self { capacities }
+    }
+
+    /// Number of links.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.capacities.len()
+    }
+
+    /// Whether the topology has no links.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.capacities.is_empty()
+    }
+
+    /// Capacity of link `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an out-of-range id.
+    #[must_use]
+    pub fn capacity(&self, id: LinkId) -> f64 {
+        self.capacities[id]
+    }
+
+    /// Validate that every route in `flows` references existing links.
+    #[must_use]
+    pub fn routes_valid(&self, flows: &[FlowSpec]) -> bool {
+        flows.iter().all(|f| f.route.iter().all(|&l| l < self.len()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_accessors() {
+        let t = Topology::new(vec![10.0, 20.0]);
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+        assert_eq!(t.capacity(1), 20.0);
+    }
+
+    #[test]
+    fn route_validation() {
+        let t = Topology::new(vec![10.0]);
+        assert!(t.routes_valid(&[FlowSpec::unit(vec![0])]));
+        assert!(!t.routes_valid(&[FlowSpec::unit(vec![1])]));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one link")]
+    fn empty_route_rejected() {
+        let _ = FlowSpec::unit(vec![]);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive and finite")]
+    fn bad_capacity_rejected() {
+        let _ = Topology::new(vec![0.0]);
+    }
+}

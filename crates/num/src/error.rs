@@ -1,0 +1,74 @@
+//! Error type shared by all numerical routines.
+
+use std::fmt;
+
+/// Result alias for numerical routines.
+pub type NumResult<T> = Result<T, NumError>;
+
+/// Failure modes of the numerical routines in this crate.
+///
+/// Every routine that can fail returns one of these instead of panicking;
+/// callers in the analysis crates either propagate them or translate them
+/// into domain-specific errors.
+#[derive(Debug, Clone, PartialEq)]
+pub enum NumError {
+    /// A bracketing step could not find an interval with a sign change
+    /// (root finding) or an interior maximum (optimization).
+    NoBracket {
+        /// Human-readable description of what was being bracketed.
+        what: &'static str,
+    },
+    /// An iterative method ran out of iterations before converging.
+    MaxIterations {
+        /// The routine that failed to converge.
+        what: &'static str,
+        /// Iterations performed.
+        iterations: usize,
+    },
+    /// The caller passed an argument outside the routine's domain.
+    InvalidInput {
+        /// Explanation of the violated precondition.
+        what: &'static str,
+    },
+    /// The integrand / objective produced a non-finite value.
+    NonFinite {
+        /// Where the non-finite value appeared.
+        what: &'static str,
+        /// The abscissa at which it appeared, if known.
+        at: f64,
+    },
+}
+
+impl fmt::Display for NumError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NumError::NoBracket { what } => write!(f, "failed to bracket {what}"),
+            NumError::MaxIterations { what, iterations } => {
+                write!(f, "{what} did not converge within {iterations} iterations")
+            }
+            NumError::InvalidInput { what } => write!(f, "invalid input: {what}"),
+            NumError::NonFinite { what, at } => {
+                write!(f, "non-finite value in {what} at x = {at}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for NumError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = NumError::NoBracket { what: "the root of f" };
+        assert_eq!(e.to_string(), "failed to bracket the root of f");
+        let e = NumError::MaxIterations { what: "brent", iterations: 7 };
+        assert!(e.to_string().contains("7 iterations"));
+        let e = NumError::InvalidInput { what: "tol must be positive" };
+        assert!(e.to_string().contains("tol must be positive"));
+        let e = NumError::NonFinite { what: "integrand", at: 2.5 };
+        assert!(e.to_string().contains("2.5"));
+    }
+}

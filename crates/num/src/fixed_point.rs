@@ -1,0 +1,87 @@
+//! Damped fixed-point iteration.
+//!
+//! The retrying extension (paper §5.2) inflates the offered load until it is
+//! self-consistent: the effective mean load `L̂` satisfies
+//! `L̂ = L·(1 + D(L̂))` where `D` is the expected number of retries at load
+//! `L̂`. The map is a contraction in the regimes of interest; damping keeps
+//! it stable near heavy blocking where the plain iteration can oscillate.
+
+use crate::error::{NumError, NumResult};
+
+/// Iterate `x ← (1 − damping)·x + damping·g(x)` from `x0` until successive
+/// iterates agree to `tol` (relative), or fail after `max_iter` steps.
+///
+/// `damping = 1` is the undamped Picard iteration; `0 < damping < 1` trades
+/// speed for stability.
+///
+/// # Errors
+///
+/// [`NumError::InvalidInput`] for a damping factor outside `(0, 1]`,
+/// [`NumError::NonFinite`] if `g` produces NaN/∞,
+/// [`NumError::MaxIterations`] if convergence is not reached.
+pub fn fixed_point(
+    mut g: impl FnMut(f64) -> f64,
+    x0: f64,
+    damping: f64,
+    tol: f64,
+    max_iter: usize,
+) -> NumResult<f64> {
+    if !(damping > 0.0 && damping <= 1.0) {
+        return Err(NumError::InvalidInput { what: "damping must be in (0, 1]" });
+    }
+    let mut x = x0;
+    for _ in 0..max_iter {
+        let gx = g(x);
+        if !gx.is_finite() {
+            return Err(NumError::NonFinite { what: "fixed point map", at: x });
+        }
+        let next = (1.0 - damping) * x + damping * gx;
+        if (next - x).abs() <= tol * (1.0 + x.abs()) {
+            return Ok(next);
+        }
+        x = next;
+    }
+    Err(NumError::MaxIterations { what: "fixed_point", iterations: max_iter })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn converges_to_cosine_fixed_point() {
+        // The Dottie number: x = cos x ≈ 0.739085.
+        let x = fixed_point(|x| x.cos(), 1.0, 1.0, 1e-12, 1000).unwrap();
+        assert!((x - 0.739_085_133_215_160_6).abs() < 1e-9);
+    }
+
+    #[test]
+    fn damping_stabilizes_oscillatory_map() {
+        // g(x) = 2.8(1 - x)x (logistic) has an unstable-ish approach
+        // undamped; with damping 0.5 it converges to 1 - 1/2.8.
+        let x = fixed_point(|x| 2.8 * (1.0 - x) * x, 0.3, 0.5, 1e-12, 10_000).unwrap();
+        assert!((x - (1.0 - 1.0 / 2.8)).abs() < 1e-8, "got {x}");
+    }
+
+    #[test]
+    fn load_inflation_shape() {
+        // L̂ = L (1 + θ(L̂)) with θ growing in load: converges above L.
+        let l = 100.0;
+        let theta = |lh: f64| 0.1 * (lh / 200.0).min(1.0);
+        let lh = fixed_point(|x| l * (1.0 + theta(x)), l, 1.0, 1e-12, 1000).unwrap();
+        assert!(lh > l);
+        assert!((lh - l * (1.0 + theta(lh))).abs() < 1e-8);
+    }
+
+    #[test]
+    fn invalid_damping_rejected() {
+        assert!(fixed_point(|x| x, 0.0, 0.0, 1e-10, 10).is_err());
+        assert!(fixed_point(|x| x, 0.0, 1.5, 1e-10, 10).is_err());
+    }
+
+    #[test]
+    fn divergence_is_reported() {
+        let err = fixed_point(|x| 2.0 * x + 1.0, 1.0, 1.0, 1e-12, 50).unwrap_err();
+        assert!(matches!(err, NumError::MaxIterations { .. } | NumError::NonFinite { .. }));
+    }
+}

@@ -1,0 +1,153 @@
+//! Search over integer domains.
+//!
+//! The discrete model's admission threshold is
+//! `k_max(C) = argmax_{k ∈ ℕ} k·π(C/k)` — the argmax of a unimodal integer
+//! sequence (paper §2). [`argmax_unimodal_u64`] finds it in `O(log²)`
+//! evaluations via doubling plus ternary search. [`first_true_u64`] performs
+//! monotone predicate bisection, used for distribution quantiles.
+
+use crate::error::{NumError, NumResult};
+
+/// Argmax of a unimodal sequence `f(k)` over `k ∈ [lo, ∞)`.
+///
+/// "Unimodal" means nondecreasing up to some `k*`, nonincreasing after. The
+/// search doubles an upper probe until the sequence is observed to decrease,
+/// then ternary-searches the bracket. Plateaus are handled by returning the
+/// smallest argmax within resolution.
+///
+/// # Errors
+///
+/// [`NumError::NoBracket`] if the sequence is still increasing at `max_k`.
+pub fn argmax_unimodal_u64(
+    mut f: impl FnMut(u64) -> f64,
+    lo: u64,
+    max_k: u64,
+) -> NumResult<u64> {
+    // Phase 1: find hi with f(hi) < f(hi/2-ish), i.e. past the peak.
+    let mut prev_k = lo;
+    let mut prev_v = f(lo);
+    let mut step = 1u64;
+    let mut bracket_lo = lo;
+    let bracket_hi;
+    loop {
+        let k = prev_k.saturating_add(step).min(max_k);
+        let v = f(k);
+        if v < prev_v {
+            bracket_hi = k;
+            break;
+        }
+        if k >= max_k {
+            return Err(NumError::NoBracket { what: "unimodal integer maximum before max_k" });
+        }
+        bracket_lo = prev_k;
+        prev_k = k;
+        prev_v = v;
+        step = step.saturating_mul(2);
+    }
+    // Phase 2: ternary search on [bracket_lo, bracket_hi].
+    let mut a = bracket_lo;
+    let mut b = bracket_hi;
+    while b - a > 2 {
+        let m1 = a + (b - a) / 3;
+        let m2 = b - (b - a) / 3;
+        if f(m1) < f(m2) {
+            a = m1 + 1;
+        } else {
+            b = m2;
+        }
+    }
+    let mut best = a;
+    let mut best_v = f(a);
+    for k in (a + 1)..=b {
+        let v = f(k);
+        if v > best_v {
+            best = k;
+            best_v = v;
+        }
+    }
+    Ok(best)
+}
+
+/// Smallest `k ∈ [lo, hi]` with `pred(k)` true, assuming `pred` is monotone
+/// (false … false true … true). Returns `None` if `pred(hi)` is false.
+pub fn first_true_u64(mut pred: impl FnMut(u64) -> bool, lo: u64, hi: u64) -> Option<u64> {
+    if lo > hi || !pred(hi) {
+        return None;
+    }
+    let (mut a, mut b) = (lo, hi);
+    while a < b {
+        let mid = a + (b - a) / 2;
+        if pred(mid) {
+            b = mid;
+        } else {
+            a = mid + 1;
+        }
+    }
+    Some(a)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finds_peak_of_discrete_parabola() {
+        let f = |k: u64| -((k as f64 - 37.0).powi(2));
+        assert_eq!(argmax_unimodal_u64(f, 0, 1_000_000).unwrap(), 37);
+    }
+
+    #[test]
+    fn finds_kmax_of_rigid_total_utility() {
+        // Rigid b̄ = 1, capacity C = 100: V(k) = k for k ≤ 100 else 0, so
+        // k_max = 100. (Not unimodal in the strict sense at the cliff, but
+        // the doubling phase still brackets it; verify the answer.)
+        let c = 100.0;
+        let f = |k: u64| {
+            if k == 0 {
+                return 0.0;
+            }
+            let b = c / k as f64;
+            if b >= 1.0 {
+                k as f64
+            } else {
+                0.0
+            }
+        };
+        assert_eq!(argmax_unimodal_u64(f, 1, 1_000_000).unwrap(), 100);
+    }
+
+    #[test]
+    fn peak_at_lower_bound() {
+        let f = |k: u64| -(k as f64);
+        assert_eq!(argmax_unimodal_u64(f, 5, 1_000_000).unwrap(), 5);
+    }
+
+    #[test]
+    fn increasing_sequence_reports_no_bracket() {
+        let err = argmax_unimodal_u64(|k| k as f64, 0, 1000).unwrap_err();
+        assert!(matches!(err, NumError::NoBracket { .. }));
+    }
+
+    #[test]
+    fn plateau_returns_a_maximizer() {
+        let f = |k: u64| (k.min(10)) as f64; // rises to 10 then flat... not
+                                             // decreasing, so cap applies.
+        let err = argmax_unimodal_u64(f, 0, 100);
+        // A flat tail never strictly decreases; the search correctly reports
+        // that no decrease was observed rather than guessing.
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn first_true_basic() {
+        assert_eq!(first_true_u64(|k| k >= 17, 0, 100), Some(17));
+        assert_eq!(first_true_u64(|k| k >= 17, 0, 10), None);
+        assert_eq!(first_true_u64(|_| true, 0, 10), Some(0));
+    }
+
+    #[test]
+    fn first_true_single_point_domain() {
+        assert_eq!(first_true_u64(|_| true, 5, 5), Some(5));
+        assert_eq!(first_true_u64(|_| false, 5, 5), None);
+    }
+}

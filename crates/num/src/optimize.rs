@@ -1,0 +1,196 @@
+//! One-dimensional maximization.
+//!
+//! Two places in the paper's analysis need a 1-D maximizer:
+//!
+//! * the admission threshold `k_max(C) = argmax_k k·π(C/k)` in its continuous
+//!   relaxation, and
+//! * the welfare-optimal capacity `C(p) = argmax_C V(C) − pC` of the
+//!   variable-capacity model (§4).
+//!
+//! Both objectives are unimodal on the region of interest, so golden-section
+//! search after a doubling bracket is sufficient and robust.
+
+use crate::error::{NumError, NumResult};
+
+/// Location and value of a maximum found by [`golden_section_max`] or
+/// [`maximize`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Maximum {
+    /// Abscissa of the maximum.
+    pub x: f64,
+    /// Objective value at [`Maximum::x`].
+    pub value: f64,
+}
+
+/// Inverse golden ratio, `(√5 − 1)/2`.
+const INV_PHI: f64 = 0.618_033_988_749_894_9;
+
+/// Golden-section search for the maximum of a unimodal `f` on `[lo, hi]`.
+///
+/// Shrinks the interval by the golden ratio each step; terminates when the
+/// interval is shorter than `tol` (absolute, plus a relative epsilon guard).
+/// If `f` is not unimodal the result is a local maximum within the interval.
+///
+/// # Errors
+///
+/// [`NumError::InvalidInput`] if `lo > hi` or `tol <= 0`.
+pub fn golden_section_max(
+    mut f: impl FnMut(f64) -> f64,
+    lo: f64,
+    hi: f64,
+    tol: f64,
+) -> NumResult<Maximum> {
+    if lo > hi {
+        return Err(NumError::InvalidInput { what: "golden_section_max requires lo <= hi" });
+    }
+    if !(tol > 0.0) {
+        return Err(NumError::InvalidInput { what: "golden_section_max requires tol > 0" });
+    }
+    let mut a = lo;
+    let mut b = hi;
+    let mut x1 = b - INV_PHI * (b - a);
+    let mut x2 = a + INV_PHI * (b - a);
+    let mut f1 = f(x1);
+    let mut f2 = f(x2);
+    // 400 iterations shrink any representable interval below f64 resolution.
+    for _ in 0..400 {
+        if (b - a).abs() <= tol + f64::EPSILON * (a.abs() + b.abs()) {
+            break;
+        }
+        if f1 < f2 {
+            a = x1;
+            x1 = x2;
+            f1 = f2;
+            x2 = a + INV_PHI * (b - a);
+            f2 = f(x2);
+        } else {
+            b = x2;
+            x2 = x1;
+            f2 = f1;
+            x1 = b - INV_PHI * (b - a);
+            f1 = f(x1);
+        }
+    }
+    let x = 0.5 * (a + b);
+    // Report the best of the evaluated points (interior probes included) so
+    // the returned value never under-reports the maximum.
+    let fx = f(x);
+    let (bx, bf) = [(x, fx), (x1, f1), (x2, f2)]
+        .into_iter()
+        .max_by(|p, q| p.1.total_cmp(&q.1))
+        .expect("non-empty candidate list");
+    Ok(Maximum { x: bx, value: bf })
+}
+
+/// Starting from `x0`, expand upward with doubling steps until the objective
+/// stops improving, returning `(a, b)` guaranteed to contain the maximum of a
+/// unimodal function that initially increases at `x0`.
+///
+/// If the function is already decreasing at `x0 + initial_step`, the bracket
+/// degenerates to `(x0, x0 + initial_step)`, which is still valid for
+/// golden-section search.
+///
+/// # Errors
+///
+/// [`NumError::NoBracket`] if the objective is still increasing at `max_hi`
+/// (the maximum lies beyond the allowed search range).
+pub fn bracket_maximum(
+    mut f: impl FnMut(f64) -> f64,
+    x0: f64,
+    initial_step: f64,
+    max_hi: f64,
+) -> NumResult<(f64, f64)> {
+    if !(initial_step > 0.0) {
+        return Err(NumError::InvalidInput { what: "initial_step must be > 0" });
+    }
+    let mut prev_x = x0;
+    let mut prev_f = f(x0);
+    let mut step = initial_step;
+    let mut lo = x0;
+    loop {
+        let x = (prev_x + step).min(max_hi);
+        let fx = f(x);
+        if fx < prev_f {
+            // Decreasing: the max is in [lo, x].
+            return Ok((lo, x));
+        }
+        if x >= max_hi {
+            return Err(NumError::NoBracket { what: "maximum before max_hi" });
+        }
+        lo = prev_x;
+        prev_x = x;
+        prev_f = fx;
+        step *= 2.0;
+    }
+}
+
+/// Convenience wrapper: bracket from `x0` then refine by golden-section.
+///
+/// Intended for unimodal objectives like welfare `V(C) − pC` over capacity.
+///
+/// # Errors
+///
+/// Propagates bracketing or search failures.
+pub fn maximize(
+    mut f: impl FnMut(f64) -> f64,
+    x0: f64,
+    initial_step: f64,
+    max_hi: f64,
+    tol: f64,
+) -> NumResult<Maximum> {
+    let (a, b) = bracket_maximum(&mut f, x0, initial_step, max_hi)?;
+    golden_section_max(f, a, b, tol)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn golden_finds_parabola_peak() {
+        let m = golden_section_max(|x| -(x - 3.0) * (x - 3.0) + 7.0, 0.0, 10.0, 1e-10).unwrap();
+        assert!((m.x - 3.0).abs() < 1e-7);
+        assert!((m.value - 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn golden_degenerate_interval() {
+        let m = golden_section_max(|x| x, 2.0, 2.0, 1e-10).unwrap();
+        assert_eq!(m.x, 2.0);
+        assert_eq!(m.value, 2.0);
+    }
+
+    #[test]
+    fn bracket_then_refine_welfare_like_objective() {
+        // V(C) = 1 - exp(-C), p = 0.1: optimum at C = ln(1/p) = ln 10.
+        let p = 0.1;
+        let m = maximize(|c: f64| 1.0 - (-c).exp() - p * c, 0.0, 0.5, 1e6, 1e-10).unwrap();
+        assert!((m.x - (1.0f64 / p).ln()).abs() < 1e-6, "got {}", m.x);
+    }
+
+    #[test]
+    fn bracket_reports_unbounded_objective() {
+        let err = bracket_maximum(|x| x, 0.0, 1.0, 100.0).unwrap_err();
+        assert!(matches!(err, NumError::NoBracket { .. }));
+    }
+
+    #[test]
+    fn bracket_immediate_decrease() {
+        let (a, b) = bracket_maximum(|x| -x, 0.0, 1.0, 100.0).unwrap();
+        assert_eq!((a, b), (0.0, 1.0));
+        let m = golden_section_max(|x| -x, a, b, 1e-10).unwrap();
+        assert!(m.x < 1e-6);
+    }
+
+    #[test]
+    fn golden_rejects_bad_inputs() {
+        assert!(golden_section_max(|x| x, 1.0, 0.0, 1e-10).is_err());
+        assert!(golden_section_max(|x| x, 0.0, 1.0, 0.0).is_err());
+    }
+
+    #[test]
+    fn maximize_peak_far_from_origin() {
+        let m = maximize(|x: f64| -((x - 512.0) / 100.0).powi(2), 0.0, 1.0, 1e9, 1e-8).unwrap();
+        assert!((m.x - 512.0).abs() < 1e-4);
+    }
+}

@@ -1,0 +1,282 @@
+//! Bracketed one-dimensional root finding.
+//!
+//! The analysis layer uses these to invert monotone functions: the bandwidth
+//! gap `Δ(C)` solves `B(C + Δ) = R(C)` with `B` nondecreasing, and the
+//! equalizing price ratio `γ(p)` solves `W_R(p̂) = W_B(p)` with `W_R`
+//! nonincreasing. Both are textbook bracketed problems, so we provide plain
+//! bisection (always safe, used as the ablation baseline) and Brent's method
+//! (the default: inverse quadratic interpolation with a bisection fallback).
+
+use crate::error::{NumError, NumResult};
+
+/// An interval `[lo, hi]` whose endpoints have opposite function signs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Bracket {
+    /// Lower endpoint.
+    pub lo: f64,
+    /// Upper endpoint.
+    pub hi: f64,
+    /// `f(lo)`.
+    pub f_lo: f64,
+    /// `f(hi)`.
+    pub f_hi: f64,
+}
+
+/// Expand an interval upward from `lo` by repeated doubling of the step until
+/// `f` changes sign, returning the resulting [`Bracket`].
+///
+/// `f(lo)` must be finite. This is used e.g. to bracket `Δ(C)`: start at
+/// `Δ = 0` where `B(C) − R(C) ≤ 0` and grow until `B(C + Δ) ≥ R(C)`.
+///
+/// # Errors
+///
+/// [`NumError::NoBracket`] if no sign change is found before `max_hi`,
+/// [`NumError::NonFinite`] if `f` returns NaN.
+pub fn expand_bracket_up(
+    mut f: impl FnMut(f64) -> f64,
+    lo: f64,
+    initial_step: f64,
+    max_hi: f64,
+) -> NumResult<Bracket> {
+    if !(initial_step > 0.0) {
+        return Err(NumError::InvalidInput { what: "initial_step must be > 0" });
+    }
+    let f_lo = f(lo);
+    if f_lo.is_nan() {
+        return Err(NumError::NonFinite { what: "expand_bracket_up", at: lo });
+    }
+    if f_lo == 0.0 {
+        return Ok(Bracket { lo, hi: lo, f_lo, f_hi: f_lo });
+    }
+    let mut step = initial_step;
+    let mut prev = lo;
+    let mut f_prev = f_lo;
+    loop {
+        let hi = (prev + step).min(max_hi);
+        let f_hi = f(hi);
+        if f_hi.is_nan() {
+            return Err(NumError::NonFinite { what: "expand_bracket_up", at: hi });
+        }
+        if f_hi == 0.0 || (f_prev < 0.0) != (f_hi < 0.0) {
+            return Ok(Bracket { lo: prev, hi, f_lo: f_prev, f_hi });
+        }
+        if hi >= max_hi {
+            return Err(NumError::NoBracket { what: "sign change before max_hi" });
+        }
+        prev = hi;
+        f_prev = f_hi;
+        step *= 2.0;
+    }
+}
+
+/// Bisection on a bracketing interval. Robust and used as the ablation
+/// baseline against [`brent`].
+///
+/// # Errors
+///
+/// [`NumError::InvalidInput`] if the endpoints do not bracket a sign change,
+/// [`NumError::MaxIterations`] if the interval fails to shrink below `tol`
+/// (practically unreachable: 200 halvings cover any finite interval).
+pub fn bisect(
+    mut f: impl FnMut(f64) -> f64,
+    mut lo: f64,
+    mut hi: f64,
+    tol: f64,
+) -> NumResult<f64> {
+    let mut f_lo = f(lo);
+    let f_hi = f(hi);
+    if f_lo == 0.0 {
+        return Ok(lo);
+    }
+    if f_hi == 0.0 {
+        return Ok(hi);
+    }
+    if (f_lo < 0.0) == (f_hi < 0.0) {
+        return Err(NumError::InvalidInput { what: "bisect endpoints must bracket a root" });
+    }
+    const MAX_ITER: usize = 200;
+    for _ in 0..MAX_ITER {
+        let mid = 0.5 * (lo + hi);
+        if (hi - lo).abs() <= tol + f64::EPSILON * mid.abs() {
+            return Ok(mid);
+        }
+        let f_mid = f(mid);
+        if f_mid == 0.0 {
+            return Ok(mid);
+        }
+        if (f_mid < 0.0) == (f_lo < 0.0) {
+            lo = mid;
+            f_lo = f_mid;
+        } else {
+            hi = mid;
+        }
+    }
+    Err(NumError::MaxIterations { what: "bisect", iterations: MAX_ITER })
+}
+
+/// Brent's method: root of `f` on a bracketing interval `[lo, hi]`.
+///
+/// Combines inverse quadratic interpolation, the secant rule, and bisection;
+/// converges superlinearly on smooth functions while never leaving the
+/// bracket. This is the standard derivative-free workhorse (Brent 1973).
+///
+/// # Errors
+///
+/// [`NumError::InvalidInput`] if the endpoints do not bracket a sign change,
+/// [`NumError::MaxIterations`] if convergence is not reached in 200 steps.
+pub fn brent(mut f: impl FnMut(f64) -> f64, lo: f64, hi: f64, tol: f64) -> NumResult<f64> {
+    let mut a = lo;
+    let mut b = hi;
+    let mut fa = f(a);
+    let mut fb = f(b);
+    if fa == 0.0 {
+        return Ok(a);
+    }
+    if fb == 0.0 {
+        return Ok(b);
+    }
+    if (fa < 0.0) == (fb < 0.0) {
+        return Err(NumError::InvalidInput { what: "brent endpoints must bracket a root" });
+    }
+    // `c` is the previous iterate; `d`/`e` track the last two step sizes so
+    // interpolation can be rejected when it stops making progress.
+    let mut c = a;
+    let mut fc = fa;
+    let mut d = b - a;
+    let mut e = d;
+    const MAX_ITER: usize = 200;
+    for _ in 0..MAX_ITER {
+        if fb.abs() > fc.abs() {
+            // Ensure b is the best approximation, with c on the other side.
+            a = b;
+            b = c;
+            c = a;
+            fa = fb;
+            fb = fc;
+            fc = fa;
+        }
+        let tol1 = 2.0 * f64::EPSILON * b.abs() + 0.5 * tol;
+        let xm = 0.5 * (c - b);
+        if xm.abs() <= tol1 || fb == 0.0 {
+            return Ok(b);
+        }
+        if e.abs() >= tol1 && fa.abs() > fb.abs() {
+            // Attempt inverse quadratic interpolation (secant if a == c).
+            let s = fb / fa;
+            let (mut p, mut q) = if a == c {
+                (2.0 * xm * s, 1.0 - s)
+            } else {
+                let q = fa / fc;
+                let r = fb / fc;
+                (
+                    s * (2.0 * xm * q * (q - r) - (b - a) * (r - 1.0)),
+                    (q - 1.0) * (r - 1.0) * (s - 1.0),
+                )
+            };
+            if p > 0.0 {
+                q = -q;
+            }
+            p = p.abs();
+            let min1 = 3.0 * xm * q - (tol1 * q).abs();
+            let min2 = (e * q).abs();
+            if 2.0 * p < min1.min(min2) {
+                // Interpolation accepted.
+                e = d;
+                d = p / q;
+            } else {
+                // Fall back to bisection.
+                d = xm;
+                e = d;
+            }
+        } else {
+            d = xm;
+            e = d;
+        }
+        a = b;
+        fa = fb;
+        b += if d.abs() > tol1 { d } else { tol1.copysign(xm) };
+        fb = f(b);
+        if (fb > 0.0) == (fc > 0.0) {
+            c = a;
+            fc = fa;
+            d = b - a;
+            e = d;
+        }
+    }
+    Err(NumError::MaxIterations { what: "brent", iterations: MAX_ITER })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bisect_finds_sqrt2() {
+        let root = bisect(|x| x * x - 2.0, 0.0, 2.0, 1e-12).unwrap();
+        assert!((root - std::f64::consts::SQRT_2).abs() < 1e-10);
+    }
+
+    #[test]
+    fn brent_finds_sqrt2() {
+        let root = brent(|x| x * x - 2.0, 0.0, 2.0, 1e-14).unwrap();
+        assert!((root - std::f64::consts::SQRT_2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn brent_matches_bisect_on_transcendental() {
+        // The Δ(C) equation for exponential loads: βΔ = ln(1 + β(C + Δ)).
+        let beta = 0.01;
+        let c = 400.0;
+        let f = |d: f64| beta * d - (1.0 + beta * (c + d)).ln();
+        let b1 = bisect(f, 0.0, 10_000.0, 1e-10).unwrap();
+        let b2 = brent(f, 0.0, 10_000.0, 1e-12).unwrap();
+        assert!((b1 - b2).abs() < 1e-6, "bisect {b1} vs brent {b2}");
+    }
+
+    #[test]
+    fn brent_rejects_non_bracketing_interval() {
+        let err = brent(|x| x * x + 1.0, -1.0, 1.0, 1e-10).unwrap_err();
+        assert!(matches!(err, NumError::InvalidInput { .. }));
+    }
+
+    #[test]
+    fn bisect_rejects_non_bracketing_interval() {
+        let err = bisect(|x| x * x + 1.0, -1.0, 1.0, 1e-10).unwrap_err();
+        assert!(matches!(err, NumError::InvalidInput { .. }));
+    }
+
+    #[test]
+    fn expand_bracket_up_grows_until_sign_change() {
+        let br = expand_bracket_up(|x| x - 1000.0, 0.0, 1.0, 1e9).unwrap();
+        assert!(br.f_lo < 0.0 && br.f_hi >= 0.0);
+        assert!(br.lo <= 1000.0 && br.hi >= 1000.0);
+        let root = brent(|x| x - 1000.0, br.lo, br.hi, 1e-12).unwrap();
+        assert!((root - 1000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn expand_bracket_up_reports_failure() {
+        let err = expand_bracket_up(|_| -1.0, 0.0, 1.0, 100.0).unwrap_err();
+        assert!(matches!(err, NumError::NoBracket { .. }));
+    }
+
+    #[test]
+    fn expand_bracket_zero_at_start() {
+        let br = expand_bracket_up(|x| x, 0.0, 1.0, 10.0).unwrap();
+        assert_eq!(br.lo, 0.0);
+        assert_eq!(br.hi, 0.0);
+    }
+
+    #[test]
+    fn brent_endpoint_root() {
+        assert_eq!(brent(|x| x, 0.0, 1.0, 1e-12).unwrap(), 0.0);
+        assert_eq!(brent(|x| x - 1.0, 0.0, 1.0, 1e-12).unwrap(), 1.0);
+    }
+
+    #[test]
+    fn brent_handles_steep_function() {
+        // f rises through zero extremely steeply; Brent must stay bracketed.
+        let root = brent(|x| (1e8 * (x - 0.3)).tanh(), 0.0, 1.0, 1e-13).unwrap();
+        assert!((root - 0.3).abs() < 1e-7);
+    }
+}

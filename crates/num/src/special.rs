@@ -1,0 +1,271 @@
+//! Special functions: `ln Γ` and the Lambert `W` function.
+//!
+//! `ln_gamma` underlies numerically stable Poisson probabilities
+//! (`P(k) = exp(k ln ν − ν − ln Γ(k+1))`). The two real branches of Lambert
+//! `W` solve the welfare first-order conditions of §4: for exponential loads
+//! the optimal best-effort capacity satisfies `p = βC e^{−βC}`, i.e.
+//! `βC = −W(−p)` with the economically relevant (largest-capacity) solution
+//! on the `W₋₁` branch.
+
+use crate::error::{NumError, NumResult};
+
+/// Lanczos coefficients (g = 7, n = 9), standard double-precision set.
+const LANCZOS_G: f64 = 7.0;
+const LANCZOS: [f64; 9] = [
+    0.999_999_999_999_81,
+    676.520_368_121_885_1,
+    -1_259.139_216_722_402_8,
+    771.323_428_777_653_1,
+    -176.615_029_162_140_6,
+    12.507_343_278_686_905,
+    -0.138_571_095_265_720_12,
+    9.984_369_578_019_572e-6,
+    1.505_632_735_149_311_6e-7,
+];
+
+/// Natural log of the Gamma function for `x > 0`.
+///
+/// Lanczos approximation, accurate to ~1e-13 relative over the positive
+/// reals. Returns `+∞` for `x = 0` (pole) and NaN for negative input, which
+/// this workspace never produces.
+#[must_use]
+pub fn ln_gamma(x: f64) -> f64 {
+    if x <= 0.0 {
+        return if x == 0.0 { f64::INFINITY } else { f64::NAN };
+    }
+    if x < 0.5 {
+        // Reflection: Γ(x)Γ(1−x) = π / sin(πx).
+        let pi = std::f64::consts::PI;
+        return (pi / (pi * x).sin()).ln() - ln_gamma(1.0 - x);
+    }
+    let x = x - 1.0;
+    let mut acc = LANCZOS[0];
+    for (i, &c) in LANCZOS.iter().enumerate().skip(1) {
+        acc += c / (x + i as f64);
+    }
+    let t = x + LANCZOS_G + 0.5;
+    let half_ln_2pi = 0.918_938_533_204_672_7; // ln(2π)/2
+    half_ln_2pi + (x + 0.5) * t.ln() - t + acc.ln()
+}
+
+/// Principal branch `W₀` of the Lambert W function: the solution `w ≥ −1` of
+/// `w e^w = x`, defined for `x ≥ −1/e`.
+///
+/// Halley iteration from a branch-appropriate initial guess; converges to
+/// machine precision in a handful of steps.
+///
+/// # Errors
+///
+/// [`NumError::InvalidInput`] for `x < −1/e` (no real solution).
+pub fn lambert_w0(x: f64) -> NumResult<f64> {
+    let inv_e = (-1.0f64).exp();
+    if x < -inv_e - 1e-15 {
+        return Err(NumError::InvalidInput { what: "lambert_w0 requires x >= -1/e" });
+    }
+    if x == 0.0 {
+        return Ok(0.0);
+    }
+    let x = x.max(-inv_e);
+    // Initial guess: series near the branch point, log asymptote for large x.
+    let mut w = if x < -0.25 {
+        let p = (2.0 * (std::f64::consts::E * x + 1.0)).sqrt();
+        -1.0 + p - p * p / 3.0
+    } else if x < 1.0 {
+        // w ≈ x(1 − x + 1.5x²) near zero.
+        x * (1.0 - x + 1.5 * x * x)
+    } else {
+        let l = x.ln();
+        l - l.ln().max(0.0)
+    };
+    halley(x, &mut w)?;
+    Ok(w)
+}
+
+/// Secondary real branch `W₋₁`: the solution `w ≤ −1` of `w e^w = x`,
+/// defined for `−1/e ≤ x < 0`.
+///
+/// # Errors
+///
+/// [`NumError::InvalidInput`] outside the domain.
+pub fn lambert_wm1(x: f64) -> NumResult<f64> {
+    let inv_e = (-1.0f64).exp();
+    if !(x < 0.0) || x < -inv_e - 1e-15 {
+        return Err(NumError::InvalidInput { what: "lambert_wm1 requires -1/e <= x < 0" });
+    }
+    let x = x.max(-inv_e);
+    // Initial guess: near the branch point use the square-root expansion,
+    // near zero use the double-log asymptote w ≈ ln(−x) − ln(−ln(−x)).
+    let mut w = if x > -0.25 {
+        let l1 = (-x).ln();
+        let l2 = (-l1).ln();
+        l1 - l2
+    } else {
+        let p = (2.0 * (std::f64::consts::E * x + 1.0)).sqrt();
+        -1.0 - p - p * p / 3.0
+    };
+    halley(x, &mut w)?;
+    Ok(w)
+}
+
+/// Halley's iteration on `f(w) = w e^w − x`, quadratically-cubically
+/// convergent; mutates `w` in place.
+fn halley(x: f64, w: &mut f64) -> NumResult<()> {
+    for _ in 0..64 {
+        let ew = w.exp();
+        let f = *w * ew - x;
+        if f == 0.0 {
+            return Ok(());
+        }
+        let denom = ew * (*w + 1.0) - (*w + 2.0) * f / (2.0 * *w + 2.0);
+        let dw = f / denom;
+        if !dw.is_finite() {
+            // Derivative vanishes at the branch point w = −1; the current
+            // iterate is as good as Halley can make it there.
+            break;
+        }
+        *w -= dw;
+        if dw.abs() <= 1e-15 * (1.0 + w.abs()) {
+            return Ok(());
+        }
+    }
+    // Accept the best iterate if the residual is already tiny (happens at
+    // the branch point where the derivative vanishes).
+    let residual = *w * w.exp() - x;
+    if residual.abs() <= 1e-10 * (1.0 + x.abs()) {
+        Ok(())
+    } else {
+        Err(NumError::MaxIterations { what: "lambert halley", iterations: 64 })
+    }
+}
+
+/// Erlang-B blocking probability: an M/M/c/c loss system with `servers`
+/// circuits and `offered` erlangs blocks a fraction
+///
+/// ```text
+/// B(c, a) = (a^c/c!) / Σ_{j=0}^{c} a^j/j!
+/// ```
+///
+/// of arrivals. Computed by the standard stable recurrence
+/// `B_0 = 1, B_j = a·B_{j−1}/(j + a·B_{j−1})`. This is the telephony
+/// ancestor of the paper's reservation blocking; the simulator's
+/// admission-controlled runs are validated against it.
+///
+/// # Panics
+///
+/// Panics on negative offered load.
+#[must_use]
+pub fn erlang_b(servers: u64, offered: f64) -> f64 {
+    assert!(offered >= 0.0, "offered load must be nonnegative");
+    if offered == 0.0 {
+        return 0.0;
+    }
+    let mut b = 1.0f64;
+    for j in 1..=servers {
+        b = offered * b / (j as f64 + offered * b);
+    }
+    b
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn erlang_b_reference_values() {
+        // Classic engineering-table values.
+        assert!((erlang_b(1, 1.0) - 0.5).abs() < 1e-12);
+        // B(2, 1) = (1/2)/(1 + 1 + 1/2) = 0.2.
+        assert!((erlang_b(2, 1.0) - 0.2).abs() < 1e-12);
+        // 10 circuits at 5 erlangs ≈ 1.84% blocking (standard table).
+        assert!((erlang_b(10, 5.0) - 0.018_385).abs() < 1e-5, "{}", erlang_b(10, 5.0));
+        // Heavily overloaded: blocking → 1 − c/a.
+        assert!((erlang_b(10, 100.0) - (1.0 - 10.0 / 100.0)).abs() < 0.01);
+    }
+
+    #[test]
+    fn erlang_b_monotonicity() {
+        // Decreasing in servers, increasing in load.
+        assert!(erlang_b(20, 15.0) < erlang_b(15, 15.0));
+        assert!(erlang_b(20, 18.0) > erlang_b(20, 12.0));
+        assert_eq!(erlang_b(5, 0.0), 0.0);
+    }
+
+    #[test]
+    fn ln_gamma_matches_factorials() {
+        for (n, fact) in [(1u32, 1.0f64), (2, 1.0), (3, 2.0), (5, 24.0), (10, 362_880.0)] {
+            let got = ln_gamma(f64::from(n));
+            assert!((got - fact.ln()).abs() < 1e-12, "Γ({n}): {got} vs {}", fact.ln());
+        }
+    }
+
+    #[test]
+    fn ln_gamma_half_integer() {
+        // Γ(1/2) = √π.
+        let got = ln_gamma(0.5);
+        assert!((got - std::f64::consts::PI.sqrt().ln()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ln_gamma_recurrence_large_argument() {
+        // Γ(x+1) = x·Γ(x) must hold to near machine precision everywhere,
+        // including large arguments where Stirling dominates.
+        for x in [0.7, 3.3, 42.0, 1000.5, 12345.25] {
+            let lhs = ln_gamma(x + 1.0);
+            let rhs = x.ln() + ln_gamma(x);
+            assert!((lhs - rhs).abs() <= 1e-11 * (1.0 + lhs.abs()), "x={x}: {lhs} vs {rhs}");
+        }
+    }
+
+    #[test]
+    fn ln_gamma_stirling_asymptote() {
+        // For large x, lnΓ(x) ≈ (x−1/2)ln x − x + ln(2π)/2 + 1/(12x).
+        let x = 1000.5f64;
+        let stirling =
+            (x - 0.5) * x.ln() - x + 0.5 * (2.0 * std::f64::consts::PI).ln() + 1.0 / (12.0 * x);
+        assert!((ln_gamma(x) - stirling).abs() < 1e-7, "got {}", ln_gamma(x));
+    }
+
+    #[test]
+    fn w0_roundtrip() {
+        for x in [-0.3, -0.1, 0.1, 0.5, 1.0, 2.0, 10.0, 1e6] {
+            let w = lambert_w0(x).unwrap();
+            assert!((w * w.exp() - x).abs() <= 1e-9 * (1.0 + x.abs()), "x={x} w={w}");
+        }
+    }
+
+    #[test]
+    fn wm1_roundtrip() {
+        for x in [-0.367, -0.3, -0.1, -0.01, -1e-6, -1e-12] {
+            let w = lambert_wm1(x).unwrap();
+            assert!((w * w.exp() - x).abs() <= 1e-9 * (1.0 + x.abs()), "x={x} w={w}");
+            assert!(w <= -1.0 + 1e-6, "wm1 branch violated: x={x} w={w}");
+        }
+    }
+
+    #[test]
+    fn branches_agree_at_branch_point() {
+        let x = -(-1.0f64).exp();
+        let w0 = lambert_w0(x).unwrap();
+        let wm1 = lambert_wm1(x).unwrap();
+        assert!((w0 + 1.0).abs() < 1e-5, "w0 at branch point: {w0}");
+        assert!((wm1 + 1.0).abs() < 1e-5, "wm1 at branch point: {wm1}");
+    }
+
+    #[test]
+    fn domains_are_enforced() {
+        assert!(lambert_w0(-1.0).is_err());
+        assert!(lambert_wm1(0.1).is_err());
+        assert!(lambert_wm1(-1.0).is_err());
+    }
+
+    #[test]
+    fn welfare_capacity_uses_wm1() {
+        // p = βC e^{−βC} with β = 0.01: the larger root βC = −W₋₁(−p).
+        let beta = 0.01;
+        let p = 0.05;
+        let bc = -lambert_wm1(-p).unwrap();
+        let c = bc / beta;
+        assert!((beta * c * (-beta * c).exp() - p).abs() < 1e-12);
+        assert!(c > 1.0 / beta, "must be the large-capacity branch");
+    }
+}

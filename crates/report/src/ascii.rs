@@ -1,0 +1,137 @@
+//! Terminal line charts — the workspace's figure renderer.
+
+use crate::series::Panel;
+
+/// Plot symbols assigned to successive series.
+const SYMBOLS: [char; 6] = ['*', '+', 'o', 'x', '#', '@'];
+
+/// Render a panel as an ASCII chart of the given size (interior plot area).
+///
+/// Each series is drawn with its own symbol; y-axis limits span all series,
+/// x is assumed shared/increasing. Collisions show the later symbol. The
+/// output ends with a legend line.
+#[must_use]
+pub fn render_panel(panel: &Panel, width: usize, height: usize) -> String {
+    let width = width.max(16);
+    let height = height.max(6);
+    let (mut x_min, mut x_max) = (f64::INFINITY, f64::NEG_INFINITY);
+    let (mut y_min, mut y_max) = (f64::INFINITY, f64::NEG_INFINITY);
+    for s in &panel.series {
+        for (&x, &y) in s.x.iter().zip(&s.y) {
+            if x.is_finite() {
+                x_min = x_min.min(x);
+                x_max = x_max.max(x);
+            }
+            if y.is_finite() {
+                y_min = y_min.min(y);
+                y_max = y_max.max(y);
+            }
+        }
+    }
+    if !x_min.is_finite() || !y_min.is_finite() {
+        return format!("{}\n(no finite data)\n", panel.title);
+    }
+    if (x_max - x_min).abs() < f64::MIN_POSITIVE {
+        x_max = x_min + 1.0;
+    }
+    if (y_max - y_min).abs() < f64::MIN_POSITIVE {
+        y_max = y_min + 1.0;
+    }
+    let mut grid = vec![vec![' '; width]; height];
+    for (si, s) in panel.series.iter().enumerate() {
+        let sym = SYMBOLS[si % SYMBOLS.len()];
+        for (&x, &y) in s.x.iter().zip(&s.y) {
+            if !x.is_finite() || !y.is_finite() {
+                continue;
+            }
+            let col = (((x - x_min) / (x_max - x_min)) * (width - 1) as f64).round() as usize;
+            let row = (((y - y_min) / (y_max - y_min)) * (height - 1) as f64).round() as usize;
+            let row = height - 1 - row.min(height - 1);
+            grid[row][col.min(width - 1)] = sym;
+        }
+    }
+    let mut out = String::new();
+    out.push_str(&format!("{}\n", panel.title));
+    out.push_str(&format!("{:>10.4} ┤", y_max));
+    out.extend(grid[0].iter());
+    out.push('\n');
+    for row in grid.iter().take(height - 1).skip(1) {
+        out.push_str("           │");
+        out.extend(row.iter());
+        out.push('\n');
+    }
+    out.push_str(&format!("{:>10.4} ┤", y_min));
+    out.extend(grid[height - 1].iter());
+    out.push('\n');
+    out.push_str(&format!("           └{}\n", "─".repeat(width)));
+    out.push_str(&format!(
+        "            {:<12.6}{:>width$.6}\n",
+        x_min,
+        x_max,
+        width = width.saturating_sub(12)
+    ));
+    out.push_str(&format!("            x: {}   y: {}\n", panel.xlabel, panel.ylabel));
+    let legend: Vec<String> = panel
+        .series
+        .iter()
+        .enumerate()
+        .map(|(i, s)| format!("{} {}", SYMBOLS[i % SYMBOLS.len()], s.label))
+        .collect();
+    out.push_str(&format!("            {}\n", legend.join("   ")));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::series::Series;
+
+    fn panel() -> Panel {
+        Panel {
+            title: "Utility".into(),
+            xlabel: "C".into(),
+            ylabel: "B(C)".into(),
+            series: vec![
+                Series::new("reservation", vec![0.0, 1.0, 2.0], vec![0.0, 0.8, 1.0]),
+                Series::new("best-effort", vec![0.0, 1.0, 2.0], vec![0.0, 0.4, 0.9]),
+            ],
+        }
+    }
+
+    #[test]
+    fn renders_title_axes_and_legend() {
+        let s = render_panel(&panel(), 40, 10);
+        assert!(s.contains("Utility"));
+        assert!(s.contains("reservation"));
+        assert!(s.contains("best-effort"));
+        assert!(s.contains("x: C"));
+        assert!(s.contains('*') && s.contains('+'));
+    }
+
+    #[test]
+    fn handles_empty_and_degenerate_data() {
+        let empty = Panel {
+            title: "e".into(),
+            xlabel: "x".into(),
+            ylabel: "y".into(),
+            series: vec![Series::new("s", vec![], vec![])],
+        };
+        assert!(render_panel(&empty, 30, 8).contains("no finite data"));
+        let flat = Panel {
+            title: "f".into(),
+            xlabel: "x".into(),
+            ylabel: "y".into(),
+            series: vec![Series::new("s", vec![1.0, 2.0], vec![5.0, 5.0])],
+        };
+        let out = render_panel(&flat, 30, 8);
+        assert!(out.contains('*'));
+    }
+
+    #[test]
+    fn grid_dimensions_respected() {
+        let s = render_panel(&panel(), 50, 12);
+        let plot_rows: Vec<&str> =
+            s.lines().filter(|l| l.contains('│') || l.contains('┤')).collect();
+        assert_eq!(plot_rows.len(), 12);
+    }
+}

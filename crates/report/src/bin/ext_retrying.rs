@@ -1,0 +1,8 @@
+//! Regenerate the §5.2 retrying-extension study. Pass `--fast` for the
+//! coarse preset.
+
+fn main() -> std::io::Result<()> {
+    let q = bevra_report::emit::cli_quality();
+    let fig = bevra_report::figures::ext_retrying(q);
+    bevra_report::emit::emit_figure(&fig, &bevra_report::emit::results_dir())
+}

@@ -1,0 +1,8 @@
+//! Regenerate the §5.1 sampling-extension study. Pass `--fast` for the
+//! coarse preset.
+
+fn main() -> std::io::Result<()> {
+    let q = bevra_report::emit::cli_quality();
+    let fig = bevra_report::figures::ext_sampling(q);
+    bevra_report::emit::emit_figure(&fig, &bevra_report::emit::results_dir())
+}

@@ -1,0 +1,6 @@
+//! Regenerate Figure 1 (the adaptive utility curve).
+
+fn main() -> std::io::Result<()> {
+    let fig = bevra_report::figures::fig1();
+    bevra_report::emit::emit_figure(&fig, &bevra_report::emit::results_dir())
+}

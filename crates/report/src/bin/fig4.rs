@@ -1,0 +1,8 @@
+//! Regenerate Figure 4 (algebraic load z = 3, six panels). Pass `--fast`
+//! for the coarse preset.
+
+fn main() -> std::io::Result<()> {
+    let q = bevra_report::emit::cli_quality();
+    let fig = bevra_report::figures::fig4(q);
+    bevra_report::emit::emit_figure(&fig, &bevra_report::emit::results_dir())
+}

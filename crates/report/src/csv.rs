@@ -1,0 +1,100 @@
+//! CSV export of figure panels.
+
+use crate::series::Panel;
+use std::io::Write;
+
+/// Write a panel as CSV: first column the x of the first series, one column
+/// per series. Assumes series share their x grid (true for every generated
+/// figure); panels with differing grids are written long-form instead.
+///
+/// # Errors
+///
+/// Propagates I/O errors.
+pub fn write_panel_csv(panel: &Panel, mut w: impl Write) -> std::io::Result<()> {
+    let shared_grid = panel
+        .series
+        .windows(2)
+        .all(|p| p[0].x == p[1].x);
+    if shared_grid && !panel.series.is_empty() {
+        write!(w, "{}", sanitize(&panel.xlabel))?;
+        for s in &panel.series {
+            write!(w, ",{}", sanitize(&s.label))?;
+        }
+        writeln!(w)?;
+        for (i, &x) in panel.series[0].x.iter().enumerate() {
+            write!(w, "{x}")?;
+            for s in &panel.series {
+                write!(w, ",{}", s.y[i])?;
+            }
+            writeln!(w)?;
+        }
+    } else {
+        writeln!(w, "series,{},{}", sanitize(&panel.xlabel), sanitize(&panel.ylabel))?;
+        for s in &panel.series {
+            for (&x, &y) in s.x.iter().zip(&s.y) {
+                writeln!(w, "{},{x},{y}", sanitize(&s.label))?;
+            }
+        }
+    }
+    Ok(())
+}
+
+fn sanitize(s: &str) -> String {
+    s.replace(',', ";")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::series::Series;
+
+    #[test]
+    fn shared_grid_wide_format() {
+        let p = Panel {
+            title: "t".into(),
+            xlabel: "C".into(),
+            ylabel: "u".into(),
+            series: vec![
+                Series::new("a", vec![1.0, 2.0], vec![0.1, 0.2]),
+                Series::new("b", vec![1.0, 2.0], vec![0.3, 0.4]),
+            ],
+        };
+        let mut buf = Vec::new();
+        write_panel_csv(&p, &mut buf).unwrap();
+        let s = String::from_utf8(buf).unwrap();
+        assert_eq!(s.lines().next().unwrap(), "C,a,b");
+        assert!(s.contains("1,0.1,0.3"));
+    }
+
+    #[test]
+    fn mismatched_grids_long_format() {
+        let p = Panel {
+            title: "t".into(),
+            xlabel: "C".into(),
+            ylabel: "u".into(),
+            series: vec![
+                Series::new("a", vec![1.0], vec![0.1]),
+                Series::new("b", vec![2.0, 3.0], vec![0.3, 0.4]),
+            ],
+        };
+        let mut buf = Vec::new();
+        write_panel_csv(&p, &mut buf).unwrap();
+        let s = String::from_utf8(buf).unwrap();
+        assert!(s.starts_with("series,C,u"));
+        assert!(s.contains("b,3,0.4"));
+    }
+
+    #[test]
+    fn commas_sanitized() {
+        let p = Panel {
+            title: "t".into(),
+            xlabel: "C, stuff".into(),
+            ylabel: "u".into(),
+            series: vec![Series::new("a,b", vec![1.0], vec![2.0])],
+        };
+        let mut buf = Vec::new();
+        write_panel_csv(&p, &mut buf).unwrap();
+        let s = String::from_utf8(buf).unwrap();
+        assert!(s.starts_with("C; stuff,a;b"));
+    }
+}

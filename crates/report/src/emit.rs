@@ -1,0 +1,70 @@
+//! Shared output pipeline for the figure binaries: print ASCII charts,
+//! persist JSON, and write per-panel CSVs.
+
+use crate::ascii::render_panel;
+use crate::csv::write_panel_csv;
+use crate::persist::save_figure;
+use crate::series::Figure;
+use std::path::Path;
+
+/// Print a figure to stdout and write `results/<id>.json` plus
+/// `results/<id>-panel<N>.csv`.
+///
+/// # Errors
+///
+/// Propagates I/O failures.
+pub fn emit_figure(fig: &Figure, dir: &Path) -> std::io::Result<()> {
+    println!("==== {} — {} ====\n", fig.id, fig.caption);
+    for (i, p) in fig.panels.iter().enumerate() {
+        println!("{}", render_panel(p, 72, 18));
+        let csv_path = dir.join(format!("{}-panel{}.csv", fig.id, i + 1));
+        std::fs::create_dir_all(dir)?;
+        let file = std::fs::File::create(&csv_path)?;
+        write_panel_csv(p, std::io::BufWriter::new(file))?;
+    }
+    let json = save_figure(fig, dir)?;
+    println!("saved {} and {} CSV panel file(s) in {}", json.display(), fig.panels.len(), dir.display());
+    Ok(())
+}
+
+/// Resolve the output directory (`results/` relative to the workspace root
+/// or cwd) and quality from CLI args: `--fast` selects the coarse preset.
+#[must_use]
+pub fn cli_quality() -> crate::figures::Quality {
+    if std::env::args().any(|a| a == "--fast") {
+        crate::figures::Quality::Fast
+    } else {
+        crate::figures::Quality::Full
+    }
+}
+
+/// Default results directory.
+#[must_use]
+pub fn results_dir() -> std::path::PathBuf {
+    std::path::PathBuf::from("results")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::series::{Panel, Series};
+
+    #[test]
+    fn emit_writes_all_artifacts() {
+        let fig = Figure {
+            id: "emit-test".into(),
+            caption: "c".into(),
+            panels: vec![Panel {
+                title: "p".into(),
+                xlabel: "x".into(),
+                ylabel: "y".into(),
+                series: vec![Series::new("s", vec![0.0, 1.0], vec![0.0, 1.0])],
+            }],
+        };
+        let dir = std::env::temp_dir().join("bevra-emit-test");
+        emit_figure(&fig, &dir).unwrap();
+        assert!(dir.join("emit-test.json").exists());
+        assert!(dir.join("emit-test-panel1.csv").exists());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

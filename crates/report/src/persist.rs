@@ -1,0 +1,59 @@
+//! JSON persistence of regenerated figures (for diffing across runs).
+
+use crate::series::Figure;
+use std::path::Path;
+
+/// Save a figure as pretty JSON at `dir/<figure id>.json`.
+///
+/// # Errors
+///
+/// Propagates I/O and serialization errors.
+pub fn save_figure(fig: &Figure, dir: &Path) -> std::io::Result<std::path::PathBuf> {
+    std::fs::create_dir_all(dir)?;
+    let path = dir.join(format!("{}.json", fig.id));
+    let json = serde_json::to_string_pretty(fig)
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
+    std::fs::write(&path, json)?;
+    Ok(path)
+}
+
+/// Load a previously saved figure.
+///
+/// # Errors
+///
+/// Propagates I/O and deserialization errors.
+pub fn load_figure(path: &Path) -> std::io::Result<Figure> {
+    let json = std::fs::read_to_string(path)?;
+    serde_json::from_str(&json)
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::series::{Panel, Series};
+
+    #[test]
+    fn save_load_roundtrip() {
+        let fig = Figure {
+            id: "unit-test-fig".into(),
+            caption: "roundtrip".into(),
+            panels: vec![Panel {
+                title: "p".into(),
+                xlabel: "x".into(),
+                ylabel: "y".into(),
+                series: vec![Series::new("s", vec![1.0], vec![2.0])],
+            }],
+        };
+        let dir = std::env::temp_dir().join("bevra-persist-test");
+        let path = save_figure(&fig, &dir).unwrap();
+        let back = load_figure(&path).unwrap();
+        assert_eq!(fig, back);
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn load_missing_file_errors() {
+        assert!(load_figure(Path::new("/nonexistent/fig.json")).is_err());
+    }
+}

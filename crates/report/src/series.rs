@@ -1,0 +1,79 @@
+//! Data model for regenerated figures.
+
+use serde::{Deserialize, Serialize};
+
+/// One named curve.
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+pub struct Series {
+    /// Legend label.
+    pub label: String,
+    /// Abscissae.
+    pub x: Vec<f64>,
+    /// Ordinates (same length as `x`).
+    pub y: Vec<f64>,
+}
+
+impl Series {
+    /// New series.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` and `y` lengths differ.
+    #[must_use]
+    pub fn new(label: impl Into<String>, x: Vec<f64>, y: Vec<f64>) -> Self {
+        assert_eq!(x.len(), y.len(), "series coordinates must pair up");
+        Self { label: label.into(), x, y }
+    }
+}
+
+/// One panel of a figure (one plot).
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+pub struct Panel {
+    /// Panel title, e.g. `"Bandwidth Gap - Rigid Applications"`.
+    pub title: String,
+    /// X-axis label.
+    pub xlabel: String,
+    /// Y-axis label.
+    pub ylabel: String,
+    /// Curves.
+    pub series: Vec<Series>,
+}
+
+/// A regenerated figure: several panels plus identification.
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+pub struct Figure {
+    /// Identifier matching DESIGN.md's experiment index (e.g. `"fig3"`).
+    pub id: String,
+    /// Human caption.
+    pub caption: String,
+    /// Panels in paper order.
+    pub panels: Vec<Panel>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn series_roundtrips_through_json() {
+        let fig = Figure {
+            id: "figX".into(),
+            caption: "test".into(),
+            panels: vec![Panel {
+                title: "t".into(),
+                xlabel: "C".into(),
+                ylabel: "B".into(),
+                series: vec![Series::new("best-effort", vec![1.0, 2.0], vec![0.1, 0.2])],
+            }],
+        };
+        let json = serde_json::to_string(&fig).unwrap();
+        let back: Figure = serde_json::from_str(&json).unwrap();
+        assert_eq!(fig, back);
+    }
+
+    #[test]
+    #[should_panic(expected = "must pair up")]
+    fn mismatched_lengths_rejected() {
+        let _ = Series::new("bad", vec![1.0], vec![]);
+    }
+}

@@ -1,0 +1,63 @@
+//! Markdown table rendering for EXPERIMENTS.md-style comparisons.
+
+/// Render a Markdown table from a header and rows. Cells are plain strings;
+/// numbers should be formatted by the caller (so precision stays an
+/// experiment-level decision).
+///
+/// # Panics
+///
+/// Panics if any row's length differs from the header's.
+#[must_use]
+pub fn markdown_table(header: &[&str], rows: &[Vec<String>]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("| {} |\n", header.join(" | ")));
+    out.push_str(&format!("|{}\n", "---|".repeat(header.len())));
+    for row in rows {
+        assert_eq!(row.len(), header.len(), "row width must match header");
+        out.push_str(&format!("| {} |\n", row.join(" | ")));
+    }
+    out
+}
+
+/// Format a float compactly for tables: scientific below 1e−3, fixed
+/// otherwise.
+#[must_use]
+pub fn fmt(v: f64) -> String {
+    if v == 0.0 {
+        "0".to_string()
+    } else if v.abs() < 1e-3 || v.abs() >= 1e6 {
+        format!("{v:.3e}")
+    } else {
+        format!("{v:.4}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_markdown() {
+        let t = markdown_table(
+            &["quantity", "paper", "measured"],
+            &[vec!["δ(2k̄)".into(), "0.27".into(), fmt(0.2712)]],
+        );
+        assert!(t.starts_with("| quantity | paper | measured |"));
+        assert!(t.contains("|---|---|---|"));
+        assert!(t.contains("0.2712"));
+    }
+
+    #[test]
+    fn fmt_switches_notation() {
+        assert_eq!(fmt(0.0), "0");
+        assert!(fmt(1e-9).contains('e'));
+        assert_eq!(fmt(0.25), "0.2500");
+        assert!(fmt(2.5e7).contains('e'));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn mismatched_row_rejected() {
+        let _ = markdown_table(&["a", "b"], &[vec!["only".into()]]);
+    }
+}

@@ -1,0 +1,142 @@
+//! Link disciplines: best-effort sharing versus reservation admission
+//! control with optional retries.
+
+/// Retry behaviour of blocked reservation requests (§5.2 made mechanistic).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetryPolicy {
+    /// Maximum retries before the flow gives up (counts attempts after the
+    /// first).
+    pub max_retries: u32,
+    /// Mean of the exponential backoff before each retry.
+    pub backoff_mean: f64,
+    /// Utility penalty per retry — the paper's `α`.
+    pub penalty: f64,
+}
+
+impl RetryPolicy {
+    /// Convenience constructor.
+    ///
+    /// # Panics
+    ///
+    /// Panics on nonpositive backoff or a penalty outside `[0, 1]`.
+    #[must_use]
+    pub fn new(max_retries: u32, backoff_mean: f64, penalty: f64) -> Self {
+        assert!(backoff_mean > 0.0, "backoff mean must be positive");
+        assert!((0.0..=1.0).contains(&penalty), "penalty must be in [0, 1]");
+        Self { max_retries, backoff_mean, penalty }
+    }
+}
+
+/// How the link treats flows.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Discipline {
+    /// Every flow is admitted; all active flows share the capacity equally.
+    BestEffort,
+    /// At most `k_max` concurrent flows; a request arriving at the limit is
+    /// blocked (scoring zero utility) or, with a [`RetryPolicy`], comes
+    /// back after a backoff.
+    Reservation {
+        /// Admission threshold `k_max(C)`.
+        k_max: u64,
+        /// Optional retry behaviour for blocked requests.
+        retry: Option<RetryPolicy>,
+    },
+    /// Measurement-based admission control in the spirit of the
+    /// integrated-services literature the paper builds on (Jamin et al.,
+    /// ToN 1997): instead of the instantaneous population, admission
+    /// consults an EWMA estimate of the load, admitting while
+    /// `estimate + 1 ≤ C / target_share`. Burstier than the hard threshold
+    /// — it over-admits after quiet periods and under-admits after busy
+    /// ones, which is exactly the behaviour the benches quantify.
+    MeasurementBased {
+        /// Per-flow bandwidth the controller tries to protect (the rigid
+        /// b̄, or the adaptive knee).
+        target_share: f64,
+        /// EWMA weight in (0, 1]: 1 = instantaneous (threshold behaviour).
+        ewma_weight: f64,
+        /// Optional retry behaviour for blocked requests.
+        retry: Option<RetryPolicy>,
+    },
+}
+
+impl Discipline {
+    /// Whether a new flow may join, given the instantaneous population and
+    /// the admission controller's current load estimate (ignored by the
+    /// non-measured variants).
+    #[must_use]
+    pub fn admits(&self, current: u64, estimate: f64, capacity: f64) -> bool {
+        match *self {
+            Discipline::BestEffort => true,
+            Discipline::Reservation { k_max, .. } => current < k_max,
+            Discipline::MeasurementBased { target_share, .. } => {
+                (estimate + 1.0) * target_share <= capacity
+            }
+        }
+    }
+
+    /// The retry policy, if any.
+    #[must_use]
+    pub fn retry_policy(&self) -> Option<RetryPolicy> {
+        match *self {
+            Discipline::Reservation { retry, .. }
+            | Discipline::MeasurementBased { retry, .. } => retry,
+            Discipline::BestEffort => None,
+        }
+    }
+
+    /// The EWMA weight of a measurement-based controller (`None` otherwise).
+    #[must_use]
+    pub fn ewma_weight(&self) -> Option<f64> {
+        match *self {
+            Discipline::MeasurementBased { ewma_weight, .. } => Some(ewma_weight),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn best_effort_always_admits() {
+        assert!(Discipline::BestEffort.admits(0, 0.0, 1.0));
+        assert!(Discipline::BestEffort.admits(1_000_000, 1e9, 1.0));
+        assert!(Discipline::BestEffort.retry_policy().is_none());
+    }
+
+    #[test]
+    fn reservation_enforces_threshold() {
+        let d = Discipline::Reservation { k_max: 10, retry: None };
+        assert!(d.admits(9, 0.0, 10.0));
+        assert!(!d.admits(10, 0.0, 10.0));
+        assert!(!d.admits(11, 0.0, 10.0));
+    }
+
+    #[test]
+    fn measurement_based_consults_estimate_not_population() {
+        let d = Discipline::MeasurementBased {
+            target_share: 1.0,
+            ewma_weight: 0.1,
+            retry: None,
+        };
+        // Population is irrelevant; the estimate is what gates admission.
+        assert!(d.admits(1_000, 5.0, 10.0));
+        assert!(!d.admits(0, 9.5, 10.0));
+        assert_eq!(d.ewma_weight(), Some(0.1));
+        assert_eq!(Discipline::BestEffort.ewma_weight(), None);
+    }
+
+    #[test]
+    fn retry_policy_roundtrip() {
+        let rp = RetryPolicy::new(3, 2.0, 0.1);
+        let d = Discipline::Reservation { k_max: 5, retry: Some(rp) };
+        assert_eq!(d.retry_policy(), Some(rp));
+    }
+
+    #[test]
+    #[should_panic(expected = "penalty must be in [0, 1]")]
+    fn bad_penalty_rejected() {
+        let _ = RetryPolicy::new(1, 1.0, 2.0);
+    }
+}

@@ -1,0 +1,581 @@
+//! The event loop: wiring arrivals, holding times, the link discipline, and
+//! measurement into one deterministic simulation.
+
+use crate::arrivals::MixedPoisson;
+use crate::census::Census;
+use crate::events::{Entry, EventKind};
+use crate::holding::HoldingDist;
+use crate::link::Discipline;
+use crate::queue::{BinaryHeapQueue, EventQueue};
+use crate::stats::Welford;
+use bevra_load::Tabulated;
+use bevra_utility::Utility;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+
+/// Complete configuration of one simulation run.
+#[derive(Clone)]
+pub struct SimConfig {
+    /// Link capacity `C`.
+    pub capacity: f64,
+    /// Best-effort or reservation (+ optional retries).
+    pub discipline: Discipline,
+    /// Arrival process.
+    pub arrivals: MixedPoisson,
+    /// Holding-time distribution.
+    pub holding: HoldingDist,
+    /// Application utility `π`.
+    pub utility: Arc<dyn Utility>,
+    /// Warm-up time excluded from all statistics.
+    pub warmup: f64,
+    /// Measured horizon after warm-up.
+    pub horizon: f64,
+    /// RNG seed — equal seeds give bit-identical runs.
+    pub seed: u64,
+}
+
+/// Aggregated results of a run.
+#[derive(Debug, Clone)]
+pub struct SimReport {
+    /// Flows that completed service within the measured window.
+    pub completed: u64,
+    /// Original flows permanently lost (blocked and out of retries).
+    pub lost: u64,
+    /// Total blocked admission attempts (including retried ones).
+    pub blocked_attempts: u64,
+    /// Total admission attempts.
+    pub attempts: u64,
+    /// Total retry events.
+    pub retries: u64,
+    /// Utility evaluated at the admission instant (`π(C/k)` with `k` the
+    /// population including the new flow — the basic model's view via
+    /// PASTA); blocked flows count 0, retry penalties subtracted.
+    pub utility_at_admission: Welford,
+    /// Utility time-averaged over each flow's lifetime.
+    pub utility_time_avg: Welford,
+    /// Utility at the worst (largest) population each flow experienced —
+    /// the mechanistic analogue of the §5.1 sampling extension's max-of-`S`.
+    pub utility_worst: Welford,
+    /// Time-weighted occupancy census over the measured window.
+    pub census: Census,
+}
+
+impl SimReport {
+    /// Per-attempt blocking probability.
+    #[must_use]
+    pub fn blocking_rate(&self) -> f64 {
+        if self.attempts == 0 {
+            0.0
+        } else {
+            self.blocked_attempts as f64 / self.attempts as f64
+        }
+    }
+
+    /// Empirical occupancy distribution.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the run observed no time (zero horizon).
+    #[must_use]
+    pub fn occupancy(&self) -> Tabulated {
+        self.census.occupancy()
+    }
+}
+
+struct FlowSlot {
+    admit_time: f64,
+    integral_at_admit: f64,
+    max_pop: u64,
+    retries: u32,
+    util_at_admission: f64,
+    /// Position in the active list (for O(1) swap-removal).
+    active_pos: usize,
+}
+
+/// One simulation instance. Create with [`Simulation::new`], run with
+/// [`Simulation::run`].
+pub struct Simulation {
+    cfg: SimConfig,
+}
+
+impl Simulation {
+    /// New simulation from a config.
+    ///
+    /// # Panics
+    ///
+    /// Panics on nonpositive capacity or horizon.
+    #[must_use]
+    pub fn new(cfg: SimConfig) -> Self {
+        assert!(cfg.capacity > 0.0, "capacity must be positive");
+        assert!(cfg.horizon > 0.0, "horizon must be positive");
+        assert!(cfg.warmup >= 0.0, "warmup must be nonnegative");
+        Self { cfg }
+    }
+
+    /// Execute the run to completion and aggregate the report.
+    #[allow(clippy::too_many_lines)]
+    #[must_use]
+    pub fn run(&self) -> SimReport {
+        let cfg = &self.cfg;
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let mut arrivals = cfg.arrivals.clone();
+        let mut queue = BinaryHeapQueue::new();
+        let mut seq: u64 = 0;
+        let end = cfg.warmup + cfg.horizon;
+
+        // Flow storage: slab + free list + active index list.
+        let mut slots: Vec<FlowSlot> = Vec::new();
+        let mut free: Vec<u32> = Vec::new();
+        let mut active: Vec<u32> = Vec::new();
+
+        // Running state.
+        let mut t = 0.0f64;
+        let mut n: u64 = 0; // current population
+        let mut integral = 0.0f64; // ∫ π(C/n(s)) ds (0 when n = 0)
+        let mut census = Census::new();
+        // Sequence number of the one live pending Arrival event: a
+        // modulation switch replaces it, and the superseded event (still in
+        // the queue) is discarded when popped.
+        let mut live_arrival_seq: u64;
+        // Load estimate for measurement-based admission (EWMA over the
+        // population seen at arrival instants).
+        let mut load_estimate = 0.0f64;
+
+        let mut report = SimReport {
+            completed: 0,
+            lost: 0,
+            blocked_attempts: 0,
+            attempts: 0,
+            retries: 0,
+            utility_at_admission: Welford::new(),
+            utility_time_avg: Welford::new(),
+            utility_worst: Welford::new(),
+            census: Census::new(),
+        };
+
+        let push = |q: &mut BinaryHeapQueue, time: f64, kind: EventKind, seq: &mut u64| {
+            q.push(Entry { time, seq: *seq, kind });
+            *seq += 1;
+        };
+
+        // Seed the initial arrival and (if modulated) the first switch.
+        arrivals.switch(&mut rng);
+        live_arrival_seq = seq;
+        push(&mut queue, arrivals.next_interarrival(&mut rng), EventKind::Arrival, &mut seq);
+        let first_sojourn = arrivals.next_sojourn(&mut rng);
+        if first_sojourn.is_finite() {
+            push(&mut queue, first_sojourn, EventKind::ModulationSwitch, &mut seq);
+        }
+
+        let pi = |pop: u64| -> f64 {
+            if pop == 0 {
+                0.0
+            } else {
+                cfg.utility.value(cfg.capacity / pop as f64)
+            }
+        };
+
+        while let Some(ev) = queue.pop() {
+            if ev.time > end {
+                break;
+            }
+            // Advance clocks: accumulate the utility integral and the
+            // census dwell (clipped to the measured window).
+            let dt = ev.time - t;
+            if dt > 0.0 {
+                integral += pi(n) * dt;
+                let meas_lo = t.max(cfg.warmup);
+                let meas_hi = ev.time.min(end);
+                if meas_hi > meas_lo {
+                    census.dwell(n, meas_hi - meas_lo);
+                }
+                t = ev.time;
+            }
+
+            match ev.kind {
+                EventKind::ModulationSwitch => {
+                    arrivals.switch(&mut rng);
+                    // Redraw the pending arrival at the new rate (valid by
+                    // memorylessness of the exponential); the superseded
+                    // arrival event is dropped when popped.
+                    let ia = arrivals.next_interarrival(&mut rng);
+                    if ia.is_finite() {
+                        live_arrival_seq = seq;
+                        push(&mut queue, t + ia, EventKind::Arrival, &mut seq);
+                    }
+                    let so = arrivals.next_sojourn(&mut rng);
+                    if so.is_finite() {
+                        push(&mut queue, t + so, EventKind::ModulationSwitch, &mut seq);
+                    }
+                }
+                EventKind::Arrival => {
+                    if ev.seq != live_arrival_seq {
+                        // Superseded by a modulation switch: skip.
+                        continue;
+                    }
+                    let measured = t >= cfg.warmup;
+                    if measured {
+                        census.arrival_saw(n);
+                    }
+                    if let Some(w) = cfg.discipline.ewma_weight() {
+                        load_estimate = (1.0 - w) * load_estimate + w * n as f64;
+                    }
+                    self.handle_admission_attempt(
+                        t,
+                        0,
+                        None,
+                        measured,
+                        load_estimate,
+                        &mut rng,
+                        &mut slots,
+                        &mut free,
+                        &mut active,
+                        &mut n,
+                        integral,
+                        &mut queue,
+                        &mut seq,
+                        &mut report,
+                    );
+                    // Next arrival of the live stream.
+                    let ia = arrivals.next_interarrival(&mut rng);
+                    if ia.is_finite() {
+                        live_arrival_seq = seq;
+                        push(&mut queue, t + ia, EventKind::Arrival, &mut seq);
+                    }
+                }
+                EventKind::Retry { attempt, holding, first_arrival } => {
+                    let measured = first_arrival >= cfg.warmup;
+                    report.retries += 1;
+                    self.handle_admission_attempt(
+                        t,
+                        attempt,
+                        Some(holding),
+                        measured,
+                        load_estimate,
+                        &mut rng,
+                        &mut slots,
+                        &mut free,
+                        &mut active,
+                        &mut n,
+                        integral,
+                        &mut queue,
+                        &mut seq,
+                        &mut report,
+                    );
+                }
+                EventKind::Departure { slot } => {
+                    let s = &slots[slot as usize];
+                    let duration = t - s.admit_time;
+                    let penalty = self
+                        .cfg
+                        .discipline
+                        .retry_policy()
+                        .map_or(0.0, |rp| rp.penalty * f64::from(s.retries));
+                    let measured = s.admit_time >= cfg.warmup && t <= end;
+                    if measured {
+                        let time_avg = if duration > 0.0 {
+                            (integral - s.integral_at_admit) / duration
+                        } else {
+                            s.util_at_admission
+                        };
+                        report.completed += 1;
+                        report.utility_at_admission.add(s.util_at_admission - penalty);
+                        report.utility_time_avg.add(time_avg - penalty);
+                        report.utility_worst.add(pi(s.max_pop) - penalty);
+                    }
+                    // Remove from the active list by swap.
+                    let pos = s.active_pos;
+                    let last = *active.last().expect("active nonempty on departure");
+                    active.swap_remove(pos);
+                    if pos < active.len() {
+                        slots[last as usize].active_pos = pos;
+                    }
+                    free.push(slot);
+                    n -= 1;
+                }
+            }
+        }
+
+        report.census = census;
+        report
+    }
+
+    /// Shared admission logic for fresh arrivals and retries.
+    #[allow(clippy::too_many_arguments)]
+    fn handle_admission_attempt(
+        &self,
+        t: f64,
+        attempt: u32,
+        holding_carryover: Option<f64>,
+        measured: bool,
+        load_estimate: f64,
+        rng: &mut StdRng,
+        slots: &mut Vec<FlowSlot>,
+        free: &mut Vec<u32>,
+        active: &mut Vec<u32>,
+        n: &mut u64,
+        integral: f64,
+        queue: &mut BinaryHeapQueue,
+        seq: &mut u64,
+        report: &mut SimReport,
+    ) {
+        let cfg = &self.cfg;
+        if measured {
+            report.attempts += 1;
+        }
+        if cfg.discipline.admits(*n, load_estimate, cfg.capacity) {
+            *n += 1;
+            let pop = *n;
+            let util = cfg.utility.value(cfg.capacity / pop as f64);
+            let holding = holding_carryover.unwrap_or_else(|| cfg.holding.sample(rng));
+            let slot_id = free.pop().unwrap_or_else(|| {
+                slots.push(FlowSlot {
+                    admit_time: 0.0,
+                    integral_at_admit: 0.0,
+                    max_pop: 0,
+                    retries: 0,
+                    util_at_admission: 0.0,
+                    active_pos: 0,
+                });
+                (slots.len() - 1) as u32
+            });
+            let s = &mut slots[slot_id as usize];
+            s.admit_time = t;
+            s.integral_at_admit = integral;
+            s.max_pop = pop;
+            s.retries = attempt;
+            s.util_at_admission = util;
+            s.active_pos = active.len();
+            active.push(slot_id);
+            // The newcomer raises everyone's worst-case population.
+            for &a in active.iter() {
+                let m = &mut slots[a as usize].max_pop;
+                if pop > *m {
+                    *m = pop;
+                }
+            }
+            queue.push(Entry {
+                time: t + holding,
+                seq: *seq,
+                kind: EventKind::Departure { slot: slot_id },
+            });
+            *seq += 1;
+        } else {
+            if measured {
+                report.blocked_attempts += 1;
+            }
+            match cfg.discipline.retry_policy() {
+                Some(rp) if attempt < rp.max_retries => {
+                    let backoff =
+                        bevra_load::ExpSampler::new(1.0 / rp.backoff_mean).sample(rng);
+                    let holding =
+                        holding_carryover.unwrap_or_else(|| cfg.holding.sample(rng));
+                    queue.push(Entry {
+                        time: t + backoff,
+                        seq: *seq,
+                        kind: EventKind::Retry {
+                            attempt: attempt + 1,
+                            holding,
+                            first_arrival: t,
+                        },
+                    });
+                    *seq += 1;
+                }
+                _ => {
+                    // Permanently lost: utility 0 minus accumulated retry
+                    // penalties.
+                    if measured {
+                        let penalty = cfg
+                            .discipline
+                            .retry_policy()
+                            .map_or(0.0, |rp| rp.penalty * f64::from(attempt));
+                        report.lost += 1;
+                        report.utility_at_admission.add(-penalty);
+                        report.utility_time_avg.add(-penalty);
+                        report.utility_worst.add(-penalty);
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::link::RetryPolicy;
+    use bevra_utility::{AdaptiveExp, Rigid, Saturating};
+
+    fn base_cfg(capacity: f64, discipline: Discipline) -> SimConfig {
+        SimConfig {
+            capacity,
+            discipline,
+            // M/M/∞ with offered load 20 erlangs.
+            arrivals: MixedPoisson::fixed(20.0),
+            holding: HoldingDist::Exponential { mean: 1.0 },
+            utility: Arc::new(AdaptiveExp::paper()),
+            warmup: 50.0,
+            horizon: 2_000.0,
+            seed: 42,
+        }
+    }
+
+    #[test]
+    fn mm_infinity_occupancy_is_poisson() {
+        let report = Simulation::new(base_cfg(40.0, Discipline::BestEffort)).run();
+        let occ = report.occupancy();
+        // Mean ≈ 20, variance ≈ 20 (Poisson).
+        assert!((occ.mean() - 20.0).abs() < 1.0, "mean {}", occ.mean());
+        assert!((occ.variance() - 20.0).abs() < 3.0, "var {}", occ.variance());
+    }
+
+    #[test]
+    fn pasta_arrival_view_matches_time_view() {
+        let report = Simulation::new(base_cfg(40.0, Discipline::BestEffort)).run();
+        let occ = report.occupancy();
+        let seen = report.census.seen_by_arrivals();
+        assert!((occ.mean() - seen.mean()).abs() < 1.0, "{} vs {}", occ.mean(), seen.mean());
+    }
+
+    #[test]
+    fn reservation_caps_population() {
+        let cfg = base_cfg(15.0, Discipline::Reservation { k_max: 15, retry: None });
+        let report = Simulation::new(cfg).run();
+        let occ = report.occupancy();
+        assert_eq!(occ.len() as u64, 16, "population never exceeds k_max");
+        assert!(report.blocking_rate() > 0.05, "blocking {}", report.blocking_rate());
+    }
+
+    #[test]
+    fn best_effort_never_blocks() {
+        let report = Simulation::new(base_cfg(10.0, Discipline::BestEffort)).run();
+        assert_eq!(report.blocked_attempts, 0);
+        assert_eq!(report.lost, 0);
+        assert_eq!(report.blocking_rate(), 0.0);
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let r1 = Simulation::new(base_cfg(25.0, Discipline::BestEffort)).run();
+        let r2 = Simulation::new(base_cfg(25.0, Discipline::BestEffort)).run();
+        assert_eq!(r1.completed, r2.completed);
+        assert!((r1.utility_time_avg.mean() - r2.utility_time_avg.mean()).abs() < 1e-15);
+        let mut cfg3 = base_cfg(25.0, Discipline::BestEffort);
+        cfg3.seed = 43;
+        let r3 = Simulation::new(cfg3).run();
+        assert_ne!(r1.completed, r3.completed);
+    }
+
+    #[test]
+    fn worst_case_utility_below_time_average() {
+        let report = Simulation::new(base_cfg(25.0, Discipline::BestEffort)).run();
+        assert!(report.utility_worst.mean() <= report.utility_time_avg.mean() + 1e-12);
+    }
+
+    #[test]
+    fn retries_eventually_admit_most_flows() {
+        // Adequately provisioned link (offered 20 erlangs, k_max = 30):
+        // occasional blocking, but retries with a decorrelating backoff get
+        // nearly everyone in. (At k_max ≤ offered load the system enters a
+        // retry storm and real loss is unavoidable — see the overload test.)
+        let rp = RetryPolicy::new(20, 3.0, 0.1);
+        let cfg = base_cfg(30.0, Discipline::Reservation { k_max: 30, retry: Some(rp) });
+        let report = Simulation::new(cfg).run();
+        assert!(report.retries > 0, "some retries happen");
+        let lost_frac = report.lost as f64 / (report.completed + report.lost).max(1) as f64;
+        assert!(lost_frac < 0.001, "lost fraction {lost_frac}");
+
+        // Overload (offered 20 on k_max 15): retries cannot rescue everyone;
+        // a substantial fraction of flows is lost despite 20 attempts.
+        let cfg2 = base_cfg(15.0, Discipline::Reservation { k_max: 15, retry: Some(rp) });
+        let report2 = Simulation::new(cfg2).run();
+        let lost_frac2 = report2.lost as f64 / (report2.completed + report2.lost).max(1) as f64;
+        assert!(lost_frac2 > 0.05, "overload lost fraction {lost_frac2}");
+    }
+
+    #[test]
+    fn rigid_utility_reservation_beats_best_effort_in_overload() {
+        // Offered load 20 on capacity 15 with rigid flows: best-effort
+        // collapses (everyone's share < 1 most of the time), reservations
+        // keep admitted flows whole.
+        let be = Simulation::new(base_cfg_with(
+            15.0,
+            Discipline::BestEffort,
+            Arc::new(Rigid::unit()),
+        ))
+        .run();
+        let rv = Simulation::new(base_cfg_with(
+            15.0,
+            Discipline::Reservation { k_max: 15, retry: None },
+            Arc::new(Rigid::unit()),
+        ))
+        .run();
+        assert!(
+            rv.utility_at_admission.mean() > be.utility_at_admission.mean() + 0.1,
+            "reservation {} vs best effort {}",
+            rv.utility_at_admission.mean(),
+            be.utility_at_admission.mean()
+        );
+    }
+
+    fn base_cfg_with(capacity: f64, d: Discipline, u: Arc<dyn Utility>) -> SimConfig {
+        let mut cfg = base_cfg(capacity, d);
+        cfg.utility = u;
+        cfg
+    }
+
+    #[test]
+    fn measurement_based_tracks_threshold_behaviour() {
+        // With ewma_weight = 1 (instantaneous estimate) and target share 1,
+        // MBAC behaves like a hard threshold at k_max = C; with a slow
+        // estimator it admits during bursts that the threshold would block.
+        let fast = Simulation::new(base_cfg(
+            15.0,
+            Discipline::MeasurementBased { target_share: 1.0, ewma_weight: 1.0, retry: None },
+        ))
+        .run();
+        let hard = Simulation::new(base_cfg(
+            15.0,
+            Discipline::Reservation { k_max: 15, retry: None },
+        ))
+        .run();
+        // Same order of blocking as the hard threshold.
+        assert!(
+            (fast.blocking_rate() - hard.blocking_rate()).abs() < 0.12,
+            "fast-EWMA MBAC {} vs threshold {}",
+            fast.blocking_rate(),
+            hard.blocking_rate()
+        );
+        let slow = Simulation::new(base_cfg(
+            15.0,
+            Discipline::MeasurementBased { target_share: 1.0, ewma_weight: 0.02, retry: None },
+        ))
+        .run();
+        // The sluggish estimator lets bursts through: population exceeds
+        // the nominal threshold at least occasionally.
+        assert!(
+            slow.occupancy().len() as u64 > 16,
+            "slow MBAC must overshoot the threshold occupancy"
+        );
+    }
+
+    #[test]
+    fn elastic_utility_prefers_admitting_everyone() {
+        let be = Simulation::new(base_cfg_with(
+            15.0,
+            Discipline::BestEffort,
+            Arc::new(Saturating::new(0.2)),
+        ))
+        .run();
+        let rv = Simulation::new(base_cfg_with(
+            15.0,
+            Discipline::Reservation { k_max: 10, retry: None },
+            Arc::new(Saturating::new(0.2)),
+        ))
+        .run();
+        // Counting blocked flows as zeros, aggressive admission control
+        // wastes elastic utility.
+        assert!(be.utility_at_admission.mean() > rv.utility_at_admission.mean());
+    }
+}

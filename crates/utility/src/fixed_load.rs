@@ -1,0 +1,184 @@
+//! The fixed-load model (paper §2): total utility `V(k) = k·π(C/k)` and its
+//! maximizer `k_max(C)`.
+
+use crate::rigid::Rigid;
+use crate::traits::Utility;
+use bevra_num::{argmax_unimodal_u64, golden_section_max, NumResult};
+
+/// Total utility of `k` identical flows sharing capacity `C` equally:
+/// `V(k) = k·π(C/k)`, with `V(0) = 0`.
+#[must_use]
+pub fn total_utility(u: &dyn Utility, k: u64, capacity: f64) -> f64 {
+    if k == 0 {
+        return 0.0;
+    }
+    let kf = k as f64;
+    kf * u.value(capacity / kf)
+}
+
+/// The discrete admission threshold `k_max(C) = argmax_{k≥1} k·π(C/k)`.
+///
+/// For rigid utilities the peak is `⌊C/b̄⌋` in closed form; for smooth
+/// inelastic utilities the sequence is unimodal and found by integer
+/// ternary search. Elastic utilities have no finite maximizer; the search
+/// then reports failure (`NoBracket`), which callers treat as "never deny
+/// access" (paper: `V(k)` strictly increasing ⇒ admission control unneeded).
+///
+/// # Errors
+///
+/// `NoBracket` when `V(k)` is still increasing at astronomically large `k`,
+/// i.e. the utility is effectively elastic.
+pub fn k_max_discrete(u: &dyn Utility, capacity: f64) -> NumResult<u64> {
+    // The unimodal search handles the generic case; the rigid closed form is
+    // a fast path that also avoids the cliff's non-unimodality corner.
+    argmax_unimodal_u64(|k| total_utility(u, k, capacity), 1, 1u64 << 40)
+}
+
+/// Closed-form `k_max` for [`Rigid`] utilities: `⌊C/b̄⌋`.
+#[must_use]
+pub fn k_max_rigid(u: &Rigid, capacity: f64) -> u64 {
+    u.k_max(capacity)
+}
+
+/// Continuous relaxation of `k_max(C)`: the real `k ≥ 1` maximizing
+/// `k·π(C/k)`, used by the continuum model (where the paper's calibrations
+/// make it exactly `C` for both rigid `b̄ = 1` and ramp utilities).
+///
+/// # Errors
+///
+/// Propagates optimizer failures (elastic utilities).
+pub fn k_max_continuous(u: &dyn Utility, capacity: f64) -> NumResult<f64> {
+    let f = |k: f64| {
+        if k <= 0.0 {
+            0.0
+        } else {
+            k * u.value(capacity / k)
+        }
+    };
+    // V(k) is bounded by k·1 on the left and tends to C·π'(0)-ish slopes on
+    // the right; for inelastic utilities the peak is near C, so search a
+    // generous bracket around it.
+    let hi = 100.0 * capacity.max(1.0);
+    let m = golden_section_max(f, 1e-9, hi, 1e-9 * capacity.max(1.0))?;
+    Ok(m.x)
+}
+
+/// A fixed-load scenario bundling a utility and a capacity, exposing the §2
+/// quantities as methods. Convenience wrapper used by examples and tests.
+#[derive(Clone)]
+pub struct FixedLoad<U: Utility> {
+    /// Application utility.
+    pub utility: U,
+    /// Link capacity `C`.
+    pub capacity: f64,
+}
+
+impl<U: Utility> FixedLoad<U> {
+    /// New scenario.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is not positive and finite.
+    #[must_use]
+    pub fn new(utility: U, capacity: f64) -> Self {
+        assert!(capacity > 0.0 && capacity.is_finite(), "capacity must be positive and finite");
+        Self { utility, capacity }
+    }
+
+    /// `V(k) = k·π(C/k)`.
+    #[must_use]
+    pub fn v(&self, k: u64) -> f64 {
+        total_utility(&self.utility, k, self.capacity)
+    }
+
+    /// Discrete `k_max(C)`, or `None` for elastic utilities (never deny).
+    #[must_use]
+    pub fn k_max(&self) -> Option<u64> {
+        k_max_discrete(&self.utility, self.capacity).ok()
+    }
+
+    /// Total utility under best-effort with offered load `k`: every flow is
+    /// admitted.
+    #[must_use]
+    pub fn best_effort(&self, k: u64) -> f64 {
+        self.v(k)
+    }
+
+    /// Total utility under reservations with offered load `k`: the admitted
+    /// population is capped at `k_max` (rejected flows get zero).
+    #[must_use]
+    pub fn reservation(&self, k: u64) -> f64 {
+        match self.k_max() {
+            Some(kmax) => self.v(k.min(kmax)),
+            None => self.v(k),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adaptive::AdaptiveExp;
+    use crate::elastic::ExponentialElastic;
+    use crate::rigid::Rigid;
+
+    #[test]
+    fn rigid_k_max_is_floor() {
+        let u = Rigid::unit();
+        assert_eq!(k_max_discrete(&u, 100.0).unwrap(), 100);
+        assert_eq!(k_max_discrete(&u, 100.7).unwrap(), 100);
+        assert_eq!(k_max_rigid(&u, 250.2), 250);
+    }
+
+    #[test]
+    fn adaptive_k_max_near_capacity() {
+        // Paper footnote 4: κ calibrated so k_max(C) = C.
+        let u = AdaptiveExp::paper();
+        for c in [50.0, 100.0, 500.0] {
+            let k = k_max_discrete(&u, c).unwrap() as f64;
+            assert!((k - c).abs() <= 1.0 + 0.01 * c, "C={c}: k_max={k}");
+        }
+    }
+
+    #[test]
+    fn elastic_has_no_finite_k_max() {
+        let u = ExponentialElastic::default();
+        assert!(k_max_discrete(&u, 100.0).is_err());
+    }
+
+    #[test]
+    fn reservation_beats_best_effort_in_overload() {
+        // §2: for rigid applications, V drops to zero past k_max under best
+        // effort while reservations hold V at k_max.
+        let s = FixedLoad::new(Rigid::unit(), 100.0);
+        assert_eq!(s.best_effort(150), 0.0);
+        assert_eq!(s.reservation(150), 100.0);
+        // Underload: identical.
+        assert_eq!(s.best_effort(70), s.reservation(70));
+    }
+
+    #[test]
+    fn adaptive_overload_degrades_gently() {
+        // §2: adaptive applications lose utility past k_max far more gently
+        // than rigid ones.
+        let s = FixedLoad::new(AdaptiveExp::paper(), 100.0);
+        let at_peak = s.reservation(100);
+        let overload = s.best_effort(150);
+        assert!(overload > 0.5 * at_peak, "adaptive overload keeps most utility");
+        assert!(s.reservation(150) > overload, "but reservations still win");
+    }
+
+    #[test]
+    fn continuous_k_max_matches_discrete() {
+        let u = AdaptiveExp::paper();
+        let kc = k_max_continuous(&u, 200.0).unwrap();
+        let kd = k_max_discrete(&u, 200.0).unwrap() as f64;
+        assert!((kc - kd).abs() <= 1.5, "{kc} vs {kd}");
+    }
+
+    #[test]
+    fn v_zero_population_is_zero() {
+        let s = FixedLoad::new(AdaptiveExp::paper(), 10.0);
+        assert_eq!(s.v(0), 0.0);
+    }
+}

@@ -1,0 +1,67 @@
+//! Calibration of the adaptive utility's κ constant (paper footnote 4).
+
+use bevra_num::{brent, NumResult};
+
+/// The paper's value of κ: with `π(b) = 1 − e^{−b²/(κ+b)}`, this choice
+/// makes the fixed-load optimum `k_max(C) = C`, so adaptive and rigid
+/// (`b̄ = 1`) results are directly comparable.
+pub const KAPPA: f64 = 0.620_86;
+
+/// Solve the calibration equation for κ.
+///
+/// `V(k) = k·π(C/k)` is stationary at `k = C` iff, writing `b = C/k = 1`,
+///
+/// ```text
+/// π(1) = π′(1)            (first-order condition π(b) − b·π′(b) = 0 at b=1)
+/// ```
+///
+/// which for the adaptive family becomes
+///
+/// ```text
+/// 1 − e^{−1/(1+κ)} = e^{−1/(1+κ)} · (1 + 2κ)/(1 + κ)².
+/// ```
+///
+/// The unique positive root is κ ≈ 0.62086 — the constant quoted in the
+/// paper. A unit test asserts agreement to all published digits.
+///
+/// # Errors
+///
+/// Propagates root-finder failures (none occur on this monotone residual).
+pub fn solve_kappa() -> NumResult<f64> {
+    let residual = |kappa: f64| {
+        let e = (-1.0 / (1.0 + kappa)).exp();
+        (1.0 - e) - e * (1.0 + 2.0 * kappa) / ((1.0 + kappa) * (1.0 + kappa))
+    };
+    brent(residual, 1e-6, 10.0, 1e-14)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adaptive::AdaptiveExp;
+    use crate::traits::Utility;
+
+    #[test]
+    fn solved_kappa_matches_paper_constant() {
+        let kappa = solve_kappa().unwrap();
+        assert!((kappa - KAPPA).abs() < 5e-6, "solved {kappa} vs paper {KAPPA}");
+    }
+
+    #[test]
+    fn first_order_condition_holds_at_unit_bandwidth() {
+        let u = AdaptiveExp::new(solve_kappa().unwrap());
+        let lhs = u.value(1.0);
+        let rhs = u.derivative(1.0);
+        assert!((lhs - rhs).abs() < 1e-12, "{lhs} vs {rhs}");
+    }
+
+    #[test]
+    fn k_max_is_capacity_under_calibration() {
+        // With κ calibrated, argmax_k k·π(C/k) should land at k ≈ C.
+        let u = AdaptiveExp::paper();
+        for c in [50.0, 100.0, 400.0] {
+            let k = crate::fixed_load::k_max_continuous(&u, c).unwrap();
+            assert!((k - c).abs() < 0.01 * c, "C={c}: k_max={k}");
+        }
+    }
+}

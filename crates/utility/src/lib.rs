@@ -1,0 +1,38 @@
+//! Application utility functions and the fixed-load model of
+//! Breslau & Shenker, *"Best-Effort versus Reservations"* (SIGCOMM 1998), §2.
+//!
+//! A network application's value to its user is modeled as a function
+//! `π(b)` of the bandwidth `b` it receives, normalized so `π(0) = 0` and
+//! `π(b) → 1` as `b → ∞`. The *shape* of `π` decides the architecture
+//! question:
+//!
+//! * strictly concave `π` (**elastic** applications — mail, file transfer):
+//!   total utility `V(k) = k·π(C/k)` is increasing in the population `k`, so
+//!   admission control can only hurt and best-effort is optimal;
+//! * `π` convex near the origin (**inelastic**): `V(k)` peaks at a finite
+//!   `k_max(C)` and denying service to flows beyond the peak — a
+//!   reservation-capable architecture — raises total utility.
+//!
+//! This crate provides the paper's utility families ([`Rigid`],
+//! [`AdaptiveExp`] with the κ = 0.62086 calibration, the continuum
+//! [`Ramp`], the algebraic-tail variants of §3.3) plus elastic baselines,
+//! and the fixed-load analysis (`V(k)`, `k_max`) the variable-load model of
+//! `bevra-core` is built on.
+
+pub mod adaptive;
+pub mod elastic;
+pub mod fixed_load;
+pub mod kappa;
+pub mod ramp;
+pub mod rigid;
+pub mod tail;
+pub mod traits;
+
+pub use adaptive::AdaptiveExp;
+pub use elastic::{ExponentialElastic, Saturating};
+pub use fixed_load::{k_max_continuous, k_max_discrete, total_utility, FixedLoad};
+pub use kappa::{solve_kappa, KAPPA};
+pub use ramp::Ramp;
+pub use rigid::Rigid;
+pub use tail::{AlgebraicTail, PowerLow};
+pub use traits::{classify, Curvature, Utility};

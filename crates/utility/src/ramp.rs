@@ -1,0 +1,129 @@
+//! The continuum model's piecewise-linear adaptive utility (paper §3.2).
+
+use crate::traits::Utility;
+
+/// Piecewise-linear "ramp" utility parameterized by adaptivity `a ∈ (0, 1]`:
+///
+/// ```text
+/// π(b) = 0              for b ≤ a
+/// π(b) = (b − a)/(1 − a) for a ≤ b ≤ 1
+/// π(b) = 1              for b ≥ 1
+/// ```
+///
+/// The paper substitutes this for Eq. 2 in the continuum model because it
+/// keeps the integrals tractable. `a → 1` recovers the rigid utility with
+/// `b̄ = 1`; decreasing `a` means increasing adaptivity; at `a → 0` the
+/// function is concave (elastic) and the reservation advantage vanishes.
+/// For all `a > 0`, `k_max(C) = C`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Ramp {
+    /// Lower ramp threshold `a ∈ (0, 1]`.
+    pub a: f64,
+}
+
+impl Ramp {
+    /// New ramp utility.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < a ≤ 1`.
+    #[must_use]
+    pub fn new(a: f64) -> Self {
+        assert!(a > 0.0 && a <= 1.0, "ramp parameter must satisfy 0 < a <= 1");
+        Self { a }
+    }
+
+    /// The coefficient `H(a, z) = 1 + a(1 − a^{z−2})/(1 − a)` that appears
+    /// throughout the algebraic-load closed forms (see
+    /// `bevra-core::continuum::closed_algebraic`). Continuous at `a = 1`,
+    /// where it equals `z − 1` (the rigid value).
+    #[must_use]
+    pub fn h_coefficient(&self, z: f64) -> f64 {
+        if (1.0 - self.a).abs() < 1e-9 {
+            return z - 1.0;
+        }
+        1.0 + self.a * (1.0 - self.a.powf(z - 2.0)) / (1.0 - self.a)
+    }
+}
+
+impl Utility for Ramp {
+    fn value(&self, b: f64) -> f64 {
+        if self.a >= 1.0 {
+            // Degenerate rigid case.
+            return if b >= 1.0 { 1.0 } else { 0.0 };
+        }
+        if b <= self.a {
+            0.0
+        } else if b >= 1.0 {
+            1.0
+        } else {
+            (b - self.a) / (1.0 - self.a)
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "ramp"
+    }
+
+    fn derivative(&self, b: f64) -> f64 {
+        if self.a < 1.0 && b > self.a && b < 1.0 {
+            1.0 / (1.0 - self.a)
+        } else {
+            0.0
+        }
+    }
+
+    fn knots(&self) -> Vec<f64> {
+        vec![self.a, 1.0]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ramp_shape() {
+        let u = Ramp::new(0.25);
+        assert_eq!(u.value(0.0), 0.0);
+        assert_eq!(u.value(0.25), 0.0);
+        assert!((u.value(0.625) - 0.5).abs() < 1e-15);
+        assert_eq!(u.value(1.0), 1.0);
+        assert_eq!(u.value(5.0), 1.0);
+    }
+
+    #[test]
+    fn a_equal_one_is_rigid() {
+        let u = Ramp::new(1.0);
+        assert_eq!(u.value(0.999_999), 0.0);
+        assert_eq!(u.value(1.0), 1.0);
+    }
+
+    #[test]
+    fn h_coefficient_limits() {
+        let z = 3.0;
+        // a → 1 gives the rigid value z − 1 = 2.
+        assert!((Ramp::new(1.0).h_coefficient(z) - 2.0).abs() < 1e-12);
+        assert!((Ramp::new(0.999_999_999).h_coefficient(z) - 2.0).abs() < 1e-6);
+        // a → 0⁺ gives 1 (no reservation advantage term).
+        assert!((Ramp::new(1e-9).h_coefficient(z) - 1.0).abs() < 1e-8);
+        // At z = 3: H = 1 + a(1 − a)/(1 − a) = 1 + a.
+        for a in [0.2, 0.5, 0.8] {
+            assert!((Ramp::new(a).h_coefficient(3.0) - (1.0 + a)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn derivative_on_ramp_segment() {
+        let u = Ramp::new(0.5);
+        assert_eq!(u.derivative(0.75), 2.0);
+        assert_eq!(u.derivative(0.25), 0.0);
+        assert_eq!(u.derivative(1.5), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "ramp parameter")]
+    fn zero_a_rejected() {
+        let _ = Ramp::new(0.0);
+    }
+}

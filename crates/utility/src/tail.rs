@@ -1,0 +1,165 @@
+//! Utility functions with algebraic (power-law) approach to saturation
+//! (paper §3.3, footnote 8).
+//!
+//! The paper notes that its Eq.-2 adaptive family approaches 1
+//! exponentially, and that families approaching 1 *algebraically*
+//! (`π(b) ≈ 1 − b^{−τ}`) interact qualitatively differently with algebraic
+//! load distributions: the asymptotic behaviour of the bandwidth gap `Δ(C)`
+//! then depends on the relation between the utility exponent `τ` and the
+//! load exponent `z` (`Δ ~ C` if `τ > z−2`, `Δ ~ C^{τ+3−z}` if `τ < z−2`,
+//! decreasing when `τ < z−3`).
+
+use crate::traits::Utility;
+
+/// The tractable algebraic-tail form the paper uses in §3.3:
+///
+/// ```text
+/// π(b) = 0          for b ≤ 1
+/// π(b) = 1 − b^{−τ}  for b > 1
+/// ```
+///
+/// It captures the slow approach to full quality at high bandwidth and
+/// deliberately ignores the low-`b` region (the paper's own simplification).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AlgebraicTail {
+    /// Tail exponent `τ > 0`.
+    pub tau: f64,
+}
+
+impl AlgebraicTail {
+    /// New algebraic-tail utility.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tau` is not strictly positive.
+    #[must_use]
+    pub fn new(tau: f64) -> Self {
+        assert!(tau > 0.0, "tau must be positive");
+        Self { tau }
+    }
+}
+
+impl Utility for AlgebraicTail {
+    fn value(&self, b: f64) -> f64 {
+        if b <= 1.0 {
+            0.0
+        } else {
+            1.0 - b.powf(-self.tau)
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "algebraic-tail"
+    }
+
+    fn derivative(&self, b: f64) -> f64 {
+        if b <= 1.0 {
+            0.0
+        } else {
+            self.tau * b.powf(-self.tau - 1.0)
+        }
+    }
+
+    fn knots(&self) -> Vec<f64> {
+        vec![1.0]
+    }
+}
+
+/// The low-bandwidth power-law variant the paper also investigated
+/// (footnote 8):
+///
+/// ```text
+/// π(b) = b^r  for b ≤ 1,    π(b) = 1  for b > 1
+/// ```
+///
+/// Convex at the origin (inelastic) whenever `r > 1`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PowerLow {
+    /// Low-end exponent `r > 0`.
+    pub r: f64,
+}
+
+impl PowerLow {
+    /// New power-low utility.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` is not strictly positive.
+    #[must_use]
+    pub fn new(r: f64) -> Self {
+        assert!(r > 0.0, "r must be positive");
+        Self { r }
+    }
+}
+
+impl Utility for PowerLow {
+    fn value(&self, b: f64) -> f64 {
+        if b <= 0.0 {
+            0.0
+        } else if b >= 1.0 {
+            1.0
+        } else {
+            b.powf(self.r)
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "power-low"
+    }
+
+    fn derivative(&self, b: f64) -> f64 {
+        if b <= 0.0 || b >= 1.0 {
+            0.0
+        } else {
+            self.r * b.powf(self.r - 1.0)
+        }
+    }
+
+    fn knots(&self) -> Vec<f64> {
+        vec![1.0]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traits::{classify, Curvature};
+
+    #[test]
+    fn algebraic_tail_shape() {
+        let u = AlgebraicTail::new(2.0);
+        assert_eq!(u.value(0.5), 0.0);
+        assert_eq!(u.value(1.0), 0.0);
+        assert!((u.value(2.0) - 0.75).abs() < 1e-15);
+        assert!((u.value(100.0) - 0.9999).abs() < 1e-12);
+    }
+
+    #[test]
+    fn algebraic_tail_approaches_one_algebraically() {
+        let u = AlgebraicTail::new(1.5);
+        for b in [10.0, 100.0, 1000.0f64] {
+            let deficit = 1.0 - u.value(b);
+            assert!((deficit - b.powf(-1.5)).abs() < 1e-15);
+        }
+    }
+
+    #[test]
+    fn power_low_convexity_depends_on_r() {
+        assert_eq!(classify(&PowerLow::new(2.0)), Curvature::ConvexAtOrigin);
+        assert_eq!(classify(&PowerLow::new(0.5)), Curvature::ConcaveAtOrigin);
+    }
+
+    #[test]
+    fn derivatives_match_finite_difference() {
+        let u = AlgebraicTail::new(2.5);
+        for b in [1.5, 3.0, 10.0] {
+            let fd = (u.value(b + 1e-7) - u.value(b - 1e-7)) / 2e-7;
+            assert!((u.derivative(b) - fd).abs() < 1e-5, "b={b}");
+        }
+        let p = PowerLow::new(3.0);
+        for b in [0.2, 0.5, 0.9] {
+            let fd = (p.value(b + 1e-7) - p.value(b - 1e-7)) / 2e-7;
+            assert!((p.derivative(b) - fd).abs() < 1e-5, "b={b}");
+        }
+    }
+}

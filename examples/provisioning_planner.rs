@@ -1,0 +1,73 @@
+//! Provisioning planner: the paper's §4 welfare model as an operator tool.
+//!
+//! Given a forecast load distribution, an application mix, and a bandwidth
+//! price, decide (a) how much capacity to buy under each architecture and
+//! (b) how large a complexity premium a reservation-capable network is
+//! worth — the equalizing price ratio γ(p).
+//!
+//! ```sh
+//! cargo run --release --example provisioning_planner [price]
+//! ```
+
+use bevra::analysis::SampledValue;
+use bevra::prelude::*;
+use std::sync::Arc;
+
+fn plan(name: &str, load: &Arc<Tabulated>, utility: impl Utility + Clone, price: f64) {
+    let kbar = load.mean();
+    let model = DiscreteModel::new(Arc::clone(load), utility);
+    let sv_b = SampledValue::build(|c| model.total_best_effort(c), kbar, 300.0 * kbar, 600);
+    let sv_r = SampledValue::build(|c| model.total_reservation(c), kbar, 300.0 * kbar, 600);
+    let wb = sv_b.welfare(price);
+    let wr = sv_r.welfare(price);
+    let gamma = equalizing_price_ratio(|ph| sv_r.welfare(ph).welfare, wb.welfare, price)
+        .unwrap_or(f64::NAN);
+    println!("  {name}:");
+    println!(
+        "    best-effort : provision C = {:>8.1}  → welfare {:>9.2}",
+        wb.capacity, wb.welfare
+    );
+    println!(
+        "    reservation : provision C = {:>8.1}  → welfare {:>9.2}",
+        wr.capacity, wr.welfare
+    );
+    println!(
+        "    verdict     : reservations worth up to a {:.1}% bandwidth-cost premium (γ = {:.4})",
+        (gamma - 1.0) * 100.0,
+        gamma
+    );
+}
+
+fn main() {
+    let price: f64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.05);
+    let kbar = PAPER_MEAN_LOAD;
+    println!("Provisioning plan at bandwidth price p = {price} (mean load {kbar})\n");
+
+    let poisson = Arc::new(Tabulated::from_model(&Poisson::new(kbar), 1e-12, 1 << 20));
+    let geo = Arc::new(Tabulated::from_model(&Geometric::from_mean(kbar), 1e-12, 1 << 20));
+    let alg = Arc::new(Tabulated::from_model(
+        &Algebraic::from_mean(3.0, kbar).expect("calibrates"),
+        1e-9,
+        1 << 20,
+    ));
+
+    println!("== Telephony-like rigid applications ==");
+    plan("poisson load     ", &poisson, Rigid::unit(), price);
+    plan("exponential load ", &geo, Rigid::unit(), price);
+    plan("algebraic load   ", &alg, Rigid::unit(), price);
+
+    println!("\n== Adaptive audio/video applications ==");
+    plan("poisson load     ", &poisson, AdaptiveExp::paper(), price);
+    plan("exponential load ", &geo, AdaptiveExp::paper(), price);
+    plan("algebraic load   ", &alg, AdaptiveExp::paper(), price);
+
+    println!(
+        "\nThe paper's conclusion in one screen: with well-behaved (Poisson/\n\
+         exponential) loads and adaptive applications the premium collapses —\n\
+         buy bandwidth, skip the complexity. Heavy-tailed load keeps the\n\
+         reservation premium alive at every price."
+    );
+}

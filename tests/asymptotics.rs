@@ -1,0 +1,123 @@
+//! Integration: measured curves must approach the paper's asymptotic laws.
+
+use bevra::analysis::asymptotics;
+use bevra::analysis::continuum::{AlgebraicClosed, ExponentialRampClosed, ExponentialRigidClosed};
+use bevra::analysis::{bandwidth_gap, DiscreteModel, SamplingModel};
+use bevra::load::{Geometric, Tabulated};
+use bevra::utility::{AdaptiveExp, Ramp, Rigid};
+
+#[test]
+fn exponential_rigid_gap_approaches_log_law() {
+    let closed = ExponentialRigidClosed::new(0.01);
+    // Δ(C)/[ln(βC)/β] → 1.
+    for (c, tol) in [(1e4, 0.06), (1e6, 0.02), (1e8, 0.01)] {
+        let d = closed.bandwidth_gap(c).unwrap();
+        let asym = asymptotics::exp_rigid_bandwidth_gap(0.01, c);
+        assert!((d / asym - 1.0).abs() < tol, "C={c}: {d} vs {asym}");
+    }
+}
+
+#[test]
+fn exponential_ramp_gap_approaches_constant() {
+    for a in [0.3, 0.7, 0.95] {
+        let closed = ExponentialRampClosed::new(0.01, a);
+        let limit = asymptotics::exp_ramp_bandwidth_gap_limit(0.01, a);
+        let d = closed.bandwidth_gap(1e5).unwrap();
+        assert!((d - limit).abs() < 1e-3 * limit, "a={a}: {d} vs {limit}");
+    }
+}
+
+#[test]
+fn algebraic_ratio_matches_h_power_law() {
+    for z in [2.2, 2.5, 3.0, 4.0] {
+        for a in [0.4, 1.0] {
+            let h = Ramp::new(a).h_coefficient(z);
+            let closed =
+                if a >= 1.0 { AlgebraicClosed::rigid(z) } else { AlgebraicClosed::ramp(z, a) };
+            let predicted = asymptotics::alg_gap_ratio(z, h);
+            let measured = 1.0 + closed.bandwidth_gap(100.0) / 100.0;
+            assert!((measured - predicted).abs() < 1e-9, "z={z} a={a}");
+            // And γ equals the same constant (the §4 correspondence).
+            assert!((closed.gamma() - predicted).abs() < 1e-9);
+        }
+    }
+}
+
+#[test]
+fn discrete_sampling_ratio_grows_toward_prediction() {
+    // For the discrete exponential model, verify at least the *ordering*
+    // predicted by (S·H)^{1/(z−2)}-style growth: the sampling bandwidth gap
+    // is increasing in S at every capacity.
+    let load = Tabulated::from_model(&Geometric::from_mean(100.0), 1e-12, 1 << 20);
+    let c = 150.0;
+    let mut prev = -1.0;
+    for s in [1u32, 2, 4, 8] {
+        let sm = SamplingModel::new(
+            DiscreteModel::new(load.clone(), AdaptiveExp::paper()),
+            s,
+        );
+        let d = sm.bandwidth_gap(c).unwrap();
+        assert!(d > prev, "S={s}: gap {d} must increase");
+        prev = d;
+    }
+}
+
+#[test]
+fn retry_ratio_unbounded_near_z_two() {
+    // §5.2: with retries the asymptotic ratio (H/α)^{1/(z−2)} diverges as
+    // z → 2⁺ — unlike the basic model's e bound.
+    let alpha = 0.1;
+    let at = |z: f64| asymptotics::alg_retry_gap_ratio(z, z - 1.0, alpha);
+    assert!(at(3.0) > std::f64::consts::E, "already beyond e at z = 3");
+    assert!(at(2.2) > at(2.5));
+    assert!(at(2.05) > 1e10, "divergence near z = 2: {}", at(2.05));
+}
+
+#[test]
+fn sampling_ratio_unbounded_near_z_two() {
+    let at = |z: f64, s: u32| asymptotics::alg_sampling_gap_ratio(z, z - 1.0, s);
+    assert!((at(3.0, 1) - 2.0).abs() < 1e-12, "S = 1 recovers the basic ratio");
+    assert!(at(2.1, 2) > 1e3);
+    assert!(at(2.02, 2) > 1e15);
+}
+
+#[test]
+fn basic_model_never_exceeds_e() {
+    // Sweep the basic model's parameter space; the e bound must hold.
+    let e = std::f64::consts::E;
+    for i in 1..60 {
+        let z = 2.0 + f64::from(i) * 0.1;
+        for a in [0.1, 0.5, 0.9, 1.0] {
+            let h = Ramp::new(a).h_coefficient(z);
+            assert!(asymptotics::alg_gap_ratio(z, h) <= e + 1e-9, "z={z} a={a}");
+        }
+    }
+}
+
+#[test]
+fn rigid_gap_exceeds_every_adaptive_gap() {
+    // H(a, z) is increasing in a with maximum H(1, z) = z−1, so the rigid
+    // asymptotic ratio dominates all ramp ratios at the same z.
+    for z in [2.3, 3.0, 5.0] {
+        let rigid = asymptotics::alg_gap_ratio(z, z - 1.0);
+        for a in [0.1, 0.4, 0.8, 0.99] {
+            let ramp = asymptotics::alg_gap_ratio(z, Ramp::new(a).h_coefficient(z));
+            assert!(ramp <= rigid + 1e-12, "z={z} a={a}");
+        }
+    }
+}
+
+#[test]
+fn discrete_exponential_gap_between_asymptote_and_double() {
+    // The measured discrete Δ should track the closed-form transcendental
+    // within a few percent at figure capacities.
+    let kbar = 100.0;
+    let load = Tabulated::from_model(&Geometric::from_mean(kbar), 1e-13, 1 << 20);
+    let m = DiscreteModel::new(load, Rigid::unit());
+    let closed = ExponentialRigidClosed::from_mean(kbar);
+    for c in [200.0, 400.0, 800.0] {
+        let d = bandwidth_gap(&m, c).unwrap();
+        let dc = closed.bandwidth_gap(c).unwrap();
+        assert!((d - dc).abs() < 0.03 * dc, "C={c}: discrete {d} vs closed {dc}");
+    }
+}

@@ -1,0 +1,135 @@
+//! Integration: the discrete and continuum models must agree where they
+//! overlap, and core invariants must hold across load × utility pairs.
+
+use bevra::analysis::continuum::ContinuumModel;
+use bevra::analysis::{bandwidth_gap, performance_gap, DiscreteModel};
+use bevra::load::{ExponentialDensity, Geometric, ParetoDensity, Poisson, Tabulated};
+use bevra::utility::{AdaptiveExp, Ramp, Rigid};
+
+/// Discrete geometric ↔ continuum exponential: same mean, same rigid
+/// utility — the normalized curves should track each other within the
+/// discretization error O(1/k̄).
+#[test]
+fn discrete_tracks_continuum_exponential_rigid() {
+    let kbar = 100.0;
+    let discrete = DiscreteModel::new(
+        Tabulated::from_model(&Geometric::from_mean(kbar), 1e-12, 1 << 20),
+        Rigid::unit(),
+    );
+    let continuum = ContinuumModel::new(ExponentialDensity::from_mean(kbar), Rigid::unit());
+    for c in [50.0, 100.0, 200.0, 400.0] {
+        let bd = discrete.best_effort(c);
+        let bc = continuum.best_effort(c).unwrap();
+        assert!((bd - bc).abs() < 0.02, "B at C={c}: discrete {bd} vs continuum {bc}");
+        let rd = discrete.reservation(c);
+        let rc = continuum.reservation(c).unwrap();
+        assert!((rd - rc).abs() < 0.02, "R at C={c}: discrete {rd} vs continuum {rc}");
+    }
+}
+
+/// Discrete algebraic ↔ continuum Pareto, compared in normalized capacity
+/// units `C/k̄` (the continuum family cannot be mean-tuned).
+#[test]
+fn discrete_tracks_continuum_algebraic_shape() {
+    let z = 3.0;
+    let kbar = 100.0;
+    let model = bevra::load::Algebraic::from_mean(z, kbar).unwrap();
+    let discrete =
+        DiscreteModel::new(Tabulated::from_model(&model, 1e-9, 1 << 21), Rigid::unit());
+    let continuum = ContinuumModel::new(ParetoDensity::new(z), Rigid::unit());
+    let kbar_cont = continuum.mean_load();
+    // Compare the *relative* gaps at matched normalized capacities. The two
+    // parameterizations differ in their heads (λ-shifted vs pure power law),
+    // so only the tail regime (C ≳ 2k̄) is expected to align.
+    for c_norm in [2.0, 4.0, 8.0] {
+        let delta_d = performance_gap(&discrete, c_norm * kbar);
+        let delta_c = continuum.performance_gap(c_norm * kbar_cont).unwrap();
+        let ratio = delta_d / delta_c;
+        assert!(
+            (0.3..3.0).contains(&ratio),
+            "normalized C={c_norm}: discrete δ {delta_d} vs continuum δ {delta_c}"
+        );
+    }
+}
+
+/// R ≥ B, both within [0, 1], for every family combination.
+#[test]
+fn domination_invariant_across_families() {
+    let loads: Vec<Tabulated> = vec![
+        Tabulated::from_model(&Poisson::new(50.0), 1e-12, 1 << 18),
+        Tabulated::from_model(&Geometric::from_mean(50.0), 1e-12, 1 << 18),
+        Tabulated::from_model(&bevra::load::Algebraic::from_mean(2.5, 50.0).unwrap(), 1e-7, 1 << 18),
+    ];
+    for load in loads {
+        for utility in [0, 1, 2] {
+            let check = |b: f64, r: f64, c: f64, name: &str| {
+                assert!((0.0..=1.0 + 1e-9).contains(&b), "{name} B({c}) = {b}");
+                assert!((0.0..=1.0 + 1e-9).contains(&r), "{name} R({c}) = {r}");
+                assert!(r >= b - 1e-9, "{name} at C={c}: R {r} < B {b}");
+            };
+            for c in [10.0, 50.0, 150.0] {
+                match utility {
+                    0 => {
+                        let m = DiscreteModel::new(load.clone(), Rigid::unit());
+                        check(m.best_effort(c), m.reservation(c), c, "rigid");
+                    }
+                    1 => {
+                        let m = DiscreteModel::new(load.clone(), AdaptiveExp::paper());
+                        check(m.best_effort(c), m.reservation(c), c, "adaptive");
+                    }
+                    _ => {
+                        let m = DiscreteModel::new(load.clone(), Ramp::new(0.5));
+                        check(m.best_effort(c), m.reservation(c), c, "ramp");
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// The bandwidth gap must be monotone in the right direction per family:
+/// growing for exponential+rigid, shrinking (past the peak) for
+/// exponential+adaptive, ~linear for algebraic+rigid.
+#[test]
+fn gap_growth_regimes() {
+    let kbar = 100.0;
+    let geo = Tabulated::from_model(&Geometric::from_mean(kbar), 1e-12, 1 << 20);
+    let rigid = DiscreteModel::new(geo.clone(), Rigid::unit());
+    let g2 = bandwidth_gap(&rigid, 2.0 * kbar).unwrap();
+    let g6 = bandwidth_gap(&rigid, 6.0 * kbar).unwrap();
+    assert!(g6 > g2, "exp rigid gap must grow: {g2} → {g6}");
+
+    let adaptive = DiscreteModel::new(geo, AdaptiveExp::paper());
+    let a1 = bandwidth_gap(&adaptive, kbar).unwrap();
+    let a6 = bandwidth_gap(&adaptive, 6.0 * kbar).unwrap();
+    assert!(a6 < a1, "exp adaptive gap must decay past its peak: {a1} → {a6}");
+
+    let alg = Tabulated::from_model(
+        &bevra::load::Algebraic::from_mean(3.0, kbar).unwrap(),
+        1e-9,
+        1 << 21,
+    );
+    let ar = DiscreteModel::new(alg, Rigid::unit());
+    let l4 = bandwidth_gap(&ar, 4.0 * kbar).unwrap();
+    let l8 = bandwidth_gap(&ar, 8.0 * kbar).unwrap();
+    let slope = (l8 - l4) / (4.0 * kbar);
+    assert!((slope - 1.0).abs() < 0.1, "alg rigid slope ≈ 1, got {slope}");
+}
+
+/// k_max consistency between the utility-level fixed-load analysis and the
+/// model-level admission threshold.
+#[test]
+fn k_max_agrees_with_fixed_load_analysis() {
+    let load = Tabulated::from_model(&Poisson::new(50.0), 1e-12, 1 << 18);
+    for c in [25.0, 50.0, 99.5] {
+        let m = DiscreteModel::new(load.clone(), Rigid::unit());
+        assert_eq!(m.k_max(c), Some(Rigid::unit().k_max(c)), "C={c}");
+        let ma = DiscreteModel::new(load.clone(), AdaptiveExp::paper());
+        let k = ma.k_max(c).unwrap();
+        // Paper calibration: k_max(C) = C for the adaptive utility.
+        assert!((k as f64 - c).abs() <= 1.0 + 0.02 * c, "adaptive k_max({c}) = {k}");
+        // And the peak is a genuine argmax.
+        let v = |kk: u64| bevra::utility::total_utility(&AdaptiveExp::paper(), kk, c);
+        assert!(v(k) >= v(k + 1) && (k == 1 || v(k) >= v(k - 1)));
+    }
+}

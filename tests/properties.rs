@@ -1,0 +1,160 @@
+//! Property-based tests (proptest) on the workspace's core invariants.
+
+use bevra::analysis::DiscreteModel;
+use bevra::load::{clip_at, flow_perspective, max_of_s, Geometric, Poisson, Tabulated};
+use bevra::net::{max_min_allocation, FlowSpec, Topology};
+use bevra::num::{bisect, brent};
+use bevra::utility::{AdaptiveExp, Ramp, Rigid, Saturating, Utility};
+use proptest::prelude::*;
+
+fn arb_weights() -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(0.0f64..10.0, 2..40).prop_filter(
+        "at least one positive weight",
+        |w| w.iter().sum::<f64>() > 1e-9,
+    )
+}
+
+proptest! {
+    #[test]
+    fn utilities_are_monotone_bounded(kappa in 0.05f64..5.0, b1 in 0.0f64..50.0, b2 in 0.0f64..50.0) {
+        let (lo, hi) = if b1 <= b2 { (b1, b2) } else { (b2, b1) };
+        let u = AdaptiveExp::new(kappa);
+        prop_assert!(u.value(lo) <= u.value(hi) + 1e-12);
+        prop_assert!((0.0..=1.0).contains(&u.value(hi)));
+        let s = Saturating::new(kappa);
+        prop_assert!(s.value(lo) <= s.value(hi) + 1e-12);
+    }
+
+    #[test]
+    fn ramp_h_coefficient_in_range(a in 0.01f64..1.0, z in 2.05f64..6.0) {
+        // 1 ≤ H(a, z) ≤ z − 1, monotone in a.
+        let h = Ramp::new(a).h_coefficient(z);
+        prop_assert!(h >= 1.0 - 1e-12);
+        prop_assert!(h <= z - 1.0 + 1e-9);
+        let h2 = Ramp::new((a * 0.5).max(1e-6)).h_coefficient(z);
+        prop_assert!(h2 <= h + 1e-9);
+    }
+
+    #[test]
+    fn tabulated_invariants(weights in arb_weights()) {
+        let t = Tabulated::from_weights(weights);
+        // Mass exactly 1; cdf monotone to 1; moments consistent.
+        let mass: f64 = t.iter().map(|(_, p)| p).sum();
+        prop_assert!((mass - 1.0).abs() < 1e-9);
+        let mut prev = 0.0;
+        for k in 0..t.len() as u64 {
+            prop_assert!(t.cdf(k) + 1e-12 >= prev);
+            prev = t.cdf(k);
+            prop_assert!((t.partial_mean(k) + t.tail_mean_above(k) - t.mean()).abs() < 1e-9);
+        }
+        prop_assert_eq!(t.cdf(t.len() as u64 - 1), 1.0);
+    }
+
+    #[test]
+    fn quantiles_invert_cdf(weights in arb_weights(), q in 0.0f64..1.0) {
+        let t = Tabulated::from_weights(weights);
+        let k = t.quantile(q);
+        prop_assert!(t.cdf(k) >= q - 1e-12);
+        if k > 0 {
+            prop_assert!(t.cdf(k - 1) < q + 1e-12);
+        }
+    }
+
+    #[test]
+    fn max_of_s_dominates(weights in arb_weights(), s in 1u32..6) {
+        let base = Tabulated::from_weights(weights);
+        let m = max_of_s(&base, s);
+        // Stochastic dominance: F_max(k) ≤ F(k); equality at the top.
+        for k in 0..base.len() as u64 {
+            prop_assert!(m.cdf(k) <= base.cdf(k) + 1e-12);
+        }
+        prop_assert!(m.mean() + 1e-12 >= base.mean());
+    }
+
+    #[test]
+    fn clipping_preserves_mass_and_caps_mean(weights in arb_weights(), cap in 0u64..40) {
+        let base = Tabulated::from_weights(weights);
+        let c = clip_at(&base, cap);
+        let mass: f64 = c.iter().map(|(_, p)| p).sum();
+        prop_assert!((mass - 1.0).abs() < 1e-9);
+        prop_assert!(c.mean() <= base.mean() + 1e-9);
+        prop_assert!(c.len() as u64 <= cap.min(base.len() as u64 - 1) + 1);
+    }
+
+    #[test]
+    fn flow_perspective_size_bias(mean in 2.0f64..40.0) {
+        let p = Tabulated::from_model(&Poisson::new(mean), 1e-10, 1 << 14);
+        let q = flow_perspective(&p);
+        // E_Q[k] = E_P[k²]/E_P[k] ≥ E_P[k].
+        prop_assert!(q.mean() >= p.mean() - 1e-9);
+        prop_assert_eq!(q.pmf(0), 0.0);
+    }
+
+    #[test]
+    fn reservation_dominates_best_effort(mean in 5.0f64..60.0, c in 1.0f64..200.0, rigid in any::<bool>()) {
+        let load = Tabulated::from_model(&Geometric::from_mean(mean), 1e-9, 1 << 14);
+        let (b, r) = if rigid {
+            let m = DiscreteModel::new(load, Rigid::unit());
+            (m.best_effort(c), m.reservation(c))
+        } else {
+            let m = DiscreteModel::new(load, AdaptiveExp::paper());
+            (m.best_effort(c), m.reservation(c))
+        };
+        prop_assert!(r >= b - 1e-9, "R {} < B {}", r, b);
+        prop_assert!((0.0..=1.0 + 1e-9).contains(&b));
+        prop_assert!((0.0..=1.0 + 1e-9).contains(&r));
+    }
+
+    #[test]
+    fn best_effort_monotone_in_capacity(mean in 5.0f64..40.0, c in 1.0f64..150.0, dc in 0.1f64..50.0) {
+        let load = Tabulated::from_model(&Poisson::new(mean), 1e-10, 1 << 14);
+        let m = DiscreteModel::new(load, AdaptiveExp::paper());
+        prop_assert!(m.best_effort(c + dc) + 1e-12 >= m.best_effort(c));
+    }
+
+    #[test]
+    fn maxmin_is_feasible_and_positive(
+        caps in proptest::collection::vec(1.0f64..20.0, 1..5),
+        seeds in proptest::collection::vec(0usize..5, 1..12),
+    ) {
+        let n_links = caps.len();
+        let t = Topology::new(caps.clone());
+        let flows: Vec<FlowSpec> = seeds
+            .iter()
+            .map(|&s| FlowSpec::unit(vec![s % n_links]))
+            .collect();
+        let rates = max_min_allocation(&t, &flows);
+        for (l, &cap) in caps.iter().enumerate() {
+            let used: f64 = flows
+                .iter()
+                .zip(&rates)
+                .filter(|(f, _)| f.route.contains(&l))
+                .map(|(_, &r)| r)
+                .sum();
+            prop_assert!(used <= cap + 1e-9, "link {} overloaded: {} > {}", l, used, cap);
+        }
+        for &r in &rates {
+            prop_assert!(r > 0.0, "every flow gets a positive rate");
+        }
+    }
+
+    #[test]
+    fn brent_and_bisect_agree(a in -5.0f64..-0.5, b in 0.5f64..5.0, shift in -0.4f64..0.4) {
+        // Monotone cubic with a root strictly inside (a, b).
+        let f = |x: f64| (x - shift) * ((x - shift) * (x - shift) + 1.0);
+        let r1 = brent(f, a, b, 1e-12).unwrap();
+        let r2 = bisect(f, a, b, 1e-12).unwrap();
+        prop_assert!((r1 - shift).abs() < 1e-8);
+        prop_assert!((r1 - r2).abs() < 1e-6);
+    }
+
+    #[test]
+    fn blocking_fraction_decreases_in_capacity(mean in 5.0f64..40.0, c in 5.0f64..100.0) {
+        let load = Tabulated::from_model(&Geometric::from_mean(mean), 1e-9, 1 << 14);
+        let m = DiscreteModel::new(load, Rigid::unit());
+        let th1 = m.blocking_fraction(c);
+        let th2 = m.blocking_fraction(c + 10.0);
+        prop_assert!(th2 <= th1 + 1e-9);
+        prop_assert!((0.0..=1.0).contains(&th1));
+    }
+}

@@ -1,0 +1,188 @@
+//! Integration: the flow-level simulator must reproduce the analytical
+//! model — occupancy families, utilities, and blocking.
+
+use bevra::analysis::DiscreteModel;
+use bevra::load::{Poisson, Tabulated};
+use bevra::prelude::*;
+use std::sync::Arc;
+
+fn run(cfg: SimConfig) -> bevra::sim::SimReport {
+    Simulation::new(cfg).run()
+}
+
+fn base(capacity: f64, discipline: Discipline, mixing: RateMixing, seed: u64) -> SimConfig {
+    SimConfig {
+        capacity,
+        discipline,
+        arrivals: MixedPoisson::new(30.0, mixing, 60.0),
+        holding: HoldingDist::Exponential { mean: 1.0 },
+        utility: Arc::new(AdaptiveExp::paper()),
+        warmup: 200.0,
+        horizon: 15_000.0,
+        seed,
+    }
+}
+
+/// Fixed-rate arrivals: occupancy must be Poisson(offered load) — matched
+/// against the ideal distribution with a chi-square-ish sup-norm check.
+#[test]
+fn occupancy_matches_ideal_poisson() {
+    let rep = run(base(60.0, Discipline::BestEffort, RateMixing::Fixed, 1));
+    let occ = rep.occupancy();
+    let ideal = Poisson::new(30.0);
+    use bevra::load::LoadModel;
+    for k in 10..50u64 {
+        let diff = (occ.pmf(k) - ideal.pmf(k)).abs();
+        assert!(diff < 0.012, "pmf({k}): sim {} vs ideal {}", occ.pmf(k), ideal.pmf(k));
+    }
+}
+
+/// Exponential mixing: occupancy variance must blow past the Poisson value
+/// toward the geometric's k̄(k̄+1).
+#[test]
+fn exponential_mixing_inflates_variance() {
+    let rep = run(base(200.0, Discipline::BestEffort, RateMixing::Exponential, 2));
+    let occ = rep.occupancy();
+    assert!(occ.variance() > 8.0 * occ.mean(), "var {} vs mean {}", occ.variance(), occ.mean());
+}
+
+/// The simulator's measured best-effort utility must match the analytical
+/// B(C) computed from the simulator's own empirical occupancy (PASTA).
+#[test]
+fn measured_utility_matches_model_on_empirical_load() {
+    for mixing in [RateMixing::Fixed, RateMixing::Exponential] {
+        let rep = run(base(45.0, Discipline::BestEffort, mixing, 3));
+        let model = DiscreteModel::new(rep.occupancy(), AdaptiveExp::paper());
+        let predicted = model.best_effort(45.0);
+        let measured = rep.utility_at_admission.mean();
+        assert!(
+            (measured - predicted).abs() < 0.01,
+            "{mixing:?}: sim {measured} vs model {predicted}"
+        );
+    }
+}
+
+/// Reservation runs: measured blocking must match the Erlang-style analytic
+/// blocking of the truncated occupancy, and admitted utility must beat
+/// best-effort in overload.
+#[test]
+fn reservation_blocking_and_utility() {
+    let kmax = 32u64;
+    let rv = run(base(
+        32.0,
+        Discipline::Reservation { k_max: kmax, retry: None },
+        RateMixing::Fixed,
+        4,
+    ));
+    // M/M/k_max/k_max with offered 30 erlangs: Erlang-B gives ~0.08.
+    let blocking = rv.blocking_rate();
+    assert!((0.02..0.2).contains(&blocking), "blocking {blocking}");
+    // Occupancy never exceeds the threshold.
+    assert!(rv.occupancy().len() as u64 <= kmax + 1);
+
+    let be = run(base(32.0, Discipline::BestEffort, RateMixing::Fixed, 4));
+    // Rigid flows on the same overloaded link: reservations win.
+    let rv_rigid = run(SimConfig {
+        utility: Arc::new(Rigid::unit()),
+        ..base(32.0, Discipline::Reservation { k_max: kmax, retry: None }, RateMixing::Fixed, 5)
+    });
+    let be_rigid = run(SimConfig {
+        utility: Arc::new(Rigid::unit()),
+        ..base(32.0, Discipline::BestEffort, RateMixing::Fixed, 5)
+    });
+    assert!(
+        rv_rigid.utility_at_admission.mean() > be_rigid.utility_at_admission.mean(),
+        "rigid: rsv {} vs be {}",
+        rv_rigid.utility_at_admission.mean(),
+        be_rigid.utility_at_admission.mean()
+    );
+    // Sanity: adaptive BE stays positive under the same overload.
+    assert!(be.utility_at_admission.mean() > 0.3);
+}
+
+/// Admission-controlled M/M/c/c runs must reproduce the Erlang-B blocking
+/// formula — the independent century-old closed form for this system.
+#[test]
+fn reservation_blocking_matches_erlang_b() {
+    for (servers, offered) in [(32u64, 30.0), (40, 30.0), (25, 30.0)] {
+        let mut cfg = base(
+            servers as f64,
+            Discipline::Reservation { k_max: servers, retry: None },
+            RateMixing::Fixed,
+            11,
+        );
+        cfg.arrivals = MixedPoisson::fixed(offered);
+        let rep = run(cfg);
+        let predicted = bevra::num::erlang_b(servers, offered);
+        assert!(
+            (rep.blocking_rate() - predicted).abs() < 0.012 + 0.05 * predicted,
+            "c={servers}, a={offered}: sim {} vs Erlang-B {predicted}",
+            rep.blocking_rate()
+        );
+    }
+}
+
+/// Retries shift lost flows into delayed admissions, and each retry costs
+/// the configured penalty.
+#[test]
+fn retries_trade_loss_for_penalty() {
+    let kmax = 31u64;
+    let no_retry = run(base(
+        31.0,
+        Discipline::Reservation { k_max: kmax, retry: None },
+        RateMixing::Fixed,
+        6,
+    ));
+    let with_retry = run(base(
+        31.0,
+        Discipline::Reservation {
+            k_max: kmax,
+            retry: Some(bevra::sim::RetryPolicy::new(8, 2.0, 0.05)),
+        },
+        RateMixing::Fixed,
+        6,
+    ));
+    let lost_frac = |r: &bevra::sim::SimReport| {
+        r.lost as f64 / (r.completed + r.lost).max(1) as f64
+    };
+    assert!(
+        lost_frac(&with_retry) < 0.5 * lost_frac(&no_retry),
+        "retries must rescue most blocked flows: {} vs {}",
+        lost_frac(&with_retry),
+        lost_frac(&no_retry)
+    );
+    assert!(with_retry.retries > 0);
+}
+
+/// Deterministic replay across the whole pipeline.
+#[test]
+fn full_pipeline_is_deterministic() {
+    let a = run(base(40.0, Discipline::BestEffort, RateMixing::Exponential, 99));
+    let b = run(base(40.0, Discipline::BestEffort, RateMixing::Exponential, 99));
+    assert_eq!(a.completed, b.completed);
+    assert!((a.utility_time_avg.mean() - b.utility_time_avg.mean()).abs() == 0.0);
+    let occ_a = a.occupancy();
+    let occ_b = b.occupancy();
+    for k in 0..occ_a.len() as u64 {
+        assert_eq!(occ_a.pmf(k), occ_b.pmf(k));
+    }
+}
+
+/// Pareto-mixed arrivals produce a visibly heavier occupancy tail than the
+/// exponential mixing at matched mean.
+#[test]
+fn pareto_mixing_has_heavier_tail() {
+    let exp = run(base(400.0, Discipline::BestEffort, RateMixing::Exponential, 7));
+    let par = run(base(
+        400.0,
+        Discipline::BestEffort,
+        RateMixing::Pareto { z: 2.3, cap: 1e4 },
+        7,
+    ));
+    let tail = |t: &Tabulated, k: u64| t.tail_mass_above(k);
+    let (te, tp) = (tail(&exp.occupancy(), 150), tail(&par.occupancy(), 150));
+    assert!(
+        tp > 2.0 * te,
+        "P[occupancy > 5·mean]: pareto {tp} vs exponential {te}"
+    );
+}

@@ -1,0 +1,144 @@
+//! Integration: welfare model (§4) and the two §5 extensions, end to end.
+
+use bevra::analysis::retrying::{GeometricFamily, PoissonFamily, RetryModel};
+use bevra::analysis::{
+    equalizing_price_ratio, optimal_welfare, performance_gap, DiscreteModel, SampledValue,
+    SamplingModel,
+};
+use bevra::load::{Geometric, Poisson, Tabulated};
+use bevra::utility::{AdaptiveExp, Rigid};
+use std::sync::Arc;
+
+fn gamma(load: &Arc<Tabulated>, utility: impl bevra::utility::Utility + Clone, p: f64) -> f64 {
+    let kbar = load.mean();
+    let m = DiscreteModel::new(Arc::clone(load), utility);
+    let sv_b = SampledValue::build(|c| m.total_best_effort(c), kbar, 200.0 * kbar, 400);
+    let sv_r = SampledValue::build(|c| m.total_reservation(c), kbar, 200.0 * kbar, 400);
+    equalizing_price_ratio(|ph| sv_r.welfare(ph).welfare, sv_b.welfare(p).welfare, p).unwrap()
+}
+
+#[test]
+fn welfare_dominance_and_gamma_at_least_one() {
+    let loads = [
+        Arc::new(Tabulated::from_model(&Poisson::new(50.0), 1e-12, 1 << 18)),
+        Arc::new(Tabulated::from_model(&Geometric::from_mean(50.0), 1e-12, 1 << 18)),
+    ];
+    for load in &loads {
+        for p in [0.02, 0.1, 0.4] {
+            let m = DiscreteModel::new(Arc::clone(load), Rigid::unit());
+            let wb = optimal_welfare(|c| m.total_best_effort(c), p, 50.0, 1e4).unwrap();
+            let wr = optimal_welfare(|c| m.total_reservation(c), p, 50.0, 1e4).unwrap();
+            assert!(wr.welfare + 1e-9 >= wb.welfare, "p={p}");
+            let g = gamma(load, Rigid::unit(), p);
+            assert!(g >= 1.0, "γ({p}) = {g}");
+        }
+    }
+}
+
+#[test]
+fn reservation_provisions_less_than_best_effort_for_rigid() {
+    // At equal price the reservation network can deliver the same service
+    // with less capacity (it spends nothing on overload headroom).
+    let load = Tabulated::from_model(&Geometric::from_mean(100.0), 1e-12, 1 << 20);
+    let m = DiscreteModel::new(load, Rigid::unit());
+    for p in [0.05, 0.2] {
+        let wb = optimal_welfare(|c| m.total_best_effort(c), p, 100.0, 1e5).unwrap();
+        let wr = optimal_welfare(|c| m.total_reservation(c), p, 100.0, 1e5).unwrap();
+        assert!(
+            wr.capacity <= wb.capacity + 1.0,
+            "p={p}: C_R {} vs C_B {}",
+            wr.capacity,
+            wb.capacity
+        );
+    }
+}
+
+#[test]
+fn adaptive_gamma_below_rigid_gamma() {
+    let load = Arc::new(Tabulated::from_model(&Geometric::from_mean(100.0), 1e-12, 1 << 20));
+    for p in [0.01, 0.1] {
+        let g_rigid = gamma(&load, Rigid::unit(), p);
+        let g_adaptive = gamma(&load, AdaptiveExp::paper(), p);
+        assert!(
+            g_adaptive <= g_rigid + 1e-6,
+            "p={p}: adaptive γ {g_adaptive} vs rigid {g_rigid}"
+        );
+    }
+}
+
+#[test]
+fn sampling_gap_exceeds_basic_gap_everywhere() {
+    let load = Arc::new(Tabulated::from_model(&Geometric::from_mean(100.0), 1e-12, 1 << 18));
+    for c in [80.0, 150.0, 300.0] {
+        let basic = performance_gap(
+            &DiscreteModel::new(Arc::clone(&load), AdaptiveExp::paper()),
+            c,
+        );
+        let s5 = SamplingModel::new(
+            DiscreteModel::new(Arc::clone(&load), AdaptiveExp::paper()),
+            5,
+        )
+        .performance_gap(c);
+        assert!(s5 >= basic - 1e-9, "C={c}: S=5 gap {s5} vs basic {basic}");
+    }
+}
+
+#[test]
+fn retry_utility_monotone_in_alpha_and_bounded() {
+    let c = 120.0;
+    let mut prev = f64::INFINITY;
+    for alpha in [0.0, 0.2, 0.5, 1.0] {
+        let rm = RetryModel::new(
+            GeometricFamily::new(1e-12, 1 << 18),
+            AdaptiveExp::paper(),
+            100.0,
+            alpha,
+        );
+        let out = rm.evaluate(c).unwrap();
+        assert!(out.reservation <= prev + 1e-12, "α={alpha}");
+        assert!((0.0..=1.5).contains(&out.reservation));
+        prev = out.reservation;
+    }
+}
+
+#[test]
+fn retry_fixed_point_is_self_consistent_across_families() {
+    for c in [80.0, 150.0] {
+        let rm = RetryModel::new(
+            PoissonFamily::new(1e-12, 1 << 18),
+            Rigid::unit(),
+            60.0,
+            0.1,
+        );
+        let out = rm.evaluate(c).unwrap();
+        assert!(
+            (out.effective_mean - 60.0 * (1.0 + out.retries)).abs() < 1e-3,
+            "C={c}: L̂ {} vs L(1+D) {}",
+            out.effective_mean,
+            60.0 * (1.0 + out.retries)
+        );
+    }
+}
+
+#[test]
+fn retry_widens_gap_under_cheap_bandwidth_for_heavy_tails() {
+    // §5.2's qualitative point at large C: retries keep a residual
+    // disutility α·θ alive, so the performance gap with retries exceeds the
+    // basic gap once overprovisioned... for the heavy-tailed load where θ
+    // decays slowly.
+    let fam = bevra::analysis::retrying::AlgebraicFamily::new(3.0, 1e-7, 1 << 17);
+    let rm = RetryModel::new(fam, AdaptiveExp::paper(), 100.0, 0.1);
+    let basic_load = Tabulated::from_model(
+        &bevra::load::Algebraic::from_mean(3.0, 100.0).unwrap(),
+        1e-7,
+        1 << 17,
+    );
+    let basic = DiscreteModel::new(basic_load, AdaptiveExp::paper());
+    let c = 400.0;
+    let with_retry = rm.performance_gap(c).unwrap();
+    let without = performance_gap(&basic, c);
+    assert!(
+        with_retry > without,
+        "C={c}: retry gap {with_retry} vs basic {without}"
+    );
+}
