@@ -1,0 +1,66 @@
+//! Bench: the sweep engine — serial vs parallel vs cached (warm) sweeps
+//! over the Figure 2/3 grids, plus the parallel welfare-table build. This
+//! is the acceptance bench for the engine's speedup claims.
+
+use bevra_core::DiscreteModel;
+use bevra_engine::{Architecture, ExecMode, SweepEngine};
+use bevra_load::{Geometric, Poisson, Tabulated, PAPER_MEAN_LOAD};
+use bevra_utility::AdaptiveExp;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::sync::Arc;
+
+fn grid(n: usize) -> Vec<f64> {
+    let (lo, hi) = (PAPER_MEAN_LOAD / 20.0, 10.0 * PAPER_MEAN_LOAD);
+    let ratio = (hi / lo).powf(1.0 / (n - 1) as f64);
+    (0..n).map(|i| lo * ratio.powi(i as i32)).collect()
+}
+
+fn engine_of(load: &Arc<Tabulated>, mode: ExecMode) -> SweepEngine<AdaptiveExp> {
+    SweepEngine::with_mode(DiscreteModel::new(Arc::clone(load), AdaptiveExp::paper()), mode)
+}
+
+fn engine_sweeps(c: &mut Criterion) {
+    let load = Arc::new(Tabulated::from_model(&Poisson::new(PAPER_MEAN_LOAD), 1e-12, 1 << 18));
+    let cs = grid(48);
+    c.bench_function("engine_sweep_serial_cold", |b| {
+        b.iter(|| black_box(engine_of(&load, ExecMode::Serial).sweep(black_box(&cs))));
+    });
+    let threads = bevra_engine::thread_count();
+    c.bench_function("engine_sweep_parallel_cold", |b| {
+        b.iter(|| {
+            black_box(engine_of(&load, ExecMode::Parallel { threads }).sweep(black_box(&cs)))
+        });
+    });
+    // Warm cache: the same engine re-sweeps the grid (pure hits).
+    let warm = engine_of(&load, ExecMode::Parallel { threads });
+    let _ = warm.sweep(&cs);
+    c.bench_function("engine_sweep_parallel_warm", |b| {
+        b.iter(|| black_box(warm.sweep(black_box(&cs))));
+    });
+
+    let geo = Arc::new(Tabulated::from_model(&Geometric::from_mean(PAPER_MEAN_LOAD), 1e-12, 1 << 18));
+    c.bench_function("engine_value_table_serial", |b| {
+        b.iter(|| {
+            black_box(engine_of(&geo, ExecMode::Serial).value_table(
+                Architecture::BestEffort,
+                PAPER_MEAN_LOAD,
+                300.0 * PAPER_MEAN_LOAD,
+                400,
+            ))
+        });
+    });
+    c.bench_function("engine_value_table_parallel", |b| {
+        b.iter(|| {
+            black_box(engine_of(&geo, ExecMode::Parallel { threads }).value_table(
+                Architecture::BestEffort,
+                PAPER_MEAN_LOAD,
+                300.0 * PAPER_MEAN_LOAD,
+                400,
+            ))
+        });
+    });
+}
+
+criterion_group!(benches, engine_sweeps);
+criterion_main!(benches);

@@ -122,10 +122,22 @@ impl<U: Utility> DiscreteModel<U> {
     /// `C/k_max`, so the overload term collapses to a closed form via the
     /// cached tail mass — O(k_max) total.
     pub fn reservation(&self, capacity: f64) -> f64 {
+        self.reservation_with_kmax(capacity, self.k_max(capacity))
+    }
+
+    /// [`Self::reservation`] with the admission threshold supplied by the
+    /// caller instead of recomputed.
+    ///
+    /// `kmax` must be what [`Self::k_max`] would return for `capacity`
+    /// (the parallel sweep engine memoizes that table per utility family
+    /// and injects it here); passing anything else evaluates a *different*
+    /// admission policy — which is exactly how footnote 9's chosen-cap
+    /// studies use it.
+    pub fn reservation_with_kmax(&self, capacity: f64, kmax: Option<u64>) -> f64 {
         if capacity <= 0.0 {
             return 0.0;
         }
-        let Some(kmax) = self.k_max(capacity) else {
+        let Some(kmax) = kmax else {
             // No finite peak: admission control never rejects, so the two
             // architectures deliver identical utility.
             return self.best_effort(capacity);

@@ -39,6 +39,8 @@
 //!   exposed as plain functions so experiments can compare measured curves
 //!   against predicted ones.
 
+#![deny(missing_docs)]
+
 pub mod asymptotics;
 pub mod continuum;
 pub mod discrete;

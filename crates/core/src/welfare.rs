@@ -135,6 +135,21 @@ impl SampledValue {
     ///
     /// Panics for `n < 16` or nonpositive scales.
     pub fn build(v: impl Fn(f64) -> f64, c_scale: f64, c_max: f64, n: usize) -> Self {
+        let cs = Self::grid(c_scale, c_max, n);
+        let vs = cs.iter().map(|&c| v(c)).collect();
+        Self { cs, vs }
+    }
+
+    /// The capacity grid [`Self::build`] samples on, exposed so callers
+    /// (notably the parallel sweep engine) can evaluate `V` over the grid
+    /// themselves — e.g. fanned out across threads — and assemble the
+    /// table with [`Self::from_samples`].
+    ///
+    /// # Panics
+    ///
+    /// Panics for `n < 16` or nonpositive scales.
+    #[must_use]
+    pub fn grid(c_scale: f64, c_max: f64, n: usize) -> Vec<f64> {
         assert!(n >= 16, "grid too coarse");
         assert!(c_scale > 0.0 && c_max > c_scale, "bad capacity scales");
         let mut cs = Vec::with_capacity(n + 1);
@@ -150,7 +165,20 @@ impl SampledValue {
             c *= ratio;
             cs.push(c);
         }
-        let vs = cs.iter().map(|&c| v(c)).collect();
+        cs
+    }
+
+    /// Assemble a table from a strictly increasing grid and its samples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lengths differ, fewer than 2 points are given, or the
+    /// grid is not strictly increasing.
+    #[must_use]
+    pub fn from_samples(cs: Vec<f64>, vs: Vec<f64>) -> Self {
+        assert_eq!(cs.len(), vs.len(), "grid and samples must pair up");
+        assert!(cs.len() >= 2, "need at least two samples to interpolate");
+        assert!(cs.windows(2).all(|w| w[0] < w[1]), "grid must be strictly increasing");
         Self { cs, vs }
     }
 

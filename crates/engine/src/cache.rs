@@ -1,0 +1,183 @@
+//! Thread-safe memoization for expensive sweep sub-results.
+//!
+//! A [`ShardedCache`] is a dashmap-style fixed-shard hash map keyed by the
+//! raw bit pattern of an `f64` capacity (or any other `u64` key). Sharding
+//! keeps lock contention negligible at sweep concurrency; values are
+//! computed **outside** the shard lock so a slow miss never serializes the
+//! other workers.
+//!
+//! Correctness under races: every cache in this crate memoizes a *pure*
+//! function of its key, so two threads racing on the same missing key
+//! compute bit-identical values and either insertion order yields the same
+//! cache contents. This is what makes cached parallel sweeps
+//! bitwise-identical to serial ones.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+const SHARDS: usize = 16;
+
+/// Hit/miss counters of one cache, for the sweep instrumentation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that had to compute the value.
+    pub misses: u64,
+}
+
+impl CacheStats {
+    /// Hit fraction in `[0, 1]` (0 for an untouched cache).
+    #[must_use]
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// A fixed-shard concurrent memo table from `u64` keys to clonable values.
+#[derive(Debug)]
+pub struct ShardedCache<V> {
+    shards: [Mutex<HashMap<u64, V>>; SHARDS],
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl<V> Default for ShardedCache<V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<V> ShardedCache<V> {
+    /// An empty cache.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            shards: std::array::from_fn(|_| Mutex::new(HashMap::new())),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    fn shard(&self, key: u64) -> &Mutex<HashMap<u64, V>> {
+        // Fibonacci hashing spreads nearby bit patterns (consecutive grid
+        // capacities differ in few mantissa bits) across shards.
+        let h = key.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        &self.shards[(h >> 60) as usize % SHARDS]
+    }
+
+    /// Current hit/miss counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Total entries across all shards.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().expect("cache shard poisoned").len()).sum()
+    }
+
+    /// Whether the cache holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drop all entries (counters are kept).
+    pub fn clear(&self) {
+        for s in &self.shards {
+            s.lock().expect("cache shard poisoned").clear();
+        }
+    }
+}
+
+impl<V: Clone> ShardedCache<V> {
+    /// The value for `key`, computing it with `compute` on a miss.
+    ///
+    /// `compute` runs outside the shard lock; if two threads race on the
+    /// same missing key the first insertion wins and both observe it
+    /// (identical by purity of `compute`).
+    pub fn get_or_insert_with(&self, key: u64, compute: impl FnOnce() -> V) -> V {
+        if let Some(v) = self.shard(key).lock().expect("cache shard poisoned").get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return v.clone();
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let fresh = compute();
+        self.shard(key)
+            .lock()
+            .expect("cache shard poisoned")
+            .entry(key)
+            .or_insert(fresh)
+            .clone()
+    }
+}
+
+/// The canonical cache key for a capacity: its IEEE-754 bit pattern.
+/// Distinct bit patterns are distinct keys (so `-0.0` and `0.0` differ,
+/// which is irrelevant for the positive capacities swept here).
+#[must_use]
+pub fn f64_key(x: f64) -> u64 {
+    x.to_bits()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn caches_and_counts() {
+        let cache: ShardedCache<f64> = ShardedCache::new();
+        let computes = AtomicUsize::new(0);
+        let f = |c: f64| {
+            cache.get_or_insert_with(f64_key(c), || {
+                computes.fetch_add(1, Ordering::Relaxed);
+                c * 2.0
+            })
+        };
+        assert_eq!(f(1.5), 3.0);
+        assert_eq!(f(1.5), 3.0);
+        assert_eq!(f(2.5), 5.0);
+        assert_eq!(computes.load(Ordering::Relaxed), 2);
+        let stats = cache.stats();
+        assert_eq!(stats.hits, 1);
+        assert_eq!(stats.misses, 2);
+        assert!((stats.hit_rate() - 1.0 / 3.0).abs() < 1e-15);
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn concurrent_fill_converges() {
+        let cache: ShardedCache<u64> = ShardedCache::new();
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|| {
+                    for k in 0..1000u64 {
+                        let v = cache.get_or_insert_with(k, || k * k);
+                        assert_eq!(v, k * k);
+                    }
+                });
+            }
+        });
+        assert_eq!(cache.len(), 1000);
+        let stats = cache.stats();
+        assert_eq!(stats.hits + stats.misses, 8000);
+    }
+
+    #[test]
+    fn clear_empties() {
+        let cache: ShardedCache<u64> = ShardedCache::new();
+        cache.get_or_insert_with(7, || 7);
+        assert!(!cache.is_empty());
+        cache.clear();
+        assert!(cache.is_empty());
+    }
+}

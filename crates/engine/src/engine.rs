@@ -1,0 +1,326 @@
+//! The [`SweepEngine`]: memoized, data-parallel evaluation of the paper's
+//! capacity and price sweeps.
+
+use crate::cache::{f64_key, CacheStats, ShardedCache};
+use crate::instrument::span;
+use crate::pool::{parallel_map_with, thread_count};
+use bevra_core::welfare::SampledValue;
+use bevra_core::{equalizing_price_ratio, DiscreteModel};
+use bevra_num::{brent, expand_bracket_up, NumError, NumResult};
+use bevra_utility::Utility;
+
+/// Execution strategy of an engine's sweeps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExecMode {
+    /// Evaluate every point on the calling thread, in grid order.
+    Serial,
+    /// Fan points out across scoped worker threads. Output is
+    /// bitwise-identical to [`ExecMode::Serial`] — see the crate docs.
+    Parallel {
+        /// Worker-thread count (clamped to at least 1).
+        threads: usize,
+    },
+}
+
+impl ExecMode {
+    fn threads(self) -> usize {
+        match self {
+            ExecMode::Serial => 1,
+            ExecMode::Parallel { threads } => threads.max(1),
+        }
+    }
+}
+
+/// Which architecture's total-utility curve a welfare table samples.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Architecture {
+    /// Best-effort: everyone admitted, `V_B(C) = k̄·B(C)`.
+    BestEffort,
+    /// Reservations: admission capped at `k_max(C)`, `V_R(C) = k̄·R(C)`.
+    Reservation,
+}
+
+/// One evaluated capacity point of a sweep: the paper's four headline
+/// quantities at capacity `C`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SweepPoint {
+    /// Capacity `C`.
+    pub capacity: f64,
+    /// Normalized best-effort utility `B(C)`.
+    pub best_effort: f64,
+    /// Normalized reservation utility `R(C)`.
+    pub reservation: f64,
+    /// Performance gap `δ(C) = max(R − B, 0)`.
+    pub performance_gap: f64,
+    /// Bandwidth gap `Δ(C)` solving `B(C + Δ) = R(C)`; NaN if the solver
+    /// could not bracket a root (pathologically truncated tables only).
+    pub bandwidth_gap: f64,
+}
+
+/// Memoized, parallel evaluator of `B(C)`, `R(C)`, `δ(C)`, `Δ(C)` and the
+/// welfare tables for one (load, utility) pair.
+///
+/// The engine wraps a [`DiscreteModel`] and adds:
+///
+/// * **memoization** — sharded thread-safe caches for the `k_max(C)`
+///   table, `B(C)`, and `R(C)`, keyed by the capacity's bit pattern. The
+///   bandwidth-gap root-finder and the welfare tables re-probe the same
+///   capacities many times; with the caches every distinct capacity is
+///   summed over the load table exactly once per engine;
+/// * **data parallelism** — [`Self::sweep`], [`Self::value_table`] and
+///   [`Self::gamma_sweep`] fan their grids out over scoped threads
+///   ([`crate::pool`]), with output **bitwise-identical** to serial
+///   because every per-point computation is a pure function evaluated by
+///   the same scalar code path;
+/// * **instrumentation** — every sweep stage opens a
+///   [`crate::instrument::span`], and [`Self::cache_stats`] exposes
+///   hit/miss counters for the emitted perf reports.
+pub struct SweepEngine<U: Utility> {
+    model: DiscreteModel<U>,
+    mode: ExecMode,
+    kmax: ShardedCache<Option<u64>>,
+    b: ShardedCache<f64>,
+    r: ShardedCache<f64>,
+}
+
+impl<U: Utility> SweepEngine<U> {
+    /// Engine in the default parallel mode ([`thread_count`] workers —
+    /// the `BEVRA_THREADS` environment variable or all cores).
+    #[must_use]
+    pub fn new(model: DiscreteModel<U>) -> Self {
+        Self::with_mode(model, ExecMode::Parallel { threads: thread_count() })
+    }
+
+    /// Engine that evaluates everything on the calling thread — the
+    /// reference path the parallel mode is verified against.
+    #[must_use]
+    pub fn serial(model: DiscreteModel<U>) -> Self {
+        Self::with_mode(model, ExecMode::Serial)
+    }
+
+    /// Engine with an explicit execution mode.
+    #[must_use]
+    pub fn with_mode(model: DiscreteModel<U>, mode: ExecMode) -> Self {
+        Self {
+            model,
+            mode,
+            kmax: ShardedCache::new(),
+            b: ShardedCache::new(),
+            r: ShardedCache::new(),
+        }
+    }
+
+    /// The wrapped model.
+    pub fn model(&self) -> &DiscreteModel<U> {
+        &self.model
+    }
+
+    /// The execution mode.
+    pub fn mode(&self) -> ExecMode {
+        self.mode
+    }
+
+    /// Memoized admission threshold `k_max(C)`.
+    pub fn k_max(&self, capacity: f64) -> Option<u64> {
+        self.kmax.get_or_insert_with(f64_key(capacity), || self.model.k_max(capacity))
+    }
+
+    /// Memoized normalized best-effort utility `B(C)`.
+    pub fn best_effort(&self, capacity: f64) -> f64 {
+        self.b.get_or_insert_with(f64_key(capacity), || self.model.best_effort(capacity))
+    }
+
+    /// Memoized normalized reservation utility `R(C)`, reusing the
+    /// memoized `k_max` table.
+    pub fn reservation(&self, capacity: f64) -> f64 {
+        self.r.get_or_insert_with(f64_key(capacity), || {
+            self.model.reservation_with_kmax(capacity, self.k_max(capacity))
+        })
+    }
+
+    /// Performance gap `δ(C) = max(R(C) − B(C), 0)` from the caches.
+    pub fn performance_gap(&self, capacity: f64) -> f64 {
+        (self.reservation(capacity) - self.best_effort(capacity)).max(0.0)
+    }
+
+    /// Bandwidth gap `Δ(C)` solving `B(C + Δ) = R(C)`.
+    ///
+    /// Same algorithm as [`bevra_core::bandwidth_gap`] (upward bracket
+    /// expansion + Brent, zero for sub-ULP gaps), but every `B` probe goes
+    /// through the memo table, so bracketing probes shared between grid
+    /// points are paid for once.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bracketing/root-finding failures, exactly as the serial
+    /// implementation does.
+    pub fn bandwidth_gap(&self, capacity: f64) -> NumResult<f64> {
+        let target = self.reservation(capacity);
+        let here = self.best_effort(capacity);
+        if target <= here + 1e-12 {
+            return Ok(0.0);
+        }
+        let kbar = self.model.mean_load();
+        let max_extra = 1e6 * kbar;
+        let f = |delta: f64| self.best_effort(capacity + delta) - target;
+        let bracket = expand_bracket_up(f, 0.0, 0.01 * kbar.max(1.0), max_extra)?;
+        if bracket.lo == bracket.hi {
+            return Ok(bracket.lo);
+        }
+        let delta = brent(f, bracket.lo, bracket.hi, 1e-9 * kbar.max(1.0))?;
+        if delta.is_finite() && delta >= 0.0 {
+            Ok(delta)
+        } else {
+            Err(NumError::InvalidInput { what: "bandwidth gap solver produced a negative gap" })
+        }
+    }
+
+    /// Evaluate all four headline quantities over a capacity grid,
+    /// parallel per [`Self::mode`]. Failed gap solves surface as NaN.
+    pub fn sweep(&self, capacities: &[f64]) -> Vec<SweepPoint> {
+        let mut sp = span("sweep/points");
+        sp.add_points(capacities.len() as u64);
+        parallel_map_with(capacities, self.mode.threads(), |&c| SweepPoint {
+            capacity: c,
+            best_effort: self.best_effort(c),
+            reservation: self.reservation(c),
+            performance_gap: self.performance_gap(c),
+            bandwidth_gap: self.bandwidth_gap(c).unwrap_or(f64::NAN),
+        })
+    }
+
+    /// Build the welfare sampling table `V(C)` for one architecture over
+    /// the standard [`SampledValue::grid`], evaluating grid points in
+    /// parallel per [`Self::mode`].
+    ///
+    /// Identical (bitwise) to `SampledValue::build` over the same model:
+    /// `V_B(C) = k̄·B(C)` and `V_R(C) = k̄·R(C)` are evaluated by the
+    /// same scalar code, only fanned out and memoized.
+    pub fn value_table(
+        &self,
+        arch: Architecture,
+        c_scale: f64,
+        c_max: f64,
+        n: usize,
+    ) -> SampledValue {
+        let cs = SampledValue::grid(c_scale, c_max, n);
+        let mut sp = span(match arch {
+            Architecture::BestEffort => "welfare/value-table-B",
+            Architecture::Reservation => "welfare/value-table-R",
+        });
+        sp.add_points(cs.len() as u64);
+        let kbar = self.model.mean_load();
+        let vs = parallel_map_with(&cs, self.mode.threads(), |&c| match arch {
+            Architecture::BestEffort => kbar * self.best_effort(c),
+            Architecture::Reservation => kbar * self.reservation(c),
+        });
+        SampledValue::from_samples(cs, vs)
+    }
+
+    /// Equalizing price ratio `γ(p)` over a price grid, parallel per
+    /// [`Self::mode`]: for each price, best-effort welfare comes from
+    /// `sv_b` and the ratio is solved against `sv_r`. Failed solves
+    /// surface as NaN.
+    pub fn gamma_sweep(&self, prices: &[f64], sv_b: &SampledValue, sv_r: &SampledValue) -> Vec<f64> {
+        let mut sp = span("welfare/gamma");
+        sp.add_points(prices.len() as u64);
+        parallel_map_with(prices, self.mode.threads(), |&p| {
+            let wb = sv_b.welfare(p).welfare;
+            equalizing_price_ratio(|ph| sv_r.welfare(ph).welfare, wb, p).unwrap_or(f64::NAN)
+        })
+    }
+
+    /// Hit/miss counters of the three memo tables, named for reports.
+    pub fn cache_stats(&self) -> Vec<(String, CacheStats)> {
+        vec![
+            ("k_max".into(), self.kmax.stats()),
+            ("best_effort".into(), self.b.stats()),
+            ("reservation".into(), self.r.stats()),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bevra_load::{Geometric, Poisson, Tabulated};
+    use bevra_utility::{AdaptiveExp, Rigid};
+
+    fn poisson_engine(mode: ExecMode) -> SweepEngine<AdaptiveExp> {
+        let load = Tabulated::from_model(&Poisson::new(50.0), 1e-12, 1 << 16);
+        SweepEngine::with_mode(DiscreteModel::new(load, AdaptiveExp::paper()), mode)
+    }
+
+    fn grid() -> Vec<f64> {
+        (1..=24).map(|i| f64::from(i) * 9.0).collect()
+    }
+
+    #[test]
+    fn parallel_sweep_bitwise_matches_serial() {
+        let cs = grid();
+        let serial = poisson_engine(ExecMode::Serial).sweep(&cs);
+        let par = poisson_engine(ExecMode::Parallel { threads: 8 }).sweep(&cs);
+        for (s, p) in serial.iter().zip(&par) {
+            assert_eq!(s.best_effort.to_bits(), p.best_effort.to_bits());
+            assert_eq!(s.reservation.to_bits(), p.reservation.to_bits());
+            assert_eq!(s.performance_gap.to_bits(), p.performance_gap.to_bits());
+            assert_eq!(s.bandwidth_gap.to_bits(), p.bandwidth_gap.to_bits());
+        }
+    }
+
+    #[test]
+    fn engine_matches_legacy_model_path() {
+        let cs = grid();
+        let load = Tabulated::from_model(&Geometric::from_mean(50.0), 1e-12, 1 << 16);
+        let model = DiscreteModel::new(load.clone(), Rigid::unit());
+        let engine = SweepEngine::new(DiscreteModel::new(load, Rigid::unit()));
+        for (&c, pt) in cs.iter().zip(engine.sweep(&cs)) {
+            assert_eq!(model.best_effort(c).to_bits(), pt.best_effort.to_bits());
+            assert_eq!(model.reservation(c).to_bits(), pt.reservation.to_bits());
+            let legacy_gap = bevra_core::bandwidth_gap(&model, c).unwrap_or(f64::NAN);
+            assert_eq!(legacy_gap.to_bits(), pt.bandwidth_gap.to_bits());
+        }
+    }
+
+    #[test]
+    fn caches_hit_on_resweep() {
+        let engine = poisson_engine(ExecMode::Parallel { threads: 4 });
+        let cs = grid();
+        let first = engine.sweep(&cs);
+        let misses_after_first: u64 = engine.cache_stats().iter().map(|(_, s)| s.misses).sum();
+        let second = engine.sweep(&cs);
+        let misses_after_second: u64 = engine.cache_stats().iter().map(|(_, s)| s.misses).sum();
+        assert_eq!(misses_after_first, misses_after_second, "second sweep is all hits");
+        for (a, b) in first.iter().zip(&second) {
+            assert_eq!(a.best_effort.to_bits(), b.best_effort.to_bits());
+        }
+    }
+
+    #[test]
+    fn value_table_matches_sampled_build() {
+        let load = Tabulated::from_model(&Poisson::new(50.0), 1e-12, 1 << 16);
+        let model = DiscreteModel::new(load.clone(), AdaptiveExp::paper());
+        let engine = SweepEngine::new(DiscreteModel::new(load, AdaptiveExp::paper()));
+        let sv_legacy = SampledValue::build(|c| model.total_best_effort(c), 50.0, 5e3, 64);
+        let sv_engine = engine.value_table(Architecture::BestEffort, 50.0, 5e3, 64);
+        for c in [10.0, 75.0, 320.0, 4000.0] {
+            assert_eq!(sv_legacy.value(c).to_bits(), sv_engine.value(c).to_bits(), "C={c}");
+        }
+    }
+
+    #[test]
+    fn gamma_sweep_parallel_matches_serial() {
+        let ps: Vec<f64> = (0..12).map(|i| 1e-3 * 1.8f64.powi(i)).collect();
+        let serial = poisson_engine(ExecMode::Serial);
+        let sb = serial.value_table(Architecture::BestEffort, 50.0, 1e4, 200);
+        let sr = serial.value_table(Architecture::Reservation, 50.0, 1e4, 200);
+        let gs = serial.gamma_sweep(&ps, &sb, &sr);
+        let par = poisson_engine(ExecMode::Parallel { threads: 8 });
+        let pb = par.value_table(Architecture::BestEffort, 50.0, 1e4, 200);
+        let pr = par.value_table(Architecture::Reservation, 50.0, 1e4, 200);
+        let gp = par.gamma_sweep(&ps, &pb, &pr);
+        for (a, b) in gs.iter().zip(&gp) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+}

@@ -1,0 +1,236 @@
+//! Lightweight sweep instrumentation: named timing spans plus a counters
+//! struct, without the external `tracing` crate (unavailable offline).
+//!
+//! Engine operations open a [`Span`] per sweep stage; completed spans land
+//! in a process-global registry that a figure binary drains into a
+//! [`SweepReport`] after building its figure. The report serializes to
+//! JSON and CSV next to the existing artifacts under `results/`.
+
+use crate::cache::CacheStats;
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// One completed sweep stage.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StageRecord {
+    /// Stage name, e.g. `"sweep/utility"` or `"welfare/build"`.
+    pub name: String,
+    /// Wall-clock duration in seconds.
+    pub seconds: f64,
+    /// Grid points (or other work units) the stage evaluated.
+    pub points: u64,
+}
+
+impl StageRecord {
+    /// Throughput in points per second (0 when no points were recorded).
+    #[must_use]
+    pub fn points_per_sec(&self) -> f64 {
+        if self.seconds > 0.0 {
+            self.points as f64 / self.seconds
+        } else {
+            0.0
+        }
+    }
+}
+
+static REGISTRY: Mutex<Vec<StageRecord>> = Mutex::new(Vec::new());
+static CACHES: Mutex<Vec<(String, CacheStats)>> = Mutex::new(Vec::new());
+
+/// An open timing span. Created by [`span`]; records itself into the
+/// global registry on drop.
+#[derive(Debug)]
+pub struct Span {
+    name: String,
+    points: u64,
+    start: Instant,
+}
+
+impl Span {
+    /// Attribute `n` more evaluated points to this span.
+    pub fn add_points(&mut self, n: u64) {
+        self.points += n;
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        let record = StageRecord {
+            name: std::mem::take(&mut self.name),
+            seconds: self.start.elapsed().as_secs_f64(),
+            points: self.points,
+        };
+        REGISTRY.lock().expect("span registry poisoned").push(record);
+    }
+}
+
+/// Open a named timing span; it records itself when dropped.
+#[must_use]
+pub fn span(name: impl Into<String>) -> Span {
+    Span { name: name.into(), points: 0, start: Instant::now() }
+}
+
+/// Remove and return every stage recorded since the last drain.
+#[must_use]
+pub fn drain_stages() -> Vec<StageRecord> {
+    std::mem::take(&mut *REGISTRY.lock().expect("span registry poisoned"))
+}
+
+/// Publish one engine's cache counters under `prefix` (e.g. the sweep's
+/// utility family) so the next [`drain_caches`] picks them up.
+pub fn record_caches(prefix: &str, stats: Vec<(String, CacheStats)>) {
+    let mut registry = CACHES.lock().expect("cache registry poisoned");
+    for (name, st) in stats {
+        registry.push((format!("{prefix}/{name}"), st));
+    }
+}
+
+/// Remove and return every cache counter recorded since the last drain.
+#[must_use]
+pub fn drain_caches() -> Vec<(String, CacheStats)> {
+    std::mem::take(&mut *CACHES.lock().expect("cache registry poisoned"))
+}
+
+/// Aggregated instrumentation of one figure/sweep run: its stages plus the
+/// cache counters of every engine involved.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SweepReport {
+    /// Completed stages in execution order.
+    pub stages: Vec<StageRecord>,
+    /// Named cache counters, e.g. `("best_effort", stats)`.
+    pub caches: Vec<(String, CacheStats)>,
+    /// Worker threads the run was configured with.
+    pub threads: usize,
+}
+
+impl SweepReport {
+    /// Build a report from drained stages and cache counters.
+    #[must_use]
+    pub fn new(
+        stages: Vec<StageRecord>,
+        caches: Vec<(String, CacheStats)>,
+        threads: usize,
+    ) -> Self {
+        Self { stages, caches, threads }
+    }
+
+    /// Total wall-clock seconds across stages.
+    #[must_use]
+    pub fn total_seconds(&self) -> f64 {
+        self.stages.iter().map(|s| s.seconds).sum()
+    }
+
+    /// Total evaluated points across stages.
+    #[must_use]
+    pub fn total_points(&self) -> u64 {
+        self.stages.iter().map(|s| s.points).sum()
+    }
+
+    /// Aggregate throughput in points per second.
+    #[must_use]
+    pub fn points_per_sec(&self) -> f64 {
+        let secs = self.total_seconds();
+        if secs > 0.0 {
+            self.total_points() as f64 / secs
+        } else {
+            0.0
+        }
+    }
+
+    /// JSON serialization (hand-rolled: no serde offline).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        fn esc(s: &str) -> String {
+            s.replace('\\', "\\\\").replace('"', "\\\"")
+        }
+        let mut out = String::from("{\n");
+        out.push_str(&format!("  \"threads\": {},\n", self.threads));
+        out.push_str(&format!("  \"total_seconds\": {:?},\n", self.total_seconds()));
+        out.push_str(&format!("  \"total_points\": {},\n", self.total_points()));
+        out.push_str(&format!("  \"points_per_sec\": {:?},\n", self.points_per_sec()));
+        out.push_str("  \"stages\": [\n");
+        for (i, s) in self.stages.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"name\": \"{}\", \"seconds\": {:?}, \"points\": {}, \"points_per_sec\": {:?}}}{}\n",
+                esc(&s.name),
+                s.seconds,
+                s.points,
+                s.points_per_sec(),
+                if i + 1 < self.stages.len() { "," } else { "" }
+            ));
+        }
+        out.push_str("  ],\n  \"caches\": [\n");
+        for (i, (name, st)) in self.caches.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"name\": \"{}\", \"hits\": {}, \"misses\": {}, \"hit_rate\": {:?}}}{}\n",
+                esc(name),
+                st.hits,
+                st.misses,
+                st.hit_rate(),
+                if i + 1 < self.caches.len() { "," } else { "" }
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
+    /// CSV serialization: one `stage` row per stage, one `cache` row per
+    /// cache, with a shared header.
+    #[must_use]
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("kind,name,seconds,points,points_per_sec,hits,misses,hit_rate\n");
+        for s in &self.stages {
+            out.push_str(&format!(
+                "stage,{},{:?},{},{:?},,,\n",
+                s.name,
+                s.seconds,
+                s.points,
+                s.points_per_sec()
+            ));
+        }
+        for (name, st) in &self.caches {
+            out.push_str(&format!(
+                "cache,{},,,,{},{},{:?}\n",
+                name,
+                st.hits,
+                st.misses,
+                st.hit_rate()
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn span_records_on_drop() {
+        let _ = drain_stages();
+        {
+            let mut s = span("test/stage");
+            s.add_points(42);
+        }
+        let stages = drain_stages();
+        let rec = stages.iter().find(|r| r.name == "test/stage").expect("span recorded");
+        assert_eq!(rec.points, 42);
+        assert!(rec.seconds >= 0.0);
+    }
+
+    #[test]
+    fn report_serializes() {
+        let report = SweepReport::new(
+            vec![StageRecord { name: "sweep/utility".into(), seconds: 0.5, points: 100 }],
+            vec![("best_effort".into(), CacheStats { hits: 10, misses: 5 })],
+            8,
+        );
+        assert!((report.points_per_sec() - 200.0).abs() < 1e-9);
+        let json = report.to_json();
+        assert!(json.contains("\"sweep/utility\""));
+        assert!(json.contains("\"hits\": 10"));
+        let csv = report.to_csv();
+        assert!(csv.lines().count() == 3);
+        assert!(csv.contains("stage,sweep/utility"));
+        assert!(csv.contains("cache,best_effort"));
+    }
+}

@@ -1,0 +1,54 @@
+//! Parallel sweep engine for the bevra workspace.
+//!
+//! Every figure of the paper's evaluation reduces to dense sweeps of four
+//! quantities over capacity and price grids: `B(C)`, `R(C)`,
+//! `δ(C) = R − B`, and the bandwidth gap `Δ(C)`. Evaluating them serially
+//! re-sums megabyte-scale load tables hundreds of times; this crate makes
+//! the sweeps parallel and memoized while keeping the numerics **exactly**
+//! the serial scalar code:
+//!
+//! * [`pool`] — scoped-thread `parallel_map` with deterministic output
+//!   ordering (`BEVRA_THREADS` overrides the worker count);
+//! * [`cache`] — sharded thread-safe memo tables keyed by capacity bit
+//!   patterns, with hit/miss counters;
+//! * [`engine`] — the [`SweepEngine`] tying both to a
+//!   [`bevra_core::DiscreteModel`]: memoized `k_max(C)` tables, `B`/`R`
+//!   evaluations shared between the gap root-finder and the welfare
+//!   tables, and parallel grid sweeps;
+//! * [`instrument`] — tracing-style spans per sweep stage plus a
+//!   [`SweepReport`] counters struct (cache hits/misses, points/sec)
+//!   that the report crate emits as JSON/CSV next to each figure.
+//!
+//! # Determinism
+//!
+//! Parallel output is **bitwise-identical** to serial output: each grid
+//! point is a pure function evaluated by the same scalar code path, the
+//! pool writes results by input index, and the caches memoize pure
+//! functions (racing threads compute identical bits). The workspace's
+//! `engine_parity` property test asserts this across all three load
+//! families.
+//!
+//! ```
+//! use bevra_engine::{ExecMode, SweepEngine};
+//! use bevra_core::DiscreteModel;
+//! use bevra_load::{Poisson, Tabulated};
+//! use bevra_utility::AdaptiveExp;
+//!
+//! let load = Tabulated::from_model(&Poisson::new(100.0), 1e-12, 1 << 16);
+//! let engine = SweepEngine::new(DiscreteModel::new(load, AdaptiveExp::paper()));
+//! let points = engine.sweep(&[50.0, 100.0, 200.0]);
+//! assert!(points[2].reservation >= points[2].best_effort);
+//! assert!(points[0].bandwidth_gap > 0.0);
+//! ```
+
+pub mod cache;
+pub mod engine;
+pub mod instrument;
+pub mod pool;
+
+pub use cache::{CacheStats, ShardedCache};
+pub use engine::{Architecture, ExecMode, SweepEngine, SweepPoint};
+pub use instrument::{
+    drain_caches, drain_stages, record_caches, span, Span, StageRecord, SweepReport,
+};
+pub use pool::{parallel_map, parallel_map_with, thread_count, THREADS_ENV};

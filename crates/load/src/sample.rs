@@ -2,8 +2,8 @@
 //!
 //! [`TabulatedSampler`] draws from any [`crate::Tabulated`] distribution in
 //! O(1) per sample via Walker's alias method; the continuous samplers invert
-//! closed-form cdfs. All samplers take a caller-provided [`rand::Rng`] so
-//! the simulator stays fully deterministic under a fixed seed.
+//! closed-form cdfs. All samplers take a caller-provided [`rand::RngExt`]
+//! so the simulator stays fully deterministic under a fixed seed.
 
 use crate::tabulated::Tabulated;
 use rand::RngExt;

@@ -15,7 +15,7 @@
 //! documentation, and no macro or type tricks.
 //!
 //! All routines operate on `f64`, are deterministic, and return
-//! [`NumError`](error::NumError) instead of panicking on bad input.
+//! [`error::NumError`] instead of panicking on bad input.
 
 // `!(x > 0.0)`-style guards are used deliberately throughout: unlike
 // `x <= 0.0` they also reject NaN, which is exactly the precondition the

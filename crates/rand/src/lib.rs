@@ -1,0 +1,225 @@
+//! Offline stand-in for the subset of the crates.io `rand` API this
+//! workspace uses.
+//!
+//! The build environment has no access to a crates.io mirror, so the real
+//! `rand` crate cannot be vendored. This package provides the same item
+//! paths (`rand::rngs::StdRng`, [`SeedableRng`], [`RngExt`]) backed by a
+//! seeded **xoshiro256++** generator, so every caller keeps the exact
+//! `use` statements it would have against the real crate.
+//!
+//! Numerical streams differ from upstream `rand`'s `StdRng` (which is
+//! ChaCha-based); nothing in this workspace depends on the specific
+//! stream, only on determinism under a fixed seed — which this
+//! implementation guarantees.
+
+/// A source of uniformly distributed 64-bit words.
+pub trait RngCore {
+    /// The next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Construction of a generator from seed material.
+pub trait SeedableRng: Sized {
+    /// Deterministically build a generator from a 64-bit seed.
+    ///
+    /// Equal seeds give bit-identical streams; distinct seeds give
+    /// (overwhelmingly likely) disjoint streams.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Typed sampling helpers layered over any [`RngCore`].
+///
+/// This mirrors the ergonomics of upstream `rand`'s `Rng` extension
+/// trait: `rng.random::<f64>()` and `rng.random_range(0..n)`.
+pub trait RngExt: RngCore {
+    /// A uniformly random value of `T` over its standard domain
+    /// (`[0, 1)` for floats, full range for integers, fair coin for
+    /// `bool`).
+    fn random<T: Standard>(&mut self) -> T {
+        T::sample(self)
+    }
+
+    /// A uniformly random value in `[range.start, range.end)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty range.
+    fn random_range<T: UniformInt>(&mut self, range: std::ops::Range<T>) -> T {
+        T::sample_range(self, range)
+    }
+}
+
+impl<R: RngCore + ?Sized> RngExt for R {}
+
+/// Types samplable uniformly over a standard domain by [`RngExt::random`].
+pub trait Standard: Sized {
+    /// Draw one value from `rng`.
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Standard for f64 {
+    /// Uniform on `[0, 1)` with 53 bits of precision.
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for u64 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Standard for u32 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 32) as u32
+    }
+}
+
+impl Standard for bool {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Integer types supporting unbiased uniform range sampling.
+pub trait UniformInt: Sized {
+    /// Draw uniformly from `[range.start, range.end)`.
+    fn sample_range<R: RngCore + ?Sized>(rng: &mut R, range: std::ops::Range<Self>) -> Self;
+}
+
+/// Unbiased `[0, span)` by rejection on the widening multiply (Lemire).
+fn uniform_below<R: RngCore + ?Sized>(rng: &mut R, span: u64) -> u64 {
+    debug_assert!(span > 0);
+    // Rejection zone: the largest multiple of `span` not exceeding 2^64.
+    let zone = span.wrapping_neg() % span; // (2^64 − span) mod span
+    loop {
+        let x = rng.next_u64();
+        let m = u128::from(x) * u128::from(span);
+        let lo = m as u64;
+        if lo >= zone {
+            return (m >> 64) as u64;
+        }
+    }
+}
+
+macro_rules! impl_uniform_int {
+    ($($t:ty),*) => {$(
+        impl UniformInt for $t {
+            fn sample_range<R: RngCore + ?Sized>(
+                rng: &mut R,
+                range: std::ops::Range<Self>,
+            ) -> Self {
+                assert!(range.start < range.end, "cannot sample an empty range");
+                let span = (range.end - range.start) as u64;
+                range.start + uniform_below(rng, span) as $t
+            }
+        }
+    )*};
+}
+
+impl_uniform_int!(usize, u64, u32);
+
+/// Concrete generators.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The workspace's standard seeded generator: **xoshiro256++**
+    /// (Blackman & Vigna), state expanded from the seed by SplitMix64.
+    ///
+    /// Fast, 256-bit state, passes BigCrush; not cryptographic — exactly
+    /// what a deterministic simulator wants.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // SplitMix64 stream seeds the four state words; the all-zero
+            // state is unreachable because SplitMix64 is a bijection
+            // producing four distinct nonzero-with-probability-1 words.
+            let mut sm = seed;
+            let mut next = || {
+                sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = sm;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            let s = [next(), next(), next(), next()];
+            Self { s }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let out = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            out
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{RngExt, SeedableRng};
+
+    #[test]
+    fn deterministic_under_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        let va: Vec<f64> = (0..32).map(|_| a.random::<f64>()).collect();
+        let vb: Vec<f64> = (0..32).map(|_| b.random::<f64>()).collect();
+        assert_eq!(va, vb);
+        let mut c = StdRng::seed_from_u64(8);
+        assert_ne!(va[0], c.random::<f64>());
+    }
+
+    #[test]
+    fn floats_land_in_unit_interval() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let x: f64 = rng.random();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn float_mean_near_half() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let n = 100_000;
+        let mean: f64 = (0..n).map(|_| rng.random::<f64>()).sum::<f64>() / f64::from(n);
+        assert!((mean - 0.5).abs() < 0.005, "mean {mean}");
+    }
+
+    #[test]
+    fn ranges_cover_uniformly_and_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut counts = [0u32; 5];
+        for _ in 0..50_000 {
+            let i = rng.random_range(0..5usize);
+            counts[i] += 1;
+        }
+        for &c in &counts {
+            assert!((8_000..12_000).contains(&c), "counts {counts:?}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn empty_range_panics() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let _ = rng.random_range(3..3usize);
+    }
+}

@@ -7,10 +7,8 @@
 
 use bevra_core::continuum::AlgebraicClosed;
 use bevra_core::retrying::{AlgebraicFamily, RetryModel};
-use bevra_core::{
-    bandwidth_gap, equalizing_price_ratio, performance_gap, DiscreteModel, SampledValue,
-    SamplingModel,
-};
+use bevra_core::{bandwidth_gap, performance_gap, DiscreteModel, SamplingModel};
+use bevra_engine::{Architecture, SweepEngine};
 use bevra_load::{Algebraic, Geometric, Poisson, Tabulated, PAPER_MEAN_LOAD};
 use bevra_report::table::{fmt, markdown_table};
 use bevra_sim::{Discipline, HoldingDist, MixedPoisson, RateMixing, SimConfig, Simulation};
@@ -37,13 +35,19 @@ fn rows_to_table(rows: &[Row]) -> String {
     )
 }
 
-fn gamma_of<U: Utility + Clone>(load: &Arc<Tabulated>, u: U, p: f64, grid: usize) -> f64 {
-    let model = DiscreteModel::new(Arc::clone(load), u);
+/// `γ(p)` for each requested price: one engine builds both welfare tables
+/// in parallel (memoized `B`/`R` shared between them) and sweeps the
+/// prices.
+fn gammas_of<U: Utility>(load: &Arc<Tabulated>, u: U, prices: &[f64], grid: usize) -> Vec<f64> {
+    let engine = SweepEngine::new(DiscreteModel::new(Arc::clone(load), u));
     let kbar = load.mean();
-    let sv_b = SampledValue::build(|c| model.total_best_effort(c), kbar, 300.0 * kbar, grid);
-    let sv_r = SampledValue::build(|c| model.total_reservation(c), kbar, 300.0 * kbar, grid);
-    let wb = sv_b.welfare(p).welfare;
-    equalizing_price_ratio(|ph| sv_r.welfare(ph).welfare, wb, p).unwrap_or(f64::NAN)
+    let sv_b = engine.value_table(Architecture::BestEffort, kbar, 300.0 * kbar, grid);
+    let sv_r = engine.value_table(Architecture::Reservation, kbar, 300.0 * kbar, grid);
+    engine.gamma_sweep(prices, &sv_b, &sv_r)
+}
+
+fn gamma_of<U: Utility>(load: &Arc<Tabulated>, u: U, p: f64, grid: usize) -> f64 {
+    gammas_of(load, u, &[p], grid)[0]
 }
 
 #[allow(clippy::too_many_lines)]
@@ -144,11 +148,12 @@ fn main() -> std::io::Result<()> {
     });
 
     // ---- T-W: welfare claims (§4) -----------------------------------------
+    let poisson_rigid_gammas = gammas_of(&poisson, Rigid::unit(), &[0.05, 0.3], grid);
     rows.push(Row {
         id: "T-W",
         what: "Poisson rigid: γ(p) at p = 0.05 / 0.3",
         paper: "1.1–1.2 over most of the range",
-        measured: format!("{} / {}", fmt(gamma_of(&poisson, Rigid::unit(), 0.05, grid)), fmt(gamma_of(&poisson, Rigid::unit(), 0.3, grid))),
+        measured: format!("{} / {}", fmt(poisson_rigid_gammas[0]), fmt(poisson_rigid_gammas[1])),
     });
     rows.push(Row {
         id: "T-W",
@@ -229,22 +234,27 @@ fn main() -> std::io::Result<()> {
     // ---- V-SIM: simulator validation ---------------------------------------
     let horizon = if fast { 2_000.0 } else { 20_000.0 };
     let mut sim_rows: Vec<Row> = Vec::new();
-    for (name, mixing, paper_var) in [
+    let sim_specs = [
         ("poisson", RateMixing::Fixed, "var ≈ mean (Poisson)"),
         ("exponential", RateMixing::Exponential, "var ≈ k̄² (geometric)"),
-    ] {
-        let offered = 20.0;
-        let cfg = SimConfig {
+    ];
+    // Both validation runs fan out together over the worker pool; each is
+    // seeded, so the batch is bit-identical to running them one at a time.
+    let cfgs: Vec<SimConfig> = sim_specs
+        .iter()
+        .map(|&(_, mixing, _)| SimConfig {
             capacity: 25.0,
             discipline: Discipline::BestEffort,
-            arrivals: MixedPoisson::new(offered, mixing, 50.0),
+            arrivals: MixedPoisson::new(20.0, mixing, 50.0),
             holding: HoldingDist::Exponential { mean: 1.0 },
             utility: Arc::new(AdaptiveExp::paper()),
             warmup: 100.0,
             horizon,
             seed: 7,
-        };
-        let rep = Simulation::new(cfg).run();
+        })
+        .collect();
+    let sim_reports = Simulation::run_batch(&cfgs);
+    for (&(name, _, paper_var), rep) in sim_specs.iter().zip(&sim_reports) {
         let occ = rep.occupancy();
         // Analytic B from the *empirical* occupancy (the model closes the
         // loop on the simulator's own load).

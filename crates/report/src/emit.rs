@@ -1,14 +1,18 @@
 //! Shared output pipeline for the figure binaries: print ASCII charts,
-//! persist JSON, and write per-panel CSVs.
+//! persist JSON, write per-panel CSVs, and emit the engine's perf report.
 
 use crate::ascii::render_panel;
 use crate::csv::write_panel_csv;
 use crate::persist::save_figure;
 use crate::series::Figure;
+use bevra_engine::{drain_caches, drain_stages, thread_count, SweepReport};
 use std::path::Path;
 
 /// Print a figure to stdout and write `results/<id>.json` plus
-/// `results/<id>-panel<N>.csv`.
+/// `results/<id>-panel<N>.csv`, then drain the sweep instrumentation
+/// accumulated while the figure was built into `results/<id>-perf.json`
+/// and `results/<id>-perf.csv` (stage timings, throughput, cache
+/// hit/miss counters).
 ///
 /// # Errors
 ///
@@ -23,6 +27,18 @@ pub fn emit_figure(fig: &Figure, dir: &Path) -> std::io::Result<()> {
         write_panel_csv(p, std::io::BufWriter::new(file))?;
     }
     let json = save_figure(fig, dir)?;
+    let report = SweepReport::new(drain_stages(), drain_caches(), thread_count());
+    if !report.stages.is_empty() || !report.caches.is_empty() {
+        std::fs::write(dir.join(format!("{}-perf.json", fig.id)), report.to_json())?;
+        std::fs::write(dir.join(format!("{}-perf.csv", fig.id)), report.to_csv())?;
+        println!(
+            "perf: {threads} thread(s), {pts} points in {secs:.3}s ({rate:.0} points/s)",
+            threads = report.threads,
+            pts = report.total_points(),
+            secs = report.total_seconds(),
+            rate = report.points_per_sec(),
+        );
+    }
     println!("saved {} and {} CSV panel file(s) in {}", json.display(), fig.panels.len(), dir.display());
     Ok(())
 }

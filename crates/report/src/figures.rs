@@ -13,9 +13,8 @@
 use crate::series::{Figure, Panel, Series};
 use bevra_core::continuum::AlgebraicClosed;
 use bevra_core::retrying::{AlgebraicFamily, GeometricFamily, LoadFamily, RetryModel};
-use bevra_core::{
-    bandwidth_gap, equalizing_price_ratio, DiscreteModel, SampledValue, SamplingModel,
-};
+use bevra_core::{equalizing_price_ratio, DiscreteModel, SampledValue, SamplingModel};
+use bevra_engine::{parallel_map, record_caches, span, Architecture, SweepEngine};
 use bevra_load::{Algebraic, Geometric, Poisson, Tabulated, PAPER_MEAN_LOAD};
 use bevra_utility::{AdaptiveExp, Rigid, Utility};
 use std::sync::Arc;
@@ -79,35 +78,32 @@ fn price_grid(q: Quality) -> Vec<f64> {
 
 /// Build the three per-utility panels (utility curves, bandwidth gap,
 /// equalizing price ratio) for one load table and one utility.
-fn utility_panels<U: Utility + Clone>(
+///
+/// All sweeps run through a [`SweepEngine`] (parallel per `BEVRA_THREADS`,
+/// memoized, bitwise-identical to the serial scalar path); its cache
+/// counters are published for the figure's perf report.
+fn utility_panels<U: Utility>(
     load: &Arc<Tabulated>,
     utility: U,
     which: &str,
     q: Quality,
 ) -> Vec<Panel> {
     let kbar = load.mean();
-    let model = DiscreteModel::new(Arc::clone(load), utility.clone());
+    let engine = SweepEngine::new(DiscreteModel::new(Arc::clone(load), utility));
     let cs = capacity_grid(q, kbar);
-    let b: Vec<f64> = cs.iter().map(|&c| model.best_effort(c)).collect();
-    let r: Vec<f64> = cs.iter().map(|&c| model.reservation(c)).collect();
-    let gap: Vec<f64> = cs
-        .iter()
-        .map(|&c| bandwidth_gap(&model, c).unwrap_or(f64::NAN))
-        .collect();
+    let points = engine.sweep(&cs);
+    let b: Vec<f64> = points.iter().map(|p| p.best_effort).collect();
+    let r: Vec<f64> = points.iter().map(|p| p.reservation).collect();
+    let gap: Vec<f64> = points.iter().map(|p| p.bandwidth_gap).collect();
     // Welfare: sample V_B and V_R once on a capacity grid, then sweep p.
     // The ceiling must exceed the optimal capacity at the cheapest price
     // swept; for the heavy-tailed loads that is ~100·k̄ at p = 1e−4.
     let c_max = 300.0 * kbar;
-    let sv_b = SampledValue::build(|c| model.total_best_effort(c), kbar, c_max, q.welfare_grid());
-    let sv_r = SampledValue::build(|c| model.total_reservation(c), kbar, c_max, q.welfare_grid());
+    let sv_b = engine.value_table(Architecture::BestEffort, kbar, c_max, q.welfare_grid());
+    let sv_r = engine.value_table(Architecture::Reservation, kbar, c_max, q.welfare_grid());
     let ps = price_grid(q);
-    let gamma: Vec<f64> = ps
-        .iter()
-        .map(|&p| {
-            let wb = sv_b.welfare(p).welfare;
-            equalizing_price_ratio(|ph| sv_r.welfare(ph).welfare, wb, p).unwrap_or(f64::NAN)
-        })
-        .collect();
+    let gamma = engine.gamma_sweep(&ps, &sv_b, &sv_r);
+    record_caches(&which.to_lowercase(), engine.cache_stats());
     vec![
         Panel {
             title: format!("Utility - {which} Applications"),
@@ -219,9 +215,13 @@ pub fn ext_sampling(q: Quality) -> Figure {
             DiscreteModel::new(Arc::clone(&load), AdaptiveExp::paper()),
             s,
         );
-        let d: Vec<f64> = cs.iter().map(|&c| sm.performance_gap(c)).collect();
-        let g: Vec<f64> =
-            cs.iter().map(|&c| sm.bandwidth_gap(c).unwrap_or(f64::NAN)).collect();
+        let mut sp = span(format!("sampling/gaps-S{s}"));
+        sp.add_points(cs.len() as u64);
+        let gaps = parallel_map(&cs, |&c| {
+            (sm.performance_gap(c), sm.bandwidth_gap(c).unwrap_or(f64::NAN))
+        });
+        drop(sp);
+        let (d, g): (Vec<f64>, Vec<f64>) = gaps.into_iter().unzip();
         perf_series.push(Series::new(format!("S = {s}"), cs.clone(), d));
         gap_series.push(Series::new(format!("S = {s}"), cs.clone(), g));
     }
@@ -290,13 +290,12 @@ fn retry_gamma_continuum(z: f64, alpha: f64, prices: &[f64]) -> Vec<f64> {
         kbar * r
     };
     let sv_r = SampledValue::build(v_r, kbar, 1e6, 2000);
-    prices
-        .iter()
-        .map(|&p| {
-            let wb = closed.welfare_best_effort(p);
-            equalizing_price_ratio(|ph| sv_r.welfare(ph).welfare, wb, p).unwrap_or(f64::NAN)
-        })
-        .collect()
+    let mut sp = span(format!("retrying/gamma-continuum-a{alpha}"));
+    sp.add_points(prices.len() as u64);
+    parallel_map(prices, |&p| {
+        let wb = closed.welfare_best_effort(p);
+        equalizing_price_ratio(|ph| sv_r.welfare(ph).welfare, wb, p).unwrap_or(f64::NAN)
+    })
 }
 
 /// **§5.2 retrying extension**: discrete performance gaps with and without
@@ -320,8 +319,10 @@ pub fn ext_retrying(q: Quality) -> Figure {
             kbar,
             alpha,
         );
-        let d: Vec<f64> =
-            cs.iter().map(|&c| rm.performance_gap(c).unwrap_or(f64::NAN)).collect();
+        let mut sp = span(format!("retrying/exp-a{alpha}"));
+        sp.add_points(cs.len() as u64);
+        let d = parallel_map(&cs, |&c| rm.performance_gap(c).unwrap_or(f64::NAN));
+        drop(sp);
         exp_series.push(Series::new(format!("α = {alpha}"), cs.clone(), d));
 
         let fam = AlgebraicFamily::new(3.0, 1e-7, q.table_cap().min(1 << 18));
@@ -329,8 +330,10 @@ pub fn ext_retrying(q: Quality) -> Figure {
         // the retry inflation keeps means ≥ k̄, so construction succeeds.
         let _ = fam.make(kbar);
         let rma = RetryModel::new(fam, AdaptiveExp::paper(), kbar, alpha);
-        let da: Vec<f64> =
-            cs.iter().map(|&c| rma.performance_gap(c).unwrap_or(f64::NAN)).collect();
+        let mut sp = span(format!("retrying/alg-a{alpha}"));
+        sp.add_points(cs.len() as u64);
+        let da = parallel_map(&cs, |&c| rma.performance_gap(c).unwrap_or(f64::NAN));
+        drop(sp);
         alg_series.push(Series::new(format!("α = {alpha}"), cs.clone(), da));
     }
     let ps = price_grid(q);

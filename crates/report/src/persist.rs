@@ -11,9 +11,7 @@ use std::path::Path;
 pub fn save_figure(fig: &Figure, dir: &Path) -> std::io::Result<std::path::PathBuf> {
     std::fs::create_dir_all(dir)?;
     let path = dir.join(format!("{}.json", fig.id));
-    let json = serde_json::to_string_pretty(fig)
-        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
-    std::fs::write(&path, json)?;
+    std::fs::write(&path, fig.to_json())?;
     Ok(path)
 }
 
@@ -24,7 +22,7 @@ pub fn save_figure(fig: &Figure, dir: &Path) -> std::io::Result<std::path::PathB
 /// Propagates I/O and deserialization errors.
 pub fn load_figure(path: &Path) -> std::io::Result<Figure> {
     let json = std::fs::read_to_string(path)?;
-    serde_json::from_str(&json)
+    Figure::from_json(&json)
         .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
 }
 

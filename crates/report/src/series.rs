@@ -1,9 +1,9 @@
 //! Data model for regenerated figures.
 
-use serde::{Deserialize, Serialize};
+use crate::json::JsonValue;
 
 /// One named curve.
-#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Series {
     /// Legend label.
     pub label: String,
@@ -27,7 +27,7 @@ impl Series {
 }
 
 /// One panel of a figure (one plot).
-#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Panel {
     /// Panel title, e.g. `"Bandwidth Gap - Rigid Applications"`.
     pub title: String,
@@ -40,7 +40,7 @@ pub struct Panel {
 }
 
 /// A regenerated figure: several panels plus identification.
-#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Figure {
     /// Identifier matching DESIGN.md's experiment index (e.g. `"fig3"`).
     pub id: String,
@@ -48,6 +48,110 @@ pub struct Figure {
     pub caption: String,
     /// Panels in paper order.
     pub panels: Vec<Panel>,
+}
+
+fn floats_to_json(xs: &[f64]) -> JsonValue {
+    JsonValue::Arr(xs.iter().map(|&x| JsonValue::Num(x)).collect())
+}
+
+fn floats_from_json(v: &JsonValue, what: &str) -> Result<Vec<f64>, String> {
+    v.as_arr()
+        .ok_or_else(|| format!("{what}: expected an array"))?
+        .iter()
+        .map(|x| x.as_f64().ok_or_else(|| format!("{what}: expected numbers")))
+        .collect()
+}
+
+fn str_field(v: &JsonValue, key: &str) -> Result<String, String> {
+    v.get(key)
+        .and_then(JsonValue::as_str)
+        .map(str::to_owned)
+        .ok_or_else(|| format!("missing string field `{key}`"))
+}
+
+impl Series {
+    fn to_json(&self) -> JsonValue {
+        JsonValue::Obj(vec![
+            ("label".into(), JsonValue::Str(self.label.clone())),
+            ("x".into(), floats_to_json(&self.x)),
+            ("y".into(), floats_to_json(&self.y)),
+        ])
+    }
+
+    fn from_json(v: &JsonValue) -> Result<Self, String> {
+        let x = floats_from_json(v.get("x").ok_or("missing `x`")?, "series.x")?;
+        let y = floats_from_json(v.get("y").ok_or("missing `y`")?, "series.y")?;
+        if x.len() != y.len() {
+            return Err("series coordinates must pair up".into());
+        }
+        Ok(Self { label: str_field(v, "label")?, x, y })
+    }
+}
+
+impl Panel {
+    fn to_json(&self) -> JsonValue {
+        JsonValue::Obj(vec![
+            ("title".into(), JsonValue::Str(self.title.clone())),
+            ("xlabel".into(), JsonValue::Str(self.xlabel.clone())),
+            ("ylabel".into(), JsonValue::Str(self.ylabel.clone())),
+            (
+                "series".into(),
+                JsonValue::Arr(self.series.iter().map(Series::to_json).collect()),
+            ),
+        ])
+    }
+
+    fn from_json(v: &JsonValue) -> Result<Self, String> {
+        let series = v
+            .get("series")
+            .and_then(JsonValue::as_arr)
+            .ok_or("missing `series` array")?
+            .iter()
+            .map(Series::from_json)
+            .collect::<Result<_, _>>()?;
+        Ok(Self {
+            title: str_field(v, "title")?,
+            xlabel: str_field(v, "xlabel")?,
+            ylabel: str_field(v, "ylabel")?,
+            series,
+        })
+    }
+}
+
+impl Figure {
+    /// Serialize to the persisted JSON document (pretty-printed).
+    ///
+    /// Non-finite values (e.g. NaN gap points the solver could not
+    /// bracket) serialize as `null` and come back as NaN.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        JsonValue::Obj(vec![
+            ("id".into(), JsonValue::Str(self.id.clone())),
+            ("caption".into(), JsonValue::Str(self.caption.clone())),
+            (
+                "panels".into(),
+                JsonValue::Arr(self.panels.iter().map(Panel::to_json).collect()),
+            ),
+        ])
+        .pretty()
+    }
+
+    /// Parse a document produced by [`Self::to_json`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first syntax or schema violation.
+    pub fn from_json(text: &str) -> Result<Self, String> {
+        let v = JsonValue::parse(text)?;
+        let panels = v
+            .get("panels")
+            .and_then(JsonValue::as_arr)
+            .ok_or("missing `panels` array")?
+            .iter()
+            .map(Panel::from_json)
+            .collect::<Result<_, _>>()?;
+        Ok(Self { id: str_field(&v, "id")?, caption: str_field(&v, "caption")?, panels })
+    }
 }
 
 #[cfg(test)]
@@ -58,17 +162,45 @@ mod tests {
     fn series_roundtrips_through_json() {
         let fig = Figure {
             id: "figX".into(),
-            caption: "test".into(),
+            caption: "test \"quoted\" κ".into(),
             panels: vec![Panel {
                 title: "t".into(),
                 xlabel: "C".into(),
                 ylabel: "B".into(),
-                series: vec![Series::new("best-effort", vec![1.0, 2.0], vec![0.1, 0.2])],
+                series: vec![Series::new(
+                    "best-effort",
+                    vec![1.0, 2.0, 0.1 + 0.2],
+                    vec![0.1, 0.2, 1.0 / 3.0],
+                )],
             }],
         };
-        let json = serde_json::to_string(&fig).unwrap();
-        let back: Figure = serde_json::from_str(&json).unwrap();
+        let json = fig.to_json();
+        let back = Figure::from_json(&json).unwrap();
         assert_eq!(fig, back);
+        // Bitwise float fidelity, not just approximate equality.
+        assert_eq!(fig.panels[0].series[0].x[2].to_bits(), back.panels[0].series[0].x[2].to_bits());
+    }
+
+    #[test]
+    fn nan_points_roundtrip_as_nan() {
+        let fig = Figure {
+            id: "nan".into(),
+            caption: String::new(),
+            panels: vec![Panel {
+                title: "t".into(),
+                xlabel: "x".into(),
+                ylabel: "y".into(),
+                series: vec![Series::new("gap", vec![1.0], vec![f64::NAN])],
+            }],
+        };
+        let back = Figure::from_json(&fig.to_json()).unwrap();
+        assert!(back.panels[0].series[0].y[0].is_nan());
+    }
+
+    #[test]
+    fn schema_violations_are_reported() {
+        assert!(Figure::from_json("{\"id\": \"x\"}").is_err());
+        assert!(Figure::from_json("not json").is_err());
     }
 
     #[test]

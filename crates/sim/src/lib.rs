@@ -29,7 +29,7 @@
 //! over the flow's lifetime, and at the worst (maximum-population) moment
 //! experienced. Blocked flows score zero; retries incur the §5.2 penalty
 //! `α`. A time-weighted occupancy census yields an empirical `P(k)` that
-//! can be fed straight back into `bevra-core`'s [`DiscreteModel`]
+//! can be fed straight back into `bevra-core`'s `DiscreteModel`
 //! (re-exported here for convenience via `bevra_load::Tabulated`).
 
 pub mod arrivals;

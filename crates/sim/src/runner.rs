@@ -113,6 +113,20 @@ impl Simulation {
         Self { cfg }
     }
 
+    /// Run a batch of configurations, fanned out over the sweep engine's
+    /// worker pool (`BEVRA_THREADS` or all cores).
+    ///
+    /// Each run is seeded and self-contained, so the reports are
+    /// bit-identical to running the configs one at a time, in input order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any config is invalid (see [`Simulation::new`]).
+    #[must_use]
+    pub fn run_batch(configs: &[SimConfig]) -> Vec<SimReport> {
+        bevra_engine::parallel_map(configs, |cfg| Simulation::new(cfg.clone()).run())
+    }
+
     /// Execute the run to completion and aggregate the report.
     #[allow(clippy::too_many_lines)]
     #[must_use]
@@ -465,6 +479,24 @@ mod tests {
         cfg3.seed = 43;
         let r3 = Simulation::new(cfg3).run();
         assert_ne!(r1.completed, r3.completed);
+    }
+
+    #[test]
+    fn run_batch_matches_individual_runs() {
+        let cfgs: Vec<SimConfig> = [20.0, 25.0, 40.0]
+            .iter()
+            .map(|&c| base_cfg(c, Discipline::BestEffort))
+            .collect();
+        let batch = Simulation::run_batch(&cfgs);
+        assert_eq!(batch.len(), cfgs.len());
+        for (cfg, rep) in cfgs.iter().zip(&batch) {
+            let solo = Simulation::new(cfg.clone()).run();
+            assert_eq!(solo.completed, rep.completed);
+            assert_eq!(
+                solo.utility_time_avg.mean().to_bits(),
+                rep.utility_time_avg.mean().to_bits()
+            );
+        }
     }
 
     #[test]

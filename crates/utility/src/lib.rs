@@ -19,6 +19,8 @@
 //! and the fixed-load analysis (`V(k)`, `k_max`) the variable-load model of
 //! `bevra-core` is built on.
 
+#![deny(missing_docs)]
+
 pub mod adaptive;
 pub mod elastic;
 pub mod fixed_load;

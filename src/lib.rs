@@ -23,6 +23,25 @@
 //! assert!(delta > 100.0, "…and for this load it takes a LOT of extra \
 //!                         best-effort bandwidth to close it: {delta}");
 //! ```
+//!
+//! Dense sweeps (whole figures, welfare tables) should go through the
+//! [`engine`]'s [`SweepEngine`](bevra_engine::SweepEngine), which memoizes
+//! `k_max`/`B`/`R` and fans grids out over threads (`BEVRA_THREADS`
+//! overrides the worker count) with bitwise-identical output:
+//!
+//! ```
+//! use bevra::prelude::*;
+//!
+//! let load = Tabulated::from_model(&Poisson::new(100.0), 1e-12, 1 << 16);
+//! let engine = SweepEngine::new(DiscreteModel::new(load, AdaptiveExp::paper()));
+//! let points = engine.sweep(&[50.0, 100.0, 200.0, 400.0]);
+//! for p in &points {
+//!     assert!(p.reservation >= p.best_effort, "R(C) ≥ B(C) at C = {}", p.capacity);
+//! }
+//! // δ and Δ both shrink as the link gets overprovisioned.
+//! assert!(points[3].performance_gap < points[1].performance_gap);
+//! assert!(points[3].bandwidth_gap < points[1].bandwidth_gap);
+//! ```
 
 /// Numerical substrate (root finding, quadrature, optimization, special
 /// functions).
@@ -47,12 +66,16 @@ pub use bevra_net as net;
 /// Figure regeneration, ASCII charts, CSV/JSON emission.
 pub use bevra_report as report;
 
+/// Parallel, memoized sweep engine for dense capacity/price grids.
+pub use bevra_engine as engine;
+
 /// The items most programs need.
 pub mod prelude {
     pub use bevra_core::{
         bandwidth_gap, equalizing_price_ratio, optimal_welfare, performance_gap, DiscreteModel,
         RetryModel, SampledValue, SamplingModel,
     };
+    pub use bevra_engine::{Architecture, ExecMode, SweepEngine, SweepPoint};
     pub use bevra_load::{
         flow_perspective, Algebraic, Geometric, LoadModel, Poisson, Tabulated, PAPER_MEAN_LOAD,
     };

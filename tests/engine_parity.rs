@@ -1,0 +1,103 @@
+//! Property test: the parallel sweep engine is **bitwise-identical** to
+//! the serial path for `B(C)`, `R(C)`, `δ(C)`, and `Δ(C)` across all
+//! three load families (Poisson, exponential/geometric, algebraic z = 3)
+//! and both utility models, on randomized capacity grids.
+
+use bevra::analysis::DiscreteModel;
+use bevra::engine::{Architecture, ExecMode, SweepEngine};
+use bevra::load::{Algebraic, Geometric, Poisson, Tabulated};
+use bevra::utility::{AdaptiveExp, Rigid, Utility};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use std::sync::Arc;
+
+/// Random strictly-increasing capacity grid in `[k̄/20, 10k̄]`.
+fn random_grid(rng: &mut StdRng, kbar: f64) -> Vec<f64> {
+    let n = rng.random_range(6..28usize);
+    let mut cs: Vec<f64> = (0..n)
+        .map(|_| kbar / 20.0 + (10.0 * kbar - kbar / 20.0) * rng.random::<f64>())
+        .collect();
+    cs.sort_by(f64::total_cmp);
+    cs.dedup();
+    cs
+}
+
+fn assert_parity<U: Utility + Clone>(load: &Arc<Tabulated>, utility: U, cs: &[f64], tag: &str) {
+    let serial =
+        SweepEngine::serial(DiscreteModel::new(Arc::clone(load), utility.clone())).sweep(cs);
+    for threads in [2, 5, 16] {
+        let par = SweepEngine::with_mode(
+            DiscreteModel::new(Arc::clone(load), utility.clone()),
+            ExecMode::Parallel { threads },
+        );
+        for (s, p) in serial.iter().zip(par.sweep(cs)) {
+            let c = s.capacity;
+            assert_eq!(
+                s.best_effort.to_bits(),
+                p.best_effort.to_bits(),
+                "{tag} threads={threads} C={c}: B differs"
+            );
+            assert_eq!(
+                s.reservation.to_bits(),
+                p.reservation.to_bits(),
+                "{tag} threads={threads} C={c}: R differs"
+            );
+            assert_eq!(
+                s.performance_gap.to_bits(),
+                p.performance_gap.to_bits(),
+                "{tag} threads={threads} C={c}: δ differs"
+            );
+            assert_eq!(
+                s.bandwidth_gap.to_bits(),
+                p.bandwidth_gap.to_bits(),
+                "{tag} threads={threads} C={c}: Δ differs"
+            );
+        }
+        // The welfare tables must agree bitwise too (same grid, same sums).
+        let kbar = load.mean();
+        let sv_s = SweepEngine::serial(DiscreteModel::new(Arc::clone(load), utility.clone()))
+            .value_table(Architecture::Reservation, kbar, 100.0 * kbar, 64);
+        let sv_p = par.value_table(Architecture::Reservation, kbar, 100.0 * kbar, 64);
+        for c in cs {
+            assert_eq!(
+                sv_s.value(*c).to_bits(),
+                sv_p.value(*c).to_bits(),
+                "{tag} threads={threads} C={c}: V_R differs"
+            );
+        }
+    }
+}
+
+#[test]
+fn parallel_matches_serial_poisson() {
+    let mut rng = StdRng::seed_from_u64(0xe71);
+    let load = Arc::new(Tabulated::from_model(&Poisson::new(40.0), 1e-12, 1 << 14));
+    for round in 0..4 {
+        let cs = random_grid(&mut rng, 40.0);
+        assert_parity(&load, Rigid::unit(), &cs, &format!("poisson/rigid #{round}"));
+        assert_parity(&load, AdaptiveExp::paper(), &cs, &format!("poisson/adaptive #{round}"));
+    }
+}
+
+#[test]
+fn parallel_matches_serial_exponential() {
+    let mut rng = StdRng::seed_from_u64(0xe72);
+    let load = Arc::new(Tabulated::from_model(&Geometric::from_mean(40.0), 1e-12, 1 << 14));
+    for round in 0..4 {
+        let cs = random_grid(&mut rng, 40.0);
+        assert_parity(&load, Rigid::unit(), &cs, &format!("exp/rigid #{round}"));
+        assert_parity(&load, AdaptiveExp::paper(), &cs, &format!("exp/adaptive #{round}"));
+    }
+}
+
+#[test]
+fn parallel_matches_serial_algebraic() {
+    let mut rng = StdRng::seed_from_u64(0xe73);
+    let model = Algebraic::from_mean(3.0, 40.0).expect("calibration");
+    let load = Arc::new(Tabulated::from_model(&model, 1e-8, 1 << 14));
+    for round in 0..2 {
+        let cs = random_grid(&mut rng, 40.0);
+        assert_parity(&load, Rigid::unit(), &cs, &format!("alg/rigid #{round}"));
+        assert_parity(&load, AdaptiveExp::paper(), &cs, &format!("alg/adaptive #{round}"));
+    }
+}

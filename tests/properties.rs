@@ -1,97 +1,162 @@
-//! Property-based tests (proptest) on the workspace's core invariants.
+//! Randomized property tests on the workspace's core invariants.
+//!
+//! Formerly written with `proptest`; the offline build environment cannot
+//! fetch it, so each property is now a deterministic loop over seeded
+//! random inputs from the workspace's own `rand` stand-in. No shrinking,
+//! but every failure message carries the concrete inputs, and the case
+//! count per property (`CASES`) matches proptest's default of 256.
 
 use bevra::analysis::DiscreteModel;
 use bevra::load::{clip_at, flow_perspective, max_of_s, Geometric, Poisson, Tabulated};
 use bevra::net::{max_min_allocation, FlowSpec, Topology};
 use bevra::num::{bisect, brent};
 use bevra::utility::{AdaptiveExp, Ramp, Rigid, Saturating, Utility};
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
 
-fn arb_weights() -> impl Strategy<Value = Vec<f64>> {
-    proptest::collection::vec(0.0f64..10.0, 2..40).prop_filter(
-        "at least one positive weight",
-        |w| w.iter().sum::<f64>() > 1e-9,
-    )
+const CASES: usize = 256;
+
+/// Uniform draw from `[lo, hi)`.
+fn uniform(rng: &mut StdRng, lo: f64, hi: f64) -> f64 {
+    lo + (hi - lo) * rng.random::<f64>()
 }
 
-proptest! {
-    #[test]
-    fn utilities_are_monotone_bounded(kappa in 0.05f64..5.0, b1 in 0.0f64..50.0, b2 in 0.0f64..50.0) {
+/// Weight vector of 2–39 entries in `[0, 10)` with at least one positive
+/// weight (mirrors the old `arb_weights` strategy).
+fn arb_weights(rng: &mut StdRng) -> Vec<f64> {
+    loop {
+        let len = rng.random_range(2..40usize);
+        let w: Vec<f64> = (0..len).map(|_| uniform(rng, 0.0, 10.0)).collect();
+        if w.iter().sum::<f64>() > 1e-9 {
+            return w;
+        }
+    }
+}
+
+#[test]
+fn utilities_are_monotone_bounded() {
+    let mut rng = StdRng::seed_from_u64(0x9d01);
+    for _ in 0..CASES {
+        let kappa = uniform(&mut rng, 0.05, 5.0);
+        let b1 = uniform(&mut rng, 0.0, 50.0);
+        let b2 = uniform(&mut rng, 0.0, 50.0);
         let (lo, hi) = if b1 <= b2 { (b1, b2) } else { (b2, b1) };
         let u = AdaptiveExp::new(kappa);
-        prop_assert!(u.value(lo) <= u.value(hi) + 1e-12);
-        prop_assert!((0.0..=1.0).contains(&u.value(hi)));
+        assert!(u.value(lo) <= u.value(hi) + 1e-12, "kappa={kappa} lo={lo} hi={hi}");
+        assert!((0.0..=1.0).contains(&u.value(hi)), "kappa={kappa} hi={hi}");
         let s = Saturating::new(kappa);
-        prop_assert!(s.value(lo) <= s.value(hi) + 1e-12);
+        assert!(s.value(lo) <= s.value(hi) + 1e-12, "kappa={kappa} lo={lo} hi={hi}");
     }
+}
 
-    #[test]
-    fn ramp_h_coefficient_in_range(a in 0.01f64..1.0, z in 2.05f64..6.0) {
+#[test]
+fn ramp_h_coefficient_in_range() {
+    let mut rng = StdRng::seed_from_u64(0x9d02);
+    for _ in 0..CASES {
+        let a = uniform(&mut rng, 0.01, 1.0);
+        let z = uniform(&mut rng, 2.05, 6.0);
         // 1 ≤ H(a, z) ≤ z − 1, monotone in a.
         let h = Ramp::new(a).h_coefficient(z);
-        prop_assert!(h >= 1.0 - 1e-12);
-        prop_assert!(h <= z - 1.0 + 1e-9);
+        assert!(h >= 1.0 - 1e-12, "a={a} z={z} h={h}");
+        assert!(h <= z - 1.0 + 1e-9, "a={a} z={z} h={h}");
         let h2 = Ramp::new((a * 0.5).max(1e-6)).h_coefficient(z);
-        prop_assert!(h2 <= h + 1e-9);
+        assert!(h2 <= h + 1e-9, "a={a} z={z}: {h2} > {h}");
     }
+}
 
-    #[test]
-    fn tabulated_invariants(weights in arb_weights()) {
-        let t = Tabulated::from_weights(weights);
+#[test]
+fn tabulated_invariants() {
+    let mut rng = StdRng::seed_from_u64(0x9d03);
+    for _ in 0..CASES {
+        let weights = arb_weights(&mut rng);
+        let t = Tabulated::from_weights(weights.clone());
         // Mass exactly 1; cdf monotone to 1; moments consistent.
         let mass: f64 = t.iter().map(|(_, p)| p).sum();
-        prop_assert!((mass - 1.0).abs() < 1e-9);
+        assert!((mass - 1.0).abs() < 1e-9, "weights={weights:?}");
         let mut prev = 0.0;
         for k in 0..t.len() as u64 {
-            prop_assert!(t.cdf(k) + 1e-12 >= prev);
+            assert!(t.cdf(k) + 1e-12 >= prev, "weights={weights:?} k={k}");
             prev = t.cdf(k);
-            prop_assert!((t.partial_mean(k) + t.tail_mean_above(k) - t.mean()).abs() < 1e-9);
+            assert!(
+                (t.partial_mean(k) + t.tail_mean_above(k) - t.mean()).abs() < 1e-9,
+                "weights={weights:?} k={k}"
+            );
         }
-        prop_assert_eq!(t.cdf(t.len() as u64 - 1), 1.0);
+        assert_eq!(t.cdf(t.len() as u64 - 1), 1.0, "weights={weights:?}");
     }
+}
 
-    #[test]
-    fn quantiles_invert_cdf(weights in arb_weights(), q in 0.0f64..1.0) {
-        let t = Tabulated::from_weights(weights);
+#[test]
+fn quantiles_invert_cdf() {
+    let mut rng = StdRng::seed_from_u64(0x9d04);
+    for _ in 0..CASES {
+        let weights = arb_weights(&mut rng);
+        let q = rng.random::<f64>();
+        let t = Tabulated::from_weights(weights.clone());
         let k = t.quantile(q);
-        prop_assert!(t.cdf(k) >= q - 1e-12);
+        assert!(t.cdf(k) >= q - 1e-12, "weights={weights:?} q={q}");
         if k > 0 {
-            prop_assert!(t.cdf(k - 1) < q + 1e-12);
+            assert!(t.cdf(k - 1) < q + 1e-12, "weights={weights:?} q={q}");
         }
     }
+}
 
-    #[test]
-    fn max_of_s_dominates(weights in arb_weights(), s in 1u32..6) {
-        let base = Tabulated::from_weights(weights);
+#[test]
+fn max_of_s_dominates() {
+    let mut rng = StdRng::seed_from_u64(0x9d05);
+    for _ in 0..CASES {
+        let weights = arb_weights(&mut rng);
+        let s = rng.random_range(1..6u32);
+        let base = Tabulated::from_weights(weights.clone());
         let m = max_of_s(&base, s);
         // Stochastic dominance: F_max(k) ≤ F(k); equality at the top.
         for k in 0..base.len() as u64 {
-            prop_assert!(m.cdf(k) <= base.cdf(k) + 1e-12);
+            assert!(m.cdf(k) <= base.cdf(k) + 1e-12, "weights={weights:?} s={s} k={k}");
         }
-        prop_assert!(m.mean() + 1e-12 >= base.mean());
+        assert!(m.mean() + 1e-12 >= base.mean(), "weights={weights:?} s={s}");
     }
+}
 
-    #[test]
-    fn clipping_preserves_mass_and_caps_mean(weights in arb_weights(), cap in 0u64..40) {
-        let base = Tabulated::from_weights(weights);
+#[test]
+fn clipping_preserves_mass_and_caps_mean() {
+    let mut rng = StdRng::seed_from_u64(0x9d06);
+    for _ in 0..CASES {
+        let weights = arb_weights(&mut rng);
+        let cap = rng.random_range(0..40u64);
+        let base = Tabulated::from_weights(weights.clone());
         let c = clip_at(&base, cap);
         let mass: f64 = c.iter().map(|(_, p)| p).sum();
-        prop_assert!((mass - 1.0).abs() < 1e-9);
-        prop_assert!(c.mean() <= base.mean() + 1e-9);
-        prop_assert!(c.len() as u64 <= cap.min(base.len() as u64 - 1) + 1);
+        assert!((mass - 1.0).abs() < 1e-9, "weights={weights:?} cap={cap}");
+        assert!(c.mean() <= base.mean() + 1e-9, "weights={weights:?} cap={cap}");
+        assert!(
+            c.len() as u64 <= cap.min(base.len() as u64 - 1) + 1,
+            "weights={weights:?} cap={cap}"
+        );
     }
+}
 
-    #[test]
-    fn flow_perspective_size_bias(mean in 2.0f64..40.0) {
+#[test]
+fn flow_perspective_size_bias() {
+    let mut rng = StdRng::seed_from_u64(0x9d07);
+    for _ in 0..CASES {
+        let mean = uniform(&mut rng, 2.0, 40.0);
         let p = Tabulated::from_model(&Poisson::new(mean), 1e-10, 1 << 14);
         let q = flow_perspective(&p);
         // E_Q[k] = E_P[k²]/E_P[k] ≥ E_P[k].
-        prop_assert!(q.mean() >= p.mean() - 1e-9);
-        prop_assert_eq!(q.pmf(0), 0.0);
+        assert!(q.mean() >= p.mean() - 1e-9, "mean={mean}");
+        assert_eq!(q.pmf(0), 0.0, "mean={mean}");
     }
+}
 
-    #[test]
-    fn reservation_dominates_best_effort(mean in 5.0f64..60.0, c in 1.0f64..200.0, rigid in any::<bool>()) {
+#[test]
+fn reservation_dominates_best_effort() {
+    let mut rng = StdRng::seed_from_u64(0x9d08);
+    // Table construction dominates the runtime; a reduced case count keeps
+    // the whole suite fast while still sweeping the parameter box.
+    for _ in 0..CASES / 4 {
+        let mean = uniform(&mut rng, 5.0, 60.0);
+        let c = uniform(&mut rng, 1.0, 200.0);
+        let rigid: bool = rng.random();
         let load = Tabulated::from_model(&Geometric::from_mean(mean), 1e-9, 1 << 14);
         let (b, r) = if rigid {
             let m = DiscreteModel::new(load, Rigid::unit());
@@ -100,28 +165,38 @@ proptest! {
             let m = DiscreteModel::new(load, AdaptiveExp::paper());
             (m.best_effort(c), m.reservation(c))
         };
-        prop_assert!(r >= b - 1e-9, "R {} < B {}", r, b);
-        prop_assert!((0.0..=1.0 + 1e-9).contains(&b));
-        prop_assert!((0.0..=1.0 + 1e-9).contains(&r));
+        assert!(r >= b - 1e-9, "mean={mean} c={c} rigid={rigid}: R {r} < B {b}");
+        assert!((0.0..=1.0 + 1e-9).contains(&b), "mean={mean} c={c} rigid={rigid}");
+        assert!((0.0..=1.0 + 1e-9).contains(&r), "mean={mean} c={c} rigid={rigid}");
     }
+}
 
-    #[test]
-    fn best_effort_monotone_in_capacity(mean in 5.0f64..40.0, c in 1.0f64..150.0, dc in 0.1f64..50.0) {
+#[test]
+fn best_effort_monotone_in_capacity() {
+    let mut rng = StdRng::seed_from_u64(0x9d09);
+    for _ in 0..CASES / 4 {
+        let mean = uniform(&mut rng, 5.0, 40.0);
+        let c = uniform(&mut rng, 1.0, 150.0);
+        let dc = uniform(&mut rng, 0.1, 50.0);
         let load = Tabulated::from_model(&Poisson::new(mean), 1e-10, 1 << 14);
         let m = DiscreteModel::new(load, AdaptiveExp::paper());
-        prop_assert!(m.best_effort(c + dc) + 1e-12 >= m.best_effort(c));
+        assert!(
+            m.best_effort(c + dc) + 1e-12 >= m.best_effort(c),
+            "mean={mean} c={c} dc={dc}"
+        );
     }
+}
 
-    #[test]
-    fn maxmin_is_feasible_and_positive(
-        caps in proptest::collection::vec(1.0f64..20.0, 1..5),
-        seeds in proptest::collection::vec(0usize..5, 1..12),
-    ) {
-        let n_links = caps.len();
+#[test]
+fn maxmin_is_feasible_and_positive() {
+    let mut rng = StdRng::seed_from_u64(0x9d0a);
+    for _ in 0..CASES {
+        let n_links = rng.random_range(1..5usize);
+        let caps: Vec<f64> = (0..n_links).map(|_| uniform(&mut rng, 1.0, 20.0)).collect();
+        let n_flows = rng.random_range(1..12usize);
         let t = Topology::new(caps.clone());
-        let flows: Vec<FlowSpec> = seeds
-            .iter()
-            .map(|&s| FlowSpec::unit(vec![s % n_links]))
+        let flows: Vec<FlowSpec> = (0..n_flows)
+            .map(|_| FlowSpec::unit(vec![rng.random_range(0..5usize) % n_links]))
             .collect();
         let rates = max_min_allocation(&t, &flows);
         for (l, &cap) in caps.iter().enumerate() {
@@ -131,30 +206,41 @@ proptest! {
                 .filter(|(f, _)| f.route.contains(&l))
                 .map(|(_, &r)| r)
                 .sum();
-            prop_assert!(used <= cap + 1e-9, "link {} overloaded: {} > {}", l, used, cap);
+            assert!(used <= cap + 1e-9, "caps={caps:?} link {l} overloaded: {used} > {cap}");
         }
         for &r in &rates {
-            prop_assert!(r > 0.0, "every flow gets a positive rate");
+            assert!(r > 0.0, "caps={caps:?}: every flow gets a positive rate");
         }
     }
+}
 
-    #[test]
-    fn brent_and_bisect_agree(a in -5.0f64..-0.5, b in 0.5f64..5.0, shift in -0.4f64..0.4) {
+#[test]
+fn brent_and_bisect_agree() {
+    let mut rng = StdRng::seed_from_u64(0x9d0b);
+    for _ in 0..CASES {
+        let a = uniform(&mut rng, -5.0, -0.5);
+        let b = uniform(&mut rng, 0.5, 5.0);
+        let shift = uniform(&mut rng, -0.4, 0.4);
         // Monotone cubic with a root strictly inside (a, b).
         let f = |x: f64| (x - shift) * ((x - shift) * (x - shift) + 1.0);
         let r1 = brent(f, a, b, 1e-12).unwrap();
         let r2 = bisect(f, a, b, 1e-12).unwrap();
-        prop_assert!((r1 - shift).abs() < 1e-8);
-        prop_assert!((r1 - r2).abs() < 1e-6);
+        assert!((r1 - shift).abs() < 1e-8, "a={a} b={b} shift={shift}");
+        assert!((r1 - r2).abs() < 1e-6, "a={a} b={b} shift={shift}");
     }
+}
 
-    #[test]
-    fn blocking_fraction_decreases_in_capacity(mean in 5.0f64..40.0, c in 5.0f64..100.0) {
+#[test]
+fn blocking_fraction_decreases_in_capacity() {
+    let mut rng = StdRng::seed_from_u64(0x9d0c);
+    for _ in 0..CASES / 4 {
+        let mean = uniform(&mut rng, 5.0, 40.0);
+        let c = uniform(&mut rng, 5.0, 100.0);
         let load = Tabulated::from_model(&Geometric::from_mean(mean), 1e-9, 1 << 14);
         let m = DiscreteModel::new(load, Rigid::unit());
         let th1 = m.blocking_fraction(c);
         let th2 = m.blocking_fraction(c + 10.0);
-        prop_assert!(th2 <= th1 + 1e-9);
-        prop_assert!((0.0..=1.0).contains(&th1));
+        assert!(th2 <= th1 + 1e-9, "mean={mean} c={c}: {th2} > {th1}");
+        assert!((0.0..=1.0).contains(&th1), "mean={mean} c={c}");
     }
 }

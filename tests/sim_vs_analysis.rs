@@ -169,20 +169,40 @@ fn full_pipeline_is_deterministic() {
 }
 
 /// Pareto-mixed arrivals produce a visibly heavier occupancy tail than the
-/// exponential mixing at matched mean.
+/// exponential mixing at matched mean. The separation lives deep in the
+/// tail: a rate > 10·mean episode has probability `e^{−10} ≈ 5e−5` per
+/// modulation switch under exponential mixing but ~1% under Pareto
+/// (z = 2.3), so the occupancy mass above 10·mean is essentially all
+/// Pareto's. One run holds only ~250 switches, so the masses are
+/// aggregated over several seeds to keep the statistic out of small-count
+/// noise; the runs fan out over the engine's pool.
 #[test]
 fn pareto_mixing_has_heavier_tail() {
-    let exp = run(base(400.0, Discipline::BestEffort, RateMixing::Exponential, 7));
-    let par = run(base(
-        400.0,
-        Discipline::BestEffort,
-        RateMixing::Pareto { z: 2.3, cap: 1e4 },
-        7,
-    ));
+    let seeds = [7u64, 11, 13, 2026];
+    let cfgs: Vec<SimConfig> = seeds
+        .iter()
+        .flat_map(|&seed| {
+            [
+                base(400.0, Discipline::BestEffort, RateMixing::Exponential, seed),
+                base(
+                    400.0,
+                    Discipline::BestEffort,
+                    RateMixing::Pareto { z: 2.3, cap: 1e4 },
+                    seed,
+                ),
+            ]
+        })
+        .collect();
+    let reports = Simulation::run_batch(&cfgs);
     let tail = |t: &Tabulated, k: u64| t.tail_mass_above(k);
-    let (te, tp) = (tail(&exp.occupancy(), 150), tail(&par.occupancy(), 150));
+    let (mut te, mut tp) = (0.0, 0.0);
+    for pair in reports.chunks(2) {
+        te += tail(&pair[0].occupancy(), 300);
+        tp += tail(&pair[1].occupancy(), 300);
+    }
     assert!(
-        tp > 2.0 * te,
-        "P[occupancy > 5·mean]: pareto {tp} vs exponential {te}"
+        tp > (4.0 * te).max(1e-3),
+        "P[occupancy > 10·mean] over {} seeds: pareto {tp} vs exponential {te}",
+        seeds.len()
     );
 }
