@@ -7,7 +7,30 @@ use crate::pool::{parallel_map_with, thread_count};
 use bevra_core::welfare::SampledValue;
 use bevra_core::{equalizing_price_ratio, DiscreteModel};
 use bevra_num::{brent, expand_bracket_up, NumError, NumResult};
+use bevra_obs::{enabled, metrics, ObsLevel};
 use bevra_utility::Utility;
+use std::time::Instant;
+
+/// Time one grid-point evaluation into `hist` when per-point timing is on
+/// (`BEVRA_OBS=summary|trace`); otherwise just evaluate. Timing is
+/// observation only — the evaluated value is returned untouched, so
+/// parallel/serial output stays bitwise-identical with instrumentation
+/// enabled.
+#[inline]
+fn timed_point<T>(
+    timing: bool,
+    hist: &metrics::Histogram,
+    eval: impl FnOnce() -> T,
+) -> T {
+    if timing {
+        let t0 = Instant::now();
+        let out = eval();
+        hist.record(t0.elapsed().as_nanos() as u64);
+        out
+    } else {
+        eval()
+    }
+}
 
 /// Execution strategy of an engine's sweeps.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -73,7 +96,7 @@ pub struct SweepPoint {
 ///   because every per-point computation is a pure function evaluated by
 ///   the same scalar code path;
 /// * **instrumentation** — every sweep stage opens a
-///   [`crate::instrument::span`], and [`Self::cache_stats`] exposes
+///   [`crate::instrument::span()`], and [`Self::cache_stats`] exposes
 ///   hit/miss counters for the emitted perf reports.
 pub struct SweepEngine<U: Utility> {
     model: DiscreteModel<U>,
@@ -180,12 +203,16 @@ impl<U: Utility> SweepEngine<U> {
     pub fn sweep(&self, capacities: &[f64]) -> Vec<SweepPoint> {
         let mut sp = span("sweep/points");
         sp.add_points(capacities.len() as u64);
-        parallel_map_with(capacities, self.mode.threads(), |&c| SweepPoint {
-            capacity: c,
-            best_effort: self.best_effort(c),
-            reservation: self.reservation(c),
-            performance_gap: self.performance_gap(c),
-            bandwidth_gap: self.bandwidth_gap(c).unwrap_or(f64::NAN),
+        let timing = enabled(ObsLevel::Summary);
+        let lat = metrics::histogram("engine/sweep_point_ns");
+        parallel_map_with(capacities, self.mode.threads(), |&c| {
+            timed_point(timing, &lat, || SweepPoint {
+                capacity: c,
+                best_effort: self.best_effort(c),
+                reservation: self.reservation(c),
+                performance_gap: self.performance_gap(c),
+                bandwidth_gap: self.bandwidth_gap(c).unwrap_or(f64::NAN),
+            })
         })
     }
 
@@ -210,9 +237,13 @@ impl<U: Utility> SweepEngine<U> {
         });
         sp.add_points(cs.len() as u64);
         let kbar = self.model.mean_load();
-        let vs = parallel_map_with(&cs, self.mode.threads(), |&c| match arch {
-            Architecture::BestEffort => kbar * self.best_effort(c),
-            Architecture::Reservation => kbar * self.reservation(c),
+        let timing = enabled(ObsLevel::Summary);
+        let lat = metrics::histogram("engine/value_point_ns");
+        let vs = parallel_map_with(&cs, self.mode.threads(), |&c| {
+            timed_point(timing, &lat, || match arch {
+                Architecture::BestEffort => kbar * self.best_effort(c),
+                Architecture::Reservation => kbar * self.reservation(c),
+            })
         });
         SampledValue::from_samples(cs, vs)
     }
@@ -224,9 +255,13 @@ impl<U: Utility> SweepEngine<U> {
     pub fn gamma_sweep(&self, prices: &[f64], sv_b: &SampledValue, sv_r: &SampledValue) -> Vec<f64> {
         let mut sp = span("welfare/gamma");
         sp.add_points(prices.len() as u64);
+        let timing = enabled(ObsLevel::Summary);
+        let lat = metrics::histogram("engine/gamma_point_ns");
         parallel_map_with(prices, self.mode.threads(), |&p| {
-            let wb = sv_b.welfare(p).welfare;
-            equalizing_price_ratio(|ph| sv_r.welfare(ph).welfare, wb, p).unwrap_or(f64::NAN)
+            timed_point(timing, &lat, || {
+                let wb = sv_b.welfare(p).welfare;
+                equalizing_price_ratio(|ph| sv_r.welfare(ph).welfare, wb, p).unwrap_or(f64::NAN)
+            })
         })
     }
 

@@ -1,93 +1,54 @@
-//! Lightweight sweep instrumentation: named timing spans plus a counters
-//! struct, without the external `tracing` crate (unavailable offline).
+//! Sweep instrumentation, now a thin shim over [`bevra_obs`].
 //!
-//! Engine operations open a [`Span`] per sweep stage; completed spans land
-//! in a process-global registry that a figure binary drains into a
-//! [`SweepReport`] after building its figure. The report serializes to
-//! JSON and CSV next to the existing artifacts under `results/`.
+//! The span registry moved to `bevra-obs` in PR 2: spans are hierarchical
+//! and thread-aware there (per-thread buffers instead of this module's
+//! original flat global `Mutex<Vec>`), and a poisoned buffer degrades to
+//! dropping the record instead of panicking inside `Drop`. The public
+//! surface of this module — [`span()`], [`Span`], [`StageRecord`],
+//! [`drain_stages`] — is unchanged; existing callers compile as before.
+//!
+//! What remains engine-specific: the cache-counter registry
+//! ([`record_caches`]/[`drain_caches`], tied to [`CacheStats`]) and the
+//! [`SweepReport`] aggregation that figure binaries serialize to JSON and
+//! CSV next to their artifacts under `results/`.
+
+pub use bevra_obs::{drain_stages, span, Span, StageRecord};
 
 use crate::cache::CacheStats;
-use std::sync::Mutex;
-use std::time::Instant;
+use bevra_obs::{enabled, metrics, ObsLevel};
+use std::sync::{Mutex, PoisonError};
 
-/// One completed sweep stage.
-#[derive(Debug, Clone, PartialEq)]
-pub struct StageRecord {
-    /// Stage name, e.g. `"sweep/utility"` or `"welfare/build"`.
-    pub name: String,
-    /// Wall-clock duration in seconds.
-    pub seconds: f64,
-    /// Grid points (or other work units) the stage evaluated.
-    pub points: u64,
-}
-
-impl StageRecord {
-    /// Throughput in points per second (0 when no points were recorded).
-    #[must_use]
-    pub fn points_per_sec(&self) -> f64 {
-        if self.seconds > 0.0 {
-            self.points as f64 / self.seconds
-        } else {
-            0.0
-        }
-    }
-}
-
-static REGISTRY: Mutex<Vec<StageRecord>> = Mutex::new(Vec::new());
 static CACHES: Mutex<Vec<(String, CacheStats)>> = Mutex::new(Vec::new());
 
-/// An open timing span. Created by [`span`]; records itself into the
-/// global registry on drop.
-#[derive(Debug)]
-pub struct Span {
-    name: String,
-    points: u64,
-    start: Instant,
-}
-
-impl Span {
-    /// Attribute `n` more evaluated points to this span.
-    pub fn add_points(&mut self, n: u64) {
-        self.points += n;
-    }
-}
-
-impl Drop for Span {
-    fn drop(&mut self) {
-        let record = StageRecord {
-            name: std::mem::take(&mut self.name),
-            seconds: self.start.elapsed().as_secs_f64(),
-            points: self.points,
-        };
-        REGISTRY.lock().expect("span registry poisoned").push(record);
-    }
-}
-
-/// Open a named timing span; it records itself when dropped.
-#[must_use]
-pub fn span(name: impl Into<String>) -> Span {
-    Span { name: name.into(), points: 0, start: Instant::now() }
-}
-
-/// Remove and return every stage recorded since the last drain.
-#[must_use]
-pub fn drain_stages() -> Vec<StageRecord> {
-    std::mem::take(&mut *REGISTRY.lock().expect("span registry poisoned"))
-}
-
 /// Publish one engine's cache counters under `prefix` (e.g. the sweep's
-/// utility family) so the next [`drain_caches`] picks them up.
+/// utility family) so the next [`drain_caches`] picks them up. At
+/// [`ObsLevel::Summary`] and above the counters are also mirrored into the
+/// metrics registry (`cache/<prefix>/<name>/{hits,misses,hit_rate}`).
+///
+/// If the registry mutex was poisoned by a panicking thread the records
+/// are dropped rather than propagating the panic.
 pub fn record_caches(prefix: &str, stats: Vec<(String, CacheStats)>) {
-    let mut registry = CACHES.lock().expect("cache registry poisoned");
+    if enabled(ObsLevel::Summary) {
+        for (name, st) in &stats {
+            metrics::counter(&format!("cache/{prefix}/{name}/hits")).add(st.hits);
+            metrics::counter(&format!("cache/{prefix}/{name}/misses")).add(st.misses);
+            metrics::gauge(&format!("cache/{prefix}/{name}/hit_rate")).set(st.hit_rate());
+        }
+    }
+    let Ok(mut registry) = CACHES.lock() else {
+        return; // poisoned: drop the records, never panic
+    };
     for (name, st) in stats {
         registry.push((format!("{prefix}/{name}"), st));
     }
 }
 
 /// Remove and return every cache counter recorded since the last drain.
+/// A poisoned registry is recovered (its surviving contents returned)
+/// rather than panicking.
 #[must_use]
 pub fn drain_caches() -> Vec<(String, CacheStats)> {
-    std::mem::take(&mut *CACHES.lock().expect("cache registry poisoned"))
+    std::mem::take(&mut *CACHES.lock().unwrap_or_else(PoisonError::into_inner))
 }
 
 /// Aggregated instrumentation of one figure/sweep run: its stages plus the
@@ -125,47 +86,60 @@ impl SweepReport {
         self.stages.iter().map(|s| s.points).sum()
     }
 
-    /// Aggregate throughput in points per second.
+    /// Aggregate throughput in points per second (like
+    /// [`StageRecord::points_per_sec`]: infinite for a zero-duration
+    /// report that did evaluate points, 0.0 for an empty one).
     #[must_use]
     pub fn points_per_sec(&self) -> f64 {
         let secs = self.total_seconds();
         if secs > 0.0 {
             self.total_points() as f64 / secs
+        } else if self.total_points() > 0 {
+            f64::INFINITY
         } else {
             0.0
         }
     }
 
-    /// JSON serialization (hand-rolled: no serde offline).
+    /// JSON serialization (hand-rolled: no serde offline). Non-finite
+    /// rates (a zero-duration stage) serialize as `null` — JSON has no
+    /// `Infinity`.
     #[must_use]
     pub fn to_json(&self) -> String {
         fn esc(s: &str) -> String {
             s.replace('\\', "\\\\").replace('"', "\\\"")
         }
+        fn jnum(x: f64) -> String {
+            if x.is_finite() {
+                format!("{x:?}")
+            } else {
+                "null".to_string()
+            }
+        }
         let mut out = String::from("{\n");
         out.push_str(&format!("  \"threads\": {},\n", self.threads));
-        out.push_str(&format!("  \"total_seconds\": {:?},\n", self.total_seconds()));
+        out.push_str(&format!("  \"total_seconds\": {},\n", jnum(self.total_seconds())));
         out.push_str(&format!("  \"total_points\": {},\n", self.total_points()));
-        out.push_str(&format!("  \"points_per_sec\": {:?},\n", self.points_per_sec()));
+        out.push_str(&format!("  \"points_per_sec\": {},\n", jnum(self.points_per_sec())));
         out.push_str("  \"stages\": [\n");
         for (i, s) in self.stages.iter().enumerate() {
             out.push_str(&format!(
-                "    {{\"name\": \"{}\", \"seconds\": {:?}, \"points\": {}, \"points_per_sec\": {:?}}}{}\n",
+                "    {{\"name\": \"{}\", \"seconds\": {}, \"points\": {}, \"points_per_sec\": {}}}{}\n",
                 esc(&s.name),
-                s.seconds,
+                jnum(s.seconds),
                 s.points,
-                s.points_per_sec(),
+                jnum(s.points_per_sec()),
                 if i + 1 < self.stages.len() { "," } else { "" }
             ));
         }
         out.push_str("  ],\n  \"caches\": [\n");
         for (i, (name, st)) in self.caches.iter().enumerate() {
             out.push_str(&format!(
-                "    {{\"name\": \"{}\", \"hits\": {}, \"misses\": {}, \"hit_rate\": {:?}}}{}\n",
+                "    {{\"name\": \"{}\", \"hits\": {}, \"misses\": {}, \"hit_rate\": {}}}{}\n",
                 esc(name),
                 st.hits,
                 st.misses,
-                st.hit_rate(),
+                jnum(st.hit_rate()),
                 if i + 1 < self.caches.len() { "," } else { "" }
             ));
         }
@@ -206,13 +180,13 @@ mod tests {
 
     #[test]
     fn span_records_on_drop() {
-        let _ = drain_stages();
         {
-            let mut s = span("test/stage");
+            let mut s = span("engine-shim/stage");
             s.add_points(42);
         }
         let stages = drain_stages();
-        let rec = stages.iter().find(|r| r.name == "test/stage").expect("span recorded");
+        let rec =
+            stages.iter().find(|r| r.name == "engine-shim/stage").expect("span recorded");
         assert_eq!(rec.points, 42);
         assert!(rec.seconds >= 0.0);
     }
@@ -232,5 +206,36 @@ mod tests {
         assert!(csv.lines().count() == 3);
         assert!(csv.contains("stage,sweep/utility"));
         assert!(csv.contains("cache,best_effort"));
+    }
+
+    #[test]
+    fn zero_duration_stage_rates() {
+        let busy = StageRecord { name: "s".into(), seconds: 0.0, points: 10 };
+        assert_eq!(busy.points_per_sec(), f64::INFINITY);
+        let idle = StageRecord { name: "s".into(), seconds: 0.0, points: 0 };
+        assert_eq!(idle.points_per_sec(), 0.0);
+        // Non-finite rates must serialize as null, keeping the JSON valid.
+        let report = SweepReport::new(vec![busy], vec![], 1);
+        let json = report.to_json();
+        assert!(json.contains("\"points_per_sec\": null"), "json: {json}");
+        assert!(!json.contains("inf"), "no bare inf tokens in JSON");
+    }
+
+    #[test]
+    fn poisoned_cache_registry_degrades_gracefully() {
+        // Seed a record, then poison the registry from a panicking thread.
+        record_caches("poison-seed", vec![("c".into(), CacheStats { hits: 1, misses: 0 })]);
+        let _ = std::thread::spawn(|| {
+            let _guard = CACHES.lock().expect("first lock");
+            panic!("poison the cache registry");
+        })
+        .join();
+        assert!(CACHES.lock().is_err(), "registry is poisoned");
+        // Recording on a poisoned registry drops the record, no panic.
+        record_caches("poison-lost", vec![("c".into(), CacheStats::default())]);
+        // Draining recovers the surviving contents, no panic.
+        let drained = drain_caches();
+        assert!(drained.iter().any(|(n, _)| n == "poison-seed/c"));
+        assert!(!drained.iter().any(|(n, _)| n == "poison-lost/c"));
     }
 }

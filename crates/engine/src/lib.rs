@@ -15,9 +15,13 @@
 //!   [`bevra_core::DiscreteModel`]: memoized `k_max(C)` tables, `B`/`R`
 //!   evaluations shared between the gap root-finder and the welfare
 //!   tables, and parallel grid sweeps;
-//! * [`instrument`] — tracing-style spans per sweep stage plus a
-//!   [`SweepReport`] counters struct (cache hits/misses, points/sec)
-//!   that the report crate emits as JSON/CSV next to each figure.
+//! * [`instrument`] — spans per sweep stage (a shim over the workspace's
+//!   [`bevra_obs`] observability crate: hierarchical, thread-aware,
+//!   panic-safe) plus a [`SweepReport`] counters struct (cache
+//!   hits/misses, points/sec) that the report crate emits as JSON/CSV
+//!   next to each figure. With `BEVRA_OBS=summary|trace` the engine also
+//!   records per-point latency histograms and cache hit-rate metrics, and
+//!   figure binaries export chrome-trace JSON — see the `bevra-obs` docs.
 //!
 //! # Determinism
 //!
@@ -51,4 +55,7 @@ pub use engine::{Architecture, ExecMode, SweepEngine, SweepPoint};
 pub use instrument::{
     drain_caches, drain_stages, record_caches, span, Span, StageRecord, SweepReport,
 };
-pub use pool::{parallel_map, parallel_map_with, thread_count, THREADS_ENV};
+pub use pool::{
+    default_thread_count, parallel_map, parallel_map_with, parse_thread_count, thread_count,
+    MAX_THREADS, THREADS_ENV,
+};

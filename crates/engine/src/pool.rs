@@ -14,19 +14,40 @@ use std::sync::Mutex;
 /// Environment variable overriding the worker-thread count.
 pub const THREADS_ENV: &str = "BEVRA_THREADS";
 
+/// Upper bound on an explicitly requested worker count. Values above this
+/// fall back to the default rather than spawning an unbounded number of
+/// scoped threads (each sweep re-spawns its workers).
+pub const MAX_THREADS: usize = 512;
+
+/// Parse a `BEVRA_THREADS`-style override. `None` (fall back to the
+/// default worker count) unless the string is an integer in
+/// `1..=`[`MAX_THREADS`] — so `"0"`, negatives, garbage, and absurdly
+/// large values all degrade to the default instead of panicking or
+/// oversubscribing the host.
+#[must_use]
+pub fn parse_thread_count(raw: &str) -> Option<usize> {
+    match raw.trim().parse::<usize>() {
+        Ok(n) if (1..=MAX_THREADS).contains(&n) => Some(n),
+        _ => None,
+    }
+}
+
+/// The fallback worker count: [`std::thread::available_parallelism`],
+/// or 1 if unavailable.
+#[must_use]
+pub fn default_thread_count() -> usize {
+    std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+}
+
 /// Number of worker threads a parallel sweep will use: the value of
-/// [`THREADS_ENV`] (`BEVRA_THREADS`) if set to a positive integer,
-/// otherwise [`std::thread::available_parallelism`].
+/// [`THREADS_ENV`] (`BEVRA_THREADS`) if it parses per
+/// [`parse_thread_count`], otherwise [`default_thread_count`].
 #[must_use]
 pub fn thread_count() -> usize {
-    if let Ok(v) = std::env::var(THREADS_ENV) {
-        if let Ok(n) = v.trim().parse::<usize>() {
-            if n >= 1 {
-                return n;
-            }
-        }
-    }
-    std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+    std::env::var(THREADS_ENV)
+        .ok()
+        .and_then(|v| parse_thread_count(&v))
+        .unwrap_or_else(default_thread_count)
 }
 
 /// Apply `f` to every item, using up to `threads` workers, returning the
@@ -116,6 +137,30 @@ mod tests {
     fn thread_count_env_override() {
         // Can't mutate the environment safely in parallel tests; just check
         // the ambient value is sane.
-        assert!(thread_count() >= 1);
+        let n = thread_count();
+        assert!(n >= 1);
+        assert!(n <= MAX_THREADS.max(default_thread_count()));
+    }
+
+    #[test]
+    fn invalid_thread_overrides_fall_back_to_default() {
+        // Valid range.
+        assert_eq!(parse_thread_count("1"), Some(1));
+        assert_eq!(parse_thread_count(" 8 "), Some(8), "whitespace tolerated");
+        assert_eq!(parse_thread_count("512"), Some(512), "cap itself is accepted");
+        // Zero workers makes no sense: default.
+        assert_eq!(parse_thread_count("0"), None);
+        // Negative numbers don't parse as usize: default.
+        assert_eq!(parse_thread_count("-1"), None);
+        // Garbage: default.
+        assert_eq!(parse_thread_count("a-lot"), None);
+        assert_eq!(parse_thread_count(""), None);
+        assert_eq!(parse_thread_count("3.5"), None);
+        // Huge values must not spawn unbounded threads: default.
+        assert_eq!(parse_thread_count("513"), None);
+        assert_eq!(parse_thread_count("1000000"), None);
+        // Larger than u64: parse overflow, default — not a panic.
+        assert_eq!(parse_thread_count("99999999999999999999999999"), None);
+        assert!(default_thread_count() >= 1);
     }
 }

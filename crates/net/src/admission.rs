@@ -1,6 +1,7 @@
 //! Path reservation admission control.
 
 use crate::topology::{FlowSpec, Topology};
+use bevra_obs::{enabled, metrics, ObsLevel};
 
 /// Result of admitting a batch of reservation requests.
 #[derive(Debug, Clone)]
@@ -42,6 +43,8 @@ impl AdmissionOutcome {
 #[must_use]
 pub fn admit_reservations(topology: &Topology, flows: &[FlowSpec]) -> AdmissionOutcome {
     assert!(topology.routes_valid(flows), "route references nonexistent link");
+    let mut span = bevra_obs::span("net/admission");
+    span.add_points(flows.len() as u64);
     let mut residual: Vec<f64> = (0..topology.len()).map(|l| topology.capacity(l)).collect();
     let mut admitted = Vec::with_capacity(flows.len());
     for f in flows {
@@ -53,6 +56,11 @@ pub fn admit_reservations(topology: &Topology, flows: &[FlowSpec]) -> AdmissionO
             }
         }
         admitted.push(fits);
+    }
+    if enabled(ObsLevel::Summary) {
+        let ok = admitted.iter().filter(|&&a| a).count() as u64;
+        metrics::counter("net/admission/admitted").add(ok);
+        metrics::counter("net/admission/rejected").add(admitted.len() as u64 - ok);
     }
     AdmissionOutcome { admitted, residual }
 }

@@ -38,6 +38,8 @@ pub fn best_effort_utility(
     flows: &[FlowSpec],
     utility: &dyn Utility,
 ) -> NetworkUtility {
+    let mut span = bevra_obs::span("net/best-effort");
+    span.add_points(flows.len() as u64);
     let rates = max_min_allocation(topology, flows);
     evaluate_allocation(flows, &rates, utility)
 }
@@ -52,6 +54,8 @@ pub fn reservation_utility(
     flows: &[FlowSpec],
     utility: &dyn Utility,
 ) -> NetworkUtility {
+    let mut span = bevra_obs::span("net/reservation");
+    span.add_points(flows.len() as u64);
     let outcome = admit_reservations(topology, flows);
     let admitted: Vec<FlowSpec> = flows
         .iter()

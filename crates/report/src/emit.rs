@@ -14,6 +14,11 @@ use std::path::Path;
 /// and `results/<id>-perf.csv` (stage timings, throughput, cache
 /// hit/miss counters).
 ///
+/// With `BEVRA_OBS=summary` a metrics table is additionally printed, and
+/// with `BEVRA_OBS=trace` the buffered span events become
+/// `results/<id>-trace.json` (Perfetto-loadable chrome-trace) and
+/// `results/<id>-obs.jsonl`.
+///
 /// # Errors
 ///
 /// Propagates I/O failures.
@@ -38,6 +43,13 @@ pub fn emit_figure(fig: &Figure, dir: &Path) -> std::io::Result<()> {
             secs = report.total_seconds(),
             rate = report.points_per_sec(),
         );
+    }
+    let obs = bevra_obs::export::export_run(&fig.id, dir)?;
+    if let Some(table) = &obs.summary {
+        print!("{table}");
+    }
+    if let Some(trace) = &obs.trace_path {
+        println!("obs: wrote {} (load in https://ui.perfetto.dev)", trace.display());
     }
     println!("saved {} and {} CSV panel file(s) in {}", json.display(), fig.panels.len(), dir.display());
     Ok(())
@@ -82,5 +94,33 @@ mod tests {
         assert!(dir.join("emit-test.json").exists());
         assert!(dir.join("emit-test-panel1.csv").exists());
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// The obs exporter's chrome-trace output must be real JSON with the
+    /// shape Perfetto expects — validated here with the report crate's own
+    /// parser rather than string matching.
+    #[test]
+    fn obs_trace_json_parses_with_report_parser() {
+        let events = vec![bevra_obs::SpanEvent {
+            name: "sweep/points".into(),
+            tid: 7,
+            depth: 0,
+            parent: None,
+            start_us: 1.0,
+            dur_us: 42.5,
+            points: 16,
+        }];
+        let text = bevra_obs::export::trace_json(&events);
+        let doc = crate::json::JsonValue::parse(&text).expect("trace JSON must parse");
+        let items = doc.get("traceEvents").and_then(crate::json::JsonValue::as_arr).unwrap();
+        // One thread_name metadata event plus one "X" complete event.
+        assert_eq!(items.len(), 2);
+        let x = items
+            .iter()
+            .find(|e| e.get("ph").and_then(crate::json::JsonValue::as_str) == Some("X"))
+            .expect("has a complete event");
+        assert_eq!(x.get("name").and_then(crate::json::JsonValue::as_str), Some("sweep/points"));
+        assert_eq!(x.get("tid").and_then(crate::json::JsonValue::as_f64), Some(7.0));
+        assert_eq!(x.get("dur").and_then(crate::json::JsonValue::as_f64), Some(42.5));
     }
 }

@@ -9,10 +9,44 @@ use crate::link::Discipline;
 use crate::queue::{BinaryHeapQueue, EventQueue};
 use crate::stats::Welford;
 use bevra_load::Tabulated;
+use bevra_obs::{enabled, metrics, ObsLevel};
 use bevra_utility::Utility;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::sync::Arc;
+
+/// Metric handles for one run, resolved once up front so the event loop
+/// itself never touches the registry: with `BEVRA_OBS=off` (the default)
+/// no handles are even created and the loop performs zero observability
+/// work; at `summary`+ each event costs a few relaxed atomic ops.
+///
+/// Recording is observation only — it never touches the RNG or any
+/// simulated quantity, so instrumented runs stay bit-identical.
+struct SimObs {
+    arrivals: Arc<metrics::Counter>,
+    departures: Arc<metrics::Counter>,
+    retries: Arc<metrics::Counter>,
+    switches: Arc<metrics::Counter>,
+    admitted: Arc<metrics::Counter>,
+    blocked: Arc<metrics::Counter>,
+    /// Population `n` seen by the event loop at each event — the
+    /// "event-loop occupancy" histogram (log₂-bucketed, p50/p90/p99).
+    occupancy: Arc<metrics::Histogram>,
+}
+
+impl SimObs {
+    fn new() -> Self {
+        Self {
+            arrivals: metrics::counter("sim/events/arrival"),
+            departures: metrics::counter("sim/events/departure"),
+            retries: metrics::counter("sim/events/retry"),
+            switches: metrics::counter("sim/events/modulation_switch"),
+            admitted: metrics::counter("sim/admission/admitted"),
+            blocked: metrics::counter("sim/admission/blocked"),
+            occupancy: metrics::histogram("sim/occupancy"),
+        }
+    }
+}
 
 /// Complete configuration of one simulation run.
 #[derive(Clone)]
@@ -124,6 +158,8 @@ impl Simulation {
     /// Panics if any config is invalid (see [`Simulation::new`]).
     #[must_use]
     pub fn run_batch(configs: &[SimConfig]) -> Vec<SimReport> {
+        let mut sp = bevra_obs::span("sim/run_batch");
+        sp.add_points(configs.len() as u64);
         bevra_engine::parallel_map(configs, |cfg| Simulation::new(cfg.clone()).run())
     }
 
@@ -132,6 +168,12 @@ impl Simulation {
     #[must_use]
     pub fn run(&self) -> SimReport {
         let cfg = &self.cfg;
+        // Event-loop observability: a span per run (nests under
+        // `sim/run_batch` when batched on the same thread) plus, at
+        // `BEVRA_OBS=summary` and above, per-event counters and the
+        // occupancy histogram.
+        let mut run_span = bevra_obs::span("sim/run");
+        let obs = enabled(ObsLevel::Summary).then(SimObs::new);
         let mut rng = StdRng::seed_from_u64(cfg.seed);
         let mut arrivals = cfg.arrivals.clone();
         let mut queue = BinaryHeapQueue::new();
@@ -194,6 +236,16 @@ impl Simulation {
             if ev.time > end {
                 break;
             }
+            run_span.add_points(1);
+            if let Some(o) = &obs {
+                o.occupancy.record(n);
+                match ev.kind {
+                    EventKind::ModulationSwitch => o.switches.inc(),
+                    EventKind::Arrival => o.arrivals.inc(),
+                    EventKind::Retry { .. } => o.retries.inc(),
+                    EventKind::Departure { .. } => o.departures.inc(),
+                }
+            }
             // Advance clocks: accumulate the utility integral and the
             // census dwell (clipped to the measured window).
             let dt = ev.time - t;
@@ -241,6 +293,7 @@ impl Simulation {
                         None,
                         measured,
                         load_estimate,
+                        obs.as_ref(),
                         &mut rng,
                         &mut slots,
                         &mut free,
@@ -267,6 +320,7 @@ impl Simulation {
                         Some(holding),
                         measured,
                         load_estimate,
+                        obs.as_ref(),
                         &mut rng,
                         &mut slots,
                         &mut free,
@@ -324,6 +378,7 @@ impl Simulation {
         holding_carryover: Option<f64>,
         measured: bool,
         load_estimate: f64,
+        obs: Option<&SimObs>,
         rng: &mut StdRng,
         slots: &mut Vec<FlowSlot>,
         free: &mut Vec<u32>,
@@ -339,6 +394,9 @@ impl Simulation {
             report.attempts += 1;
         }
         if cfg.discipline.admits(*n, load_estimate, cfg.capacity) {
+            if let Some(o) = obs {
+                o.admitted.inc();
+            }
             *n += 1;
             let pop = *n;
             let util = cfg.utility.value(cfg.capacity / pop as f64);
@@ -376,6 +434,9 @@ impl Simulation {
             });
             *seq += 1;
         } else {
+            if let Some(o) = obs {
+                o.blocked.inc();
+            }
             if measured {
                 report.blocked_attempts += 1;
             }

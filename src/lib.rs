@@ -69,6 +69,9 @@ pub use bevra_report as report;
 /// Parallel, memoized sweep engine for dense capacity/price grids.
 pub use bevra_engine as engine;
 
+/// Structured tracing, metrics, and exporters (`BEVRA_OBS=off|summary|trace`).
+pub use bevra_obs as obs;
+
 /// The items most programs need.
 pub mod prelude {
     pub use bevra_core::{
