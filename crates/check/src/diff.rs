@@ -1,0 +1,178 @@
+//! The tolerance ladder for differential comparisons.
+//!
+//! Different pairs of evaluation paths agree to very different degrees,
+//! and a single fuzzy epsilon would either mask real regressions or drown
+//! in false alarms. The ladder makes each comparison's contract explicit:
+//!
+//! | rung | pair | tolerance |
+//! |---|---|---|
+//! | 1 | memoized engine vs serial model | **exact ULPs** (same scalar code) |
+//! | 2 | closed forms vs quadrature | small absolute/relative bound |
+//! | 3 | continuum vs discrete | analytic `O(1/k̄)` discretization bound |
+//! | 4 | simulation vs analytics | CLT width from the run's own variance |
+//!
+//! [`ulp_distance`] is the metric for rung 1: the number of representable
+//! `f64` values strictly between two floats, computed through the usual
+//! monotone reinterpretation of the IEEE-754 bit pattern.
+
+/// Number of representable `f64` values between `a` and `b` (0 when
+/// bitwise equal or both zero; `u64::MAX` when either is NaN).
+///
+/// Uses the standard order-preserving map from IEEE-754 bits to integers,
+/// so the distance is well defined across the zero crossing and at
+/// infinities.
+#[must_use]
+pub fn ulp_distance(a: f64, b: f64) -> u64 {
+    if a == b {
+        return 0; // Also merges +0.0 / −0.0.
+    }
+    if a.is_nan() || b.is_nan() {
+        return u64::MAX;
+    }
+    fn ordered(x: f64) -> i64 {
+        let bits = x.to_bits() as i64;
+        if bits < 0 {
+            i64::MIN - bits
+        } else {
+            bits
+        }
+    }
+    let d = i128::from(ordered(a)) - i128::from(ordered(b));
+    u64::try_from(d.unsigned_abs()).unwrap_or(u64::MAX)
+}
+
+/// One rung of the tolerance ladder: how closely two paths must agree.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Tolerance {
+    /// At most this many ULPs apart (0 = bitwise identical up to signed
+    /// zero). For pairs that execute the same scalar code, e.g. the
+    /// memoized engine versus the serial model.
+    Ulps(u64),
+    /// Absolute difference bound: closed forms versus quadrature, or an
+    /// analytic discretization bound for continuum versus discrete.
+    Absolute(f64),
+    /// Relative difference bound, measured against the larger magnitude.
+    Relative(f64),
+    /// `abs + rel·max(|got|, |want|)` — the usual mixed bound.
+    AbsRel {
+        /// Absolute floor of the bound.
+        abs: f64,
+        /// Relative component of the bound.
+        rel: f64,
+    },
+    /// A confidence-interval bound for Monte Carlo estimates:
+    /// `z·std_error + floor`, where `std_error` comes from the run's own
+    /// Welford accumulator and `floor` absorbs bias the CLT width cannot
+    /// see (finite warmup, correlated samples).
+    Clt {
+        /// Standard error of the Monte Carlo estimate.
+        std_error: f64,
+        /// Width multiplier (e.g. 6 for a generous six-sigma band).
+        z: f64,
+        /// Additive floor for non-CLT error sources.
+        floor: f64,
+    },
+}
+
+impl Tolerance {
+    /// The numeric bound this tolerance allows for the pair `(got, want)`
+    /// (for [`Tolerance::Ulps`] the bound is in ULPs, not magnitude).
+    #[must_use]
+    pub fn bound(&self, got: f64, want: f64) -> f64 {
+        match *self {
+            Tolerance::Ulps(n) => n as f64,
+            Tolerance::Absolute(abs) => abs,
+            Tolerance::Relative(rel) => rel * got.abs().max(want.abs()),
+            Tolerance::AbsRel { abs, rel } => abs + rel * got.abs().max(want.abs()),
+            Tolerance::Clt { std_error, z, floor } => z * std_error + floor,
+        }
+    }
+
+    /// Check `got` against `want`, describing the violated rung on
+    /// failure. Non-finite values fail every rung (a NaN must never
+    /// launder through a tolerance).
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable message naming `what`, both values, the
+    /// observed discrepancy, and the allowed bound.
+    pub fn check(&self, what: &str, got: f64, want: f64) -> Result<(), String> {
+        if !got.is_finite() || !want.is_finite() {
+            return Err(format!("{what}: non-finite comparison: got {got}, want {want}"));
+        }
+        match *self {
+            Tolerance::Ulps(max_ulps) => {
+                let d = ulp_distance(got, want);
+                if d <= max_ulps {
+                    Ok(())
+                } else {
+                    Err(format!(
+                        "{what}: {got:?} vs {want:?} differ by {d} ULPs (allowed {max_ulps})"
+                    ))
+                }
+            }
+            _ => {
+                let diff = (got - want).abs();
+                let bound = self.bound(got, want);
+                if diff <= bound {
+                    Ok(())
+                } else {
+                    Err(format!(
+                        "{what}: {got:?} vs {want:?} differ by {diff:.3e} (allowed {bound:.3e}, {self:?})"
+                    ))
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ulp_distance_basics() {
+        assert_eq!(ulp_distance(1.0, 1.0), 0);
+        assert_eq!(ulp_distance(0.0, -0.0), 0);
+        assert_eq!(ulp_distance(1.0, f64::from_bits(1.0f64.to_bits() + 1)), 1);
+        assert_eq!(ulp_distance(1.0, f64::from_bits(1.0f64.to_bits() + 7)), 7);
+        // Symmetric, and well defined across zero.
+        assert_eq!(ulp_distance(-f64::MIN_POSITIVE, f64::MIN_POSITIVE), ulp_distance(f64::MIN_POSITIVE, -f64::MIN_POSITIVE));
+        assert!(ulp_distance(-1.0, 1.0) > 1 << 60);
+        assert_eq!(ulp_distance(f64::NAN, 1.0), u64::MAX);
+    }
+
+    #[test]
+    fn ulps_rung_accepts_within_budget() {
+        let b = f64::from_bits(1.5f64.to_bits() + 2);
+        assert!(Tolerance::Ulps(2).check("x", 1.5, b).is_ok());
+        assert!(Tolerance::Ulps(1).check("x", 1.5, b).is_err());
+        assert!(Tolerance::Ulps(0).check("x", 0.25, 0.25).is_ok());
+    }
+
+    #[test]
+    fn magnitude_rungs() {
+        assert!(Tolerance::Absolute(1e-3).check("x", 1.0, 1.0005).is_ok());
+        assert!(Tolerance::Absolute(1e-4).check("x", 1.0, 1.0005).is_err());
+        assert!(Tolerance::Relative(1e-3).check("x", 1000.0, 1000.5).is_ok());
+        assert!(Tolerance::AbsRel { abs: 1e-9, rel: 1e-3 }.check("x", 0.0, 1e-10).is_ok());
+        let clt = Tolerance::Clt { std_error: 0.01, z: 3.0, floor: 0.005 };
+        assert!(clt.check("x", 0.50, 0.53).is_ok());
+        assert!(clt.check("x", 0.50, 0.54).is_err());
+    }
+
+    #[test]
+    fn nan_and_infinity_always_fail() {
+        for t in [Tolerance::Ulps(u64::MAX - 1), Tolerance::Absolute(f64::MAX)] {
+            assert!(t.check("x", f64::NAN, 1.0).is_err());
+            assert!(t.check("x", 1.0, f64::INFINITY).is_err());
+        }
+    }
+
+    #[test]
+    fn failure_messages_name_the_quantity() {
+        let err = Tolerance::Absolute(0.0).check("B(C)", 1.0, 2.0).unwrap_err();
+        assert!(err.contains("B(C)"), "{err}");
+        assert!(err.contains("allowed"), "{err}");
+    }
+}

@@ -1,0 +1,140 @@
+//! Golden-corpus CSV comparison with per-column ULP budgets.
+//!
+//! The report crate regenerates the paper's figure data as CSV; the
+//! golden tests diff a freshly generated file against a committed golden
+//! copy. Exact string equality is too brittle — the only legitimate
+//! drift between environments is the last ULP of transcendental libm
+//! calls (`exp`, `ln`), already observed for this repository's committed
+//! `results/` (see `CHANGES.md`) — while a plain epsilon would hide real
+//! regressions. So the diff is structural:
+//!
+//! * headers and non-numeric cells must match **exactly**;
+//! * numeric cells must match within a **per-column ULP budget**
+//!   (default 0: bitwise), reflecting how many transcendental calls feed
+//!   each column.
+
+use crate::diff::ulp_distance;
+
+/// Compare a candidate CSV against a golden CSV.
+///
+/// `budgets` maps header names to ULP budgets; columns not listed get
+/// `default_budget`. Cells that parse as `f64` on both sides are compared
+/// by [`ulp_distance`]; all other cells (headers included) must be
+/// byte-identical.
+///
+/// # Errors
+///
+/// Returns a message naming the first divergence: row and column, both
+/// cell values, and — for numeric cells — the observed ULP distance
+/// versus the column's budget.
+pub fn compare_csv(
+    golden: &str,
+    candidate: &str,
+    budgets: &[(&str, u64)],
+    default_budget: u64,
+) -> Result<(), String> {
+    let g_lines: Vec<&str> = golden.lines().collect();
+    let c_lines: Vec<&str> = candidate.lines().collect();
+    if g_lines.len() != c_lines.len() {
+        return Err(format!(
+            "row count mismatch: golden has {} lines, candidate has {}",
+            g_lines.len(),
+            c_lines.len()
+        ));
+    }
+    if g_lines.is_empty() {
+        return Ok(());
+    }
+    let header: Vec<&str> = g_lines[0].split(',').collect();
+    if g_lines[0] != c_lines[0] {
+        return Err(format!(
+            "header mismatch: golden {:?} vs candidate {:?}",
+            g_lines[0], c_lines[0]
+        ));
+    }
+    let budget_for = |col: usize| -> u64 {
+        header
+            .get(col)
+            .and_then(|name| budgets.iter().find(|(n, _)| n == name))
+            .map_or(default_budget, |(_, b)| *b)
+    };
+    for (row, (gl, cl)) in g_lines.iter().zip(&c_lines).enumerate().skip(1) {
+        let g_cells: Vec<&str> = gl.split(',').collect();
+        let c_cells: Vec<&str> = cl.split(',').collect();
+        if g_cells.len() != c_cells.len() {
+            return Err(format!(
+                "row {row}: column count mismatch ({} vs {})",
+                g_cells.len(),
+                c_cells.len()
+            ));
+        }
+        for (col, (gc, cc)) in g_cells.iter().zip(&c_cells).enumerate() {
+            let name = header.get(col).copied().unwrap_or("?");
+            match (gc.parse::<f64>(), cc.parse::<f64>()) {
+                (Ok(gv), Ok(cv)) => {
+                    let d = ulp_distance(gv, cv);
+                    let budget = budget_for(col);
+                    if d > budget {
+                        return Err(format!(
+                            "row {row}, column '{name}': {gc} vs {cc} differ by {d} ULPs \
+                             (budget {budget})"
+                        ));
+                    }
+                }
+                _ => {
+                    if gc != cc {
+                        return Err(format!(
+                            "row {row}, column '{name}': non-numeric cells differ: \
+                             {gc:?} vs {cc:?}"
+                        ));
+                    }
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const GOLDEN: &str = "capacity,B,label\n1.0,0.5,adaptive\n2.0,0.75,adaptive\n";
+
+    #[test]
+    fn identical_files_pass_with_zero_budget() {
+        assert_eq!(compare_csv(GOLDEN, GOLDEN, &[], 0), Ok(()));
+    }
+
+    #[test]
+    fn one_ulp_drift_needs_a_budget() {
+        let drifted = format!(
+            "capacity,B,label\n1.0,{},adaptive\n2.0,0.75,adaptive\n",
+            f64::from_bits(0.5f64.to_bits() + 1)
+        );
+        let err = compare_csv(GOLDEN, &drifted, &[], 0).unwrap_err();
+        assert!(err.contains("column 'B'") && err.contains("1 ULPs"), "{err}");
+        assert_eq!(compare_csv(GOLDEN, &drifted, &[("B", 1)], 0), Ok(()));
+        // The budget is per-column: the same drift in 'capacity' still fails.
+        let drifted_cap = GOLDEN.replace("2.0,", "2.0000000000000004,");
+        assert!(compare_csv(GOLDEN, &drifted_cap, &[("B", 1)], 0).is_err());
+    }
+
+    #[test]
+    fn text_cells_must_match_exactly() {
+        let renamed = GOLDEN.replace("adaptive", "rigid");
+        let err = compare_csv(GOLDEN, &renamed, &[("label", 99)], 99).unwrap_err();
+        assert!(err.contains("non-numeric"), "{err}");
+    }
+
+    #[test]
+    fn structural_mismatches_are_reported() {
+        assert!(compare_csv(GOLDEN, "capacity,B,label\n", &[], 0)
+            .unwrap_err()
+            .contains("row count"));
+        let wide = "capacity,B,label\n1.0,0.5,adaptive,extra\n2.0,0.75,adaptive\n";
+        assert!(compare_csv(GOLDEN, wide, &[], 0).unwrap_err().contains("column count"));
+        let header = GOLDEN.replace("capacity", "cap");
+        assert!(compare_csv(GOLDEN, &header, &[], 0).unwrap_err().contains("header"));
+    }
+}

@@ -1,0 +1,60 @@
+//! Property-based testing and differential verification for the `bevra`
+//! workspace.
+//!
+//! The workspace reproduces Breslau & Shenker's *"Best-Effort versus
+//! Reservations"* (SIGCOMM 1998) along three largely independent
+//! evaluation paths:
+//!
+//! 1. the **discrete analytics** (`bevra-core`'s [`DiscreteModel`] summed
+//!    over tabulated load distributions),
+//! 2. the **continuum model** (closed forms and adaptive quadrature), and
+//! 3. the **Monte Carlo flow simulator** (`bevra-sim`).
+//!
+//! Having three routes to the same quantities is the repository's best
+//! defence against quiet numerical regressions — *if* the routes are
+//! actually compared. This crate supplies the machinery:
+//!
+//! * [`strategy`] — seeded random generators with **shrinking**: when a
+//!   property fails, the framework walks candidate simplifications
+//!   (numeric bisection toward anchor values such as `0`, `1`, or the
+//!   paper's κ; dropping collection elements; tuple-wise minimization)
+//!   and reports the simplest input that still fails;
+//! * [`runner`] — the [`Checker`] driving `N` seeded cases per property
+//!   (`BEVRA_CHECK_CASES` overrides the default 256), with every case
+//!   seeded independently via [`rand::derive_seed`] so a failure is
+//!   replayable in isolation (`BEVRA_CHECK_REPLAY=<case seed>`);
+//! * [`persist`] — failure records appended as JSON lines to
+//!   `results/check-failures.jsonl` so CI can upload them as artifacts;
+//! * [`diff`] — the **tolerance ladder** used by the differential suite:
+//!   exact-ULP equality for memoized-engine versus serial evaluation,
+//!   absolute bounds for closed forms versus quadrature, an
+//!   `O(1/k̄)` analytic bound for continuum versus discrete, and
+//!   CLT-width confidence intervals for simulation versus analytics;
+//! * [`scenario`] — the randomized scenario domain (load family ×
+//!   utility family × capacity grid × admission policy) with a
+//!   hand-written shrinker, plus [`check_scenario`], the differential
+//!   oracle evaluated on every generated scenario;
+//! * [`golden`] — CSV comparison with per-column ULP budgets for the
+//!   golden-corpus snapshot tests over regenerated figure data.
+//!
+//! The `check-sweep` binary wraps the scenario oracle in a time-boxed
+//! fuzz loop for CI and local soak testing.
+//!
+//! [`DiscreteModel`]: bevra_core::DiscreteModel
+//! [`Checker`]: runner::Checker
+
+pub mod diff;
+pub mod golden;
+pub mod persist;
+pub mod runner;
+pub mod scenario;
+pub mod strategy;
+
+pub use diff::{ulp_distance, Tolerance};
+pub use golden::compare_csv;
+pub use persist::FailureRecord;
+pub use runner::{default_cases, ensure, Checker};
+pub use scenario::{
+    check_scenario, check_scenario_sim, LoadFamily, Scenario, ScenarioStrategy, UtilityFamily,
+};
+pub use strategy::{choice, int_range, just, uniform, vec_of, Strategy};

@@ -1,0 +1,618 @@
+//! Randomized differential scenarios and their oracle.
+//!
+//! A [`Scenario`] is one randomly drawn configuration of the paper's
+//! model: a set of load families, a utility family, a capacity grid, and
+//! an optional fixed admission cap (footnote 9). [`check_scenario`]
+//! evaluates every (load, capacity) cell through the workspace's
+//! redundant evaluation paths and checks the ladder of cross-path
+//! invariants (see [`crate::diff`]):
+//!
+//! 1. **sanity** — `B(C)` and `R(C)` are finite and inside `[0, 1]`;
+//! 2. **engine transparency** — the memoized [`SweepEngine`] reproduces
+//!    the serial [`DiscreteModel`] bitwise, and its parallel mode
+//!    reproduces its serial mode bitwise;
+//! 3. **argmax consistency** — the derived `k_max(C)` is locally optimal:
+//!    capping admission at `k_max ± 1` never increases `R(C)`
+//!    (a first-principles oracle that catches any off-by-one in the
+//!    threshold search), and a fixed override never beats the derived
+//!    threshold;
+//! 4. **continuum agreement** — where closed forms exist (exponential
+//!    loads), quadrature matches them to near machine precision and the
+//!    discrete model matches them to the `O(1/k̄)` discretization bound.
+//!
+//! [`check_scenario_sim`] adds the Monte Carlo rung: a best-effort
+//! simulation whose admission-time utility must match the analytic
+//! `B(C)` computed from the run's *own* empirical occupancy (PASTA),
+//! within a CLT-width tolerance from the run's variance.
+//!
+//! The [`ScenarioStrategy`] shrinker collapses failing scenarios toward a
+//! single load family, a single capacity near 1, the rigid utility, and
+//! no admission cap — so a reported counterexample is usually a one-line
+//! reproduction.
+
+use crate::diff::Tolerance;
+use crate::strategy::{shrink_f64_toward, Strategy};
+use bevra_core::continuum::{
+    AlgebraicClosed, ContinuumModel, ExponentialRampClosed, ExponentialRigidClosed,
+};
+use bevra_core::DiscreteModel;
+use bevra_engine::{ExecMode, SweepEngine};
+use bevra_load::{Algebraic, ExponentialDensity, Geometric, ParetoDensity, Poisson, Tabulated};
+use bevra_sim::{Discipline, HoldingDist, MixedPoisson, SimConfig, Simulation};
+use bevra_utility::{AdaptiveExp, Ramp, Rigid, Utility};
+use rand::rngs::StdRng;
+use rand::RngExt;
+use std::sync::Arc;
+
+/// Tabulation tolerance for scenario load tables.
+const TAB_TOL: f64 = 1e-10;
+/// Tabulation length cap (heavy algebraic tails get truncated here).
+const TAB_CAP: usize = 1 << 13;
+/// Mean-load range scenarios draw from.
+const MEAN_LO: f64 = 6.0;
+const MEAN_HI: f64 = 60.0;
+/// Capacity range scenarios draw from.
+const CAP_LO: f64 = 1.0;
+const CAP_HI: f64 = 250.0;
+/// Algebraic tail exponent range (paper uses z ≈ 2.5).
+const Z_LO: f64 = 2.3;
+const Z_HI: f64 = 4.0;
+
+/// Absolute slack for identities that hold exactly in real arithmetic but
+/// are computed as independently rounded table sums.
+const SUM_SLACK: f64 = 1e-9;
+
+/// Quadrature tolerance for the continuum rungs. Tighter settings hit
+/// `tanh_sinh`'s iteration cap for extreme ramp parameters (small `a`
+/// puts a utility knot far into the load tail).
+const QUAD_TOL: f64 = 1e-8;
+
+/// A load family with its parameters, as drawn for one scenario.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LoadFamily {
+    /// Poisson number-of-flows distribution (fixed-rate arrivals).
+    Poisson {
+        /// Mean offered load `k̄`.
+        mean: f64,
+    },
+    /// Geometric distribution — the discrete analogue of the paper's
+    /// exponential load density, so closed forms are available.
+    Exponential {
+        /// Mean offered load `k̄`.
+        mean: f64,
+    },
+    /// Algebraic (heavy-tailed) distribution with exponent `z`.
+    Algebraic {
+        /// Tail exponent `z > 2`.
+        z: f64,
+        /// Mean offered load `k̄`.
+        mean: f64,
+    },
+}
+
+impl LoadFamily {
+    /// The family's mean parameter.
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        match *self {
+            LoadFamily::Poisson { mean }
+            | LoadFamily::Exponential { mean }
+            | LoadFamily::Algebraic { mean, .. } => mean,
+        }
+    }
+
+    /// Tabulate the family for the discrete model.
+    ///
+    /// # Errors
+    ///
+    /// Reports invalid parameter combinations (from
+    /// [`Algebraic::from_mean`]) as strings, so scenario checks surface
+    /// them as ordinary failures rather than panics.
+    pub fn tabulate(&self) -> Result<Tabulated, String> {
+        match *self {
+            LoadFamily::Poisson { mean } => {
+                Ok(Tabulated::from_model(&Poisson::new(mean), TAB_TOL, TAB_CAP))
+            }
+            LoadFamily::Exponential { mean } => {
+                Ok(Tabulated::from_model(&Geometric::from_mean(mean), TAB_TOL, TAB_CAP))
+            }
+            LoadFamily::Algebraic { z, mean } => {
+                let model = Algebraic::from_mean(z, mean)
+                    .map_err(|e| format!("Algebraic::from_mean({z}, {mean}): {e:?}"))?;
+                Ok(Tabulated::from_model(&model, TAB_TOL, TAB_CAP))
+            }
+        }
+    }
+}
+
+/// A utility family with its parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub enum UtilityFamily {
+    /// Rigid (step) utility with unit bandwidth requirement.
+    Rigid,
+    /// The paper's adaptive-exponent utility at κ = 0.62086.
+    Adaptive,
+    /// Ramp utility, linear between `a` and 1.
+    Ramp {
+        /// Lower ramp threshold `a ∈ (0, 1]`.
+        a: f64,
+    },
+}
+
+impl UtilityFamily {
+    /// The family as a shared trait object (for the simulator and for
+    /// generic model construction: `Arc<dyn Utility>` itself implements
+    /// [`Utility`]).
+    #[must_use]
+    pub fn as_dyn(&self) -> Arc<dyn Utility> {
+        match *self {
+            UtilityFamily::Rigid => Arc::new(Rigid::unit()),
+            UtilityFamily::Adaptive => Arc::new(AdaptiveExp::paper()),
+            UtilityFamily::Ramp { a } => Arc::new(Ramp::new(a)),
+        }
+    }
+}
+
+/// One randomly drawn differential scenario.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Scenario {
+    /// Load families to evaluate (each independently).
+    pub loads: Vec<LoadFamily>,
+    /// Utility family shared by all cells.
+    pub utility: UtilityFamily,
+    /// Capacity grid.
+    pub capacities: Vec<f64>,
+    /// Fixed admission cap (footnote 9) overriding the derived
+    /// `k_max(C)`; `None` uses the derived threshold.
+    pub admission_cap: Option<u64>,
+}
+
+/// Strategy generating and shrinking [`Scenario`]s.
+#[derive(Debug, Clone)]
+pub struct ScenarioStrategy {
+    /// Maximum number of load families per scenario.
+    pub max_loads: usize,
+    /// Maximum number of capacity grid points per scenario.
+    pub max_capacities: usize,
+}
+
+impl Default for ScenarioStrategy {
+    fn default() -> Self {
+        Self { max_loads: 3, max_capacities: 3 }
+    }
+}
+
+impl Strategy for ScenarioStrategy {
+    type Value = Scenario;
+
+    fn generate(&self, rng: &mut StdRng) -> Scenario {
+        let n_loads = rng.random_range(1..self.max_loads + 1);
+        let loads = (0..n_loads)
+            .map(|_| {
+                let mean = MEAN_LO + (MEAN_HI - MEAN_LO) * rng.random::<f64>();
+                match rng.random_range(0..3u32) {
+                    0 => LoadFamily::Poisson { mean },
+                    1 => LoadFamily::Exponential { mean },
+                    _ => {
+                        let z = Z_LO + (Z_HI - Z_LO) * rng.random::<f64>();
+                        LoadFamily::Algebraic { z, mean }
+                    }
+                }
+            })
+            .collect();
+        let utility = match rng.random_range(0..3u32) {
+            0 => UtilityFamily::Rigid,
+            1 => UtilityFamily::Adaptive,
+            _ => UtilityFamily::Ramp { a: 0.05 + 0.85 * rng.random::<f64>() },
+        };
+        let n_caps = rng.random_range(1..self.max_capacities + 1);
+        let capacities =
+            (0..n_caps).map(|_| CAP_LO + (CAP_HI - CAP_LO) * rng.random::<f64>()).collect();
+        let admission_cap =
+            if rng.random_range(0..4u32) == 0 { Some(rng.random_range(1..81u64)) } else { None };
+        Scenario { loads, utility, capacities, admission_cap }
+    }
+
+    fn shrink(&self, sc: &Scenario) -> Vec<Scenario> {
+        let mut out = Vec::new();
+        let mut push = |s: Scenario| {
+            if s != *sc {
+                out.push(s);
+            }
+        };
+        // Structural first: fewer load families …
+        if sc.loads.len() > 1 {
+            push(Scenario { loads: vec![sc.loads[0].clone()], ..sc.clone() });
+            push(Scenario { loads: sc.loads[..sc.loads.len() - 1].to_vec(), ..sc.clone() });
+            push(Scenario { loads: sc.loads[1..].to_vec(), ..sc.clone() });
+        }
+        // … and fewer capacity points.
+        if sc.capacities.len() > 1 {
+            push(Scenario { capacities: vec![sc.capacities[0]], ..sc.clone() });
+            push(Scenario {
+                capacities: sc.capacities[..sc.capacities.len() - 1].to_vec(),
+                ..sc.clone()
+            });
+            push(Scenario { capacities: sc.capacities[1..].to_vec(), ..sc.clone() });
+        }
+        // Numeric: bisect capacities toward the smallest interesting value.
+        for (i, &c) in sc.capacities.iter().enumerate() {
+            for cand in shrink_f64_toward(c, &[CAP_LO]) {
+                let mut caps = sc.capacities.clone();
+                caps[i] = cand;
+                push(Scenario { capacities: caps, ..sc.clone() });
+            }
+        }
+        // Drop the admission-cap override.
+        if sc.admission_cap.is_some() {
+            push(Scenario { admission_cap: None, ..sc.clone() });
+        }
+        // Simplify the utility toward rigid.
+        match sc.utility {
+            UtilityFamily::Rigid => {}
+            UtilityFamily::Adaptive | UtilityFamily::Ramp { .. } => {
+                push(Scenario { utility: UtilityFamily::Rigid, ..sc.clone() });
+            }
+        }
+        // Simplify load families (heavy-tailed → exponential → Poisson),
+        // and bisect means toward the low end.
+        for (i, load) in sc.loads.iter().enumerate() {
+            let mut replace = |fam: LoadFamily| {
+                let mut loads = sc.loads.clone();
+                loads[i] = fam;
+                push(Scenario { loads, ..sc.clone() });
+            };
+            match *load {
+                LoadFamily::Algebraic { mean, .. } => {
+                    replace(LoadFamily::Poisson { mean });
+                    replace(LoadFamily::Exponential { mean });
+                }
+                LoadFamily::Exponential { mean } => replace(LoadFamily::Poisson { mean }),
+                LoadFamily::Poisson { .. } => {}
+            }
+            for cand in shrink_f64_toward(load.mean(), &[MEAN_LO]) {
+                let fam = match *load {
+                    LoadFamily::Poisson { .. } => LoadFamily::Poisson { mean: cand },
+                    LoadFamily::Exponential { .. } => LoadFamily::Exponential { mean: cand },
+                    LoadFamily::Algebraic { z, .. } => LoadFamily::Algebraic { z, mean: cand },
+                };
+                replace(fam);
+            }
+        }
+        out
+    }
+}
+
+/// Bitwise equality between two path outputs that execute the same scalar
+/// code (tolerance rung 1, stricter than [`Tolerance::Ulps`]`(0)`: NaN
+/// from the same code path compares equal).
+fn bits_eq(what: &str, a: f64, b: f64) -> Result<(), String> {
+    if a.to_bits() == b.to_bits() {
+        Ok(())
+    } else {
+        Err(format!("{what}: {a:?} vs {b:?} (bit patterns {:#x} vs {:#x})", a.to_bits(), b.to_bits()))
+    }
+}
+
+/// Analytic bound for discrete-vs-continuum disagreement at mean load
+/// `k̄`: the discretization error of replacing the load integral by a sum
+/// is `O(1/k̄)`. The measured envelope over the scenario domain is
+/// `0.39/k̄` for `B` and `0.77/k̄` for `R` (the argmax kink makes `R`
+/// worse); the constant leaves ~2.5× headroom.
+fn discretization_bound(mean: f64) -> f64 {
+    2.0 / mean + 1e-3
+}
+
+/// Evaluate every (load, capacity) cell of a scenario through the
+/// analytic paths and check the tolerance ladder.
+///
+/// # Errors
+///
+/// Returns the first violated rung, naming the cell and the quantity.
+pub fn check_scenario(sc: &Scenario) -> Result<(), String> {
+    if sc.loads.is_empty() || sc.capacities.is_empty() {
+        return Err("scenario has no cells".to_string());
+    }
+    let utility = sc.utility.as_dyn();
+    for (li, load) in sc.loads.iter().enumerate() {
+        let table = Arc::new(load.tabulate()?);
+        check_cells(li, load, &table, &utility, sc)?;
+        continuum_rungs(li, load, &table, sc)?;
+    }
+    Ok(())
+}
+
+/// The discrete-path rungs (sanity, engine transparency, argmax
+/// consistency) for one load table.
+fn check_cells(
+    li: usize,
+    load: &LoadFamily,
+    table: &Arc<Tabulated>,
+    utility: &Arc<dyn Utility>,
+    sc: &Scenario,
+) -> Result<(), String> {
+    let mk = || {
+        let m = DiscreteModel::new(Arc::clone(table), Arc::clone(utility));
+        match sc.admission_cap {
+            Some(cap) => m.with_admission_cap(cap),
+            None => m,
+        }
+    };
+    let model = mk();
+    let eng_serial = SweepEngine::with_mode(mk(), ExecMode::Serial);
+    let eng_par = SweepEngine::with_mode(mk(), ExecMode::Parallel { threads: 4 });
+    let serial_points = eng_serial.sweep(&sc.capacities);
+    let par_points = eng_par.sweep(&sc.capacities);
+
+    for (ci, (&c, (ps, pp))) in
+        sc.capacities.iter().zip(serial_points.iter().zip(&par_points)).enumerate()
+    {
+        let cell = format!("load[{li}]={load:?}, C[{ci}]={c}");
+        let b = model.best_effort(c);
+        let r = model.reservation(c);
+
+        // Rung: sanity bounds. Utilities are in [0, 1], so normalized
+        // per-flow utilities must be too (up to summation slack).
+        for (name, v) in [("B", b), ("R", r)] {
+            if !v.is_finite() || !(-SUM_SLACK..=1.0 + SUM_SLACK).contains(&v) {
+                return Err(format!("{cell}: {name}(C) = {v} outside [0, 1]"));
+            }
+        }
+
+        // Rung: engine transparency — serial engine vs raw model, and
+        // parallel engine vs serial engine, all bitwise.
+        bits_eq(&format!("{cell}: engine B vs model B"), ps.best_effort, b)?;
+        bits_eq(&format!("{cell}: engine R vs model R"), ps.reservation, r)?;
+        bits_eq(&format!("{cell}: parallel vs serial B"), pp.best_effort, ps.best_effort)?;
+        bits_eq(&format!("{cell}: parallel vs serial R"), pp.reservation, ps.reservation)?;
+        bits_eq(&format!("{cell}: parallel vs serial δ"), pp.performance_gap, ps.performance_gap)?;
+        bits_eq(&format!("{cell}: parallel vs serial Δ"), pp.bandwidth_gap, ps.bandwidth_gap)?;
+
+        match sc.admission_cap {
+            None => {
+                // Rung: reservations dominate best effort when the
+                // threshold is the true argmax (termwise in the proof, so
+                // only summation slack is allowed).
+                if r < b - SUM_SLACK {
+                    return Err(format!("{cell}: R(C) = {r} < B(C) = {b}"));
+                }
+                // Rung: argmax consistency. R as a function of the cap m
+                // increases exactly while V(m+1) ≥ V(m), so the derived
+                // k_max must beat both neighbors.
+                let m = model.k_max(c).ok_or_else(|| {
+                    format!("{cell}: k_max(C) = None for an inelastic utility")
+                })?;
+                if m == 0 {
+                    return Err(format!("{cell}: k_max(C) = 0"));
+                }
+                for neighbor in [m.saturating_sub(1), m + 1] {
+                    if neighbor == 0 {
+                        continue;
+                    }
+                    let rn = model.reservation_with_kmax(c, Some(neighbor));
+                    if rn > r + SUM_SLACK {
+                        return Err(format!(
+                            "{cell}: k_max = {m} is not optimal: cap {neighbor} gives \
+                             R = {rn} > {r}"
+                        ));
+                    }
+                }
+            }
+            Some(cap) => {
+                // Rung: a fixed override can never beat the derived
+                // threshold (that is what "argmax" means).
+                let opt = DiscreteModel::new(Arc::clone(table), Arc::clone(utility));
+                let r_opt = opt.reservation(c);
+                if r > r_opt + SUM_SLACK {
+                    return Err(format!(
+                        "{cell}: fixed cap {cap} gives R = {r} > derived-k_max R = {r_opt}"
+                    ));
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// The continuum rungs for one load family: quadrature vs closed form
+/// (near machine precision) and discrete vs continuum (`O(1/k̄)`).
+fn continuum_rungs(
+    li: usize,
+    load: &LoadFamily,
+    table: &Arc<Tabulated>,
+    sc: &Scenario,
+) -> Result<(), String> {
+    // The quadrature runs at 1e-8 (tighter tolerances fail to converge
+    // for extreme ramp parameters); the comparison budget sits well above
+    // that but far below any discretization or modelling error.
+    let quad_tol = Tolerance::AbsRel { abs: 2e-5, rel: 2e-5 };
+    let c0 = sc.capacities[0];
+    match (load, &sc.utility) {
+        // Exponential load: closed forms exist for rigid and ramp, and the
+        // geometric table is the matched discretization.
+        (LoadFamily::Exponential { mean }, UtilityFamily::Rigid) => {
+            let closed = ExponentialRigidClosed::from_mean(*mean);
+            let quad = ContinuumModel::new(ExponentialDensity::from_mean(*mean), Rigid::unit())
+                .with_tolerance(QUAD_TOL);
+            let qb = quad.best_effort(c0).map_err(|e| format!("quad B failed: {e:?}"))?;
+            quad_tol.check(&format!("load[{li}] quad vs closed B({c0})"), qb, closed.best_effort(c0))?;
+            let qr = quad.reservation(c0).map_err(|e| format!("quad R failed: {e:?}"))?;
+            quad_tol.check(&format!("load[{li}] quad vs closed R({c0})"), qr, closed.reservation(c0))?;
+            let model = DiscreteModel::new(Arc::clone(table), Rigid::unit());
+            let tol = Tolerance::Absolute(discretization_bound(*mean));
+            for &c in &sc.capacities {
+                tol.check(
+                    &format!("load[{li}] discrete vs continuum B({c}), k̄={mean}"),
+                    model.best_effort(c),
+                    closed.best_effort(c),
+                )?;
+                tol.check(
+                    &format!("load[{li}] discrete vs continuum R({c}), k̄={mean}"),
+                    model.reservation(c),
+                    closed.reservation(c),
+                )?;
+            }
+        }
+        (LoadFamily::Exponential { mean }, UtilityFamily::Ramp { a }) => {
+            let closed = ExponentialRampClosed::new(1.0 / mean, *a);
+            let quad = ContinuumModel::new(ExponentialDensity::from_mean(*mean), Ramp::new(*a))
+                .with_tolerance(QUAD_TOL);
+            let qb = quad.best_effort(c0).map_err(|e| format!("quad B failed: {e:?}"))?;
+            quad_tol.check(&format!("load[{li}] quad vs closed B({c0})"), qb, closed.best_effort(c0))?;
+            let model = DiscreteModel::new(Arc::clone(table), Ramp::new(*a));
+            let tol = Tolerance::Absolute(discretization_bound(*mean));
+            for &c in &sc.capacities {
+                tol.check(
+                    &format!("load[{li}] discrete vs continuum B({c}), k̄={mean}"),
+                    model.best_effort(c),
+                    closed.best_effort(c),
+                )?;
+            }
+        }
+        // Algebraic load: the closed forms live on the unit-scale Pareto
+        // density, which the discrete table is not calibrated to — check
+        // quadrature against the closed form only.
+        (LoadFamily::Algebraic { z, .. }, UtilityFamily::Rigid) => {
+            let closed = AlgebraicClosed::rigid(*z);
+            let quad = ContinuumModel::new(ParetoDensity::new(*z), Rigid::unit()).with_tolerance(QUAD_TOL);
+            let c = c0.min(20.0); // Heavy tails make large-C quadrature slow.
+            let qb = quad.best_effort(c).map_err(|e| format!("quad B failed: {e:?}"))?;
+            quad_tol.check(&format!("load[{li}] quad vs closed B({c})"), qb, closed.best_effort(c))?;
+        }
+        (LoadFamily::Algebraic { z, .. }, UtilityFamily::Ramp { a }) => {
+            let closed = AlgebraicClosed::ramp(*z, *a);
+            let quad = ContinuumModel::new(ParetoDensity::new(*z), Ramp::new(*a)).with_tolerance(QUAD_TOL);
+            let c = c0.min(20.0);
+            let qb = quad.best_effort(c).map_err(|e| format!("quad B failed: {e:?}"))?;
+            quad_tol.check(&format!("load[{li}] quad vs closed B({c})"), qb, closed.best_effort(c))?;
+        }
+        // Poisson loads and the adaptive utility have no closed forms:
+        // the discrete rungs above are the oracle there.
+        _ => {}
+    }
+    Ok(())
+}
+
+/// The Monte Carlo rung: simulate the scenario's first cell under
+/// best-effort sharing and compare the measured admission-time utility
+/// against the analytic `B(C)` evaluated on the run's own empirical
+/// occupancy (PASTA). The tolerance is a CLT band from the run's Welford
+/// variance plus a floor for warmup bias and sample correlation.
+///
+/// # Errors
+///
+/// Returns the violated comparison, including both values and the band.
+pub fn check_scenario_sim(sc: &Scenario, seed: u64) -> Result<(), String> {
+    let load = sc.loads.first().ok_or("scenario has no load families")?;
+    let capacity = sc.capacities.first().copied().ok_or("scenario has no capacities")?.max(2.0);
+    let table = load.tabulate()?;
+    // Cap the offered load so the event count stays bounded; the PASTA
+    // identity holds for any offered load.
+    let offered = table.mean().min(30.0);
+    let utility = sc.utility.as_dyn();
+    let cfg = SimConfig {
+        capacity,
+        discipline: Discipline::BestEffort,
+        arrivals: MixedPoisson::fixed(offered),
+        holding: HoldingDist::Exponential { mean: 1.0 },
+        utility: Arc::clone(&utility),
+        warmup: 100.0,
+        horizon: 3_000.0,
+        seed,
+    };
+    let rep = Simulation::new(cfg).run();
+    if rep.completed == 0 {
+        return Err(format!("simulation completed no flows (C={capacity}, a={offered})"));
+    }
+    let measured = rep.utility_at_admission.mean();
+    let predicted = DiscreteModel::new(rep.occupancy(), utility).best_effort(capacity);
+    Tolerance::Clt { std_error: rep.utility_at_admission.std_error(), z: 8.0, floor: 0.015 }
+        .check(
+            &format!("sim vs analytic B({capacity}) at offered load {offered:.2}"),
+            measured,
+            predicted,
+        )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn strategy_rng() -> StdRng {
+        StdRng::seed_from_u64(0xBEE5)
+    }
+
+    #[test]
+    fn generated_scenarios_are_well_formed() {
+        let s = ScenarioStrategy::default();
+        let mut rng = strategy_rng();
+        for _ in 0..200 {
+            let sc = s.generate(&mut rng);
+            assert!((1..=s.max_loads).contains(&sc.loads.len()));
+            assert!((1..=s.max_capacities).contains(&sc.capacities.len()));
+            assert!(sc.capacities.iter().all(|c| (CAP_LO..CAP_HI).contains(c)));
+            assert!(sc.loads.iter().all(|l| (MEAN_LO..MEAN_HI).contains(&l.mean())));
+            if let Some(cap) = sc.admission_cap {
+                assert!((1..=80).contains(&cap));
+            }
+        }
+    }
+
+    #[test]
+    fn shrink_moves_toward_the_trivial_scenario() {
+        let sc = Scenario {
+            loads: vec![
+                LoadFamily::Algebraic { z: 2.9, mean: 40.0 },
+                LoadFamily::Poisson { mean: 22.0 },
+            ],
+            utility: UtilityFamily::Adaptive,
+            capacities: vec![180.0, 55.0],
+            admission_cap: Some(17),
+        };
+        let cands = ScenarioStrategy::default().shrink(&sc);
+        assert!(!cands.is_empty());
+        // First candidate: single load family.
+        assert_eq!(cands[0].loads.len(), 1);
+        // Somewhere in the list: capacity bisected toward 1, the cap
+        // dropped, and the utility simplified to rigid.
+        assert!(cands.iter().any(|c| c.capacities.iter().any(|&x| x < 100.0)));
+        assert!(cands.iter().any(|c| c.admission_cap.is_none()));
+        assert!(cands.iter().any(|c| c.utility == UtilityFamily::Rigid));
+        // A minimal scenario has nowhere left to go but mean/capacity
+        // bisection (strictly smaller values).
+        let minimal = Scenario {
+            loads: vec![LoadFamily::Poisson { mean: MEAN_LO }],
+            utility: UtilityFamily::Rigid,
+            capacities: vec![CAP_LO],
+            admission_cap: None,
+        };
+        assert!(ScenarioStrategy::default().shrink(&minimal).is_empty());
+    }
+
+    #[test]
+    fn fixed_scenarios_pass_the_analytic_ladder() {
+        for sc in [
+            Scenario {
+                loads: vec![LoadFamily::Poisson { mean: 30.0 }],
+                utility: UtilityFamily::Adaptive,
+                capacities: vec![30.0, 60.0],
+                admission_cap: None,
+            },
+            Scenario {
+                loads: vec![LoadFamily::Exponential { mean: 25.0 }],
+                utility: UtilityFamily::Rigid,
+                capacities: vec![10.0, 100.0],
+                admission_cap: None,
+            },
+            Scenario {
+                loads: vec![LoadFamily::Algebraic { z: 2.5, mean: 20.0 }],
+                utility: UtilityFamily::Ramp { a: 0.4 },
+                capacities: vec![15.0],
+                admission_cap: Some(12),
+            },
+        ] {
+            check_scenario(&sc).unwrap_or_else(|e| panic!("{sc:?}: {e}"));
+        }
+    }
+}

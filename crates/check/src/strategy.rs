@@ -1,0 +1,407 @@
+//! Seeded value generation with shrinking.
+//!
+//! A [`Strategy`] couples a random generator with a *shrinker*: given a
+//! failing value, [`Strategy::shrink`] proposes a short list of candidate
+//! simplifications, **simplest first**. The runner (see
+//! [`crate::runner::Checker`]) greedily accepts the first candidate that
+//! still fails the property and repeats, so the reported counterexample is
+//! a local minimum of the simplification order rather than whatever the
+//! seed happened to produce.
+//!
+//! Conventions shared by every combinator here:
+//!
+//! * **numbers** shrink by geometric bisection toward configured *anchor*
+//!   values (`0`, `1`, a range endpoint, the paper's κ …) — each accepted
+//!   candidate at least halves the remaining distance, so shrinking
+//!   terminates;
+//! * **collections** shrink structurally first (fewer elements), then
+//!   element-wise;
+//! * **choices** shrink toward earlier alternatives in declaration order;
+//! * **tuples** shrink component-wise, left to right.
+
+use rand::rngs::StdRng;
+use rand::RngExt;
+use std::fmt::Debug;
+
+/// A seeded generator plus shrinker for values of one type.
+pub trait Strategy {
+    /// The generated value type.
+    type Value: Clone + Debug;
+
+    /// Draw one value from the strategy's distribution.
+    fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+    /// Candidate simplifications of `value`, simplest first. An empty
+    /// vector (the default) means the value is atomic: shrinking stops.
+    fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+        let _ = value;
+        Vec::new()
+    }
+}
+
+// ------------------------------------------------------------------- floats
+
+/// Uniform `f64` strategy over `[lo, hi)`; see [`uniform`].
+#[derive(Debug, Clone)]
+pub struct UniformF64 {
+    lo: f64,
+    hi: f64,
+    anchors: Vec<f64>,
+}
+
+/// Uniform draw from `[lo, hi)`, shrinking toward `lo` by default.
+///
+/// # Panics
+///
+/// Panics unless `lo < hi` and both are finite.
+pub fn uniform(lo: f64, hi: f64) -> UniformF64 {
+    assert!(lo.is_finite() && hi.is_finite() && lo < hi, "uniform({lo}, {hi}) is not a range");
+    UniformF64 { lo, hi, anchors: vec![lo] }
+}
+
+impl UniformF64 {
+    /// Replace the shrink anchors: failing values are bisected toward each
+    /// anchor in turn (earlier anchors are preferred). Anchors outside
+    /// `[lo, hi)` are dropped.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no anchor survives the range filter.
+    #[must_use]
+    pub fn shrink_toward(mut self, anchors: &[f64]) -> Self {
+        self.anchors =
+            anchors.iter().copied().filter(|a| *a >= self.lo && *a < self.hi).collect();
+        assert!(!self.anchors.is_empty(), "no shrink anchor inside [{}, {})", self.lo, self.hi);
+        self
+    }
+}
+
+/// Bisection candidates for a failing float: for each anchor `a`, propose
+/// `a` itself, then the midpoint, then a three-quarter step toward `v`.
+/// Every candidate strictly reduces `|v − a|`, so greedy acceptance
+/// converges.
+pub fn shrink_f64_toward(v: f64, anchors: &[f64]) -> Vec<f64> {
+    let mut out = Vec::new();
+    for &a in anchors {
+        if v == a {
+            continue;
+        }
+        out.push(a);
+        for frac in [0.5, 0.75] {
+            let c = a + (v - a) * frac;
+            if c != v && c != a {
+                out.push(c);
+            }
+        }
+    }
+    out
+}
+
+impl Strategy for UniformF64 {
+    type Value = f64;
+
+    fn generate(&self, rng: &mut StdRng) -> f64 {
+        self.lo + (self.hi - self.lo) * rng.random::<f64>()
+    }
+
+    fn shrink(&self, value: &f64) -> Vec<f64> {
+        shrink_f64_toward(*value, &self.anchors)
+    }
+}
+
+// ----------------------------------------------------------------- integers
+
+/// Uniform integer strategy over an inclusive range; see [`int_range`].
+#[derive(Debug, Clone)]
+pub struct IntRange {
+    lo: u64,
+    hi: u64,
+}
+
+/// Uniform draw from `lo..=hi`, shrinking toward `lo`.
+///
+/// # Panics
+///
+/// Panics if `lo > hi` or `hi == u64::MAX` (the sampler needs `hi + 1`).
+pub fn int_range(lo: u64, hi: u64) -> IntRange {
+    assert!(lo <= hi && hi < u64::MAX, "int_range({lo}, {hi}) is not a sampleable range");
+    IntRange { lo, hi }
+}
+
+impl Strategy for IntRange {
+    type Value = u64;
+
+    fn generate(&self, rng: &mut StdRng) -> u64 {
+        rng.random_range(self.lo..self.hi + 1)
+    }
+
+    fn shrink(&self, value: &u64) -> Vec<u64> {
+        let v = *value;
+        let mut out = Vec::new();
+        if v > self.lo {
+            out.push(self.lo);
+            let mid = self.lo + (v - self.lo) / 2;
+            if mid != self.lo && mid != v {
+                out.push(mid);
+            }
+            if v - 1 != self.lo && v - 1 != mid {
+                out.push(v - 1);
+            }
+        }
+        out
+    }
+}
+
+// ------------------------------------------------------------------ choices
+
+/// Pick uniformly from a fixed list; see [`choice`].
+#[derive(Debug, Clone)]
+pub struct Choice<T> {
+    items: Vec<T>,
+}
+
+/// Uniform pick from `items`; failing picks shrink toward *earlier* items,
+/// so list alternatives simplest-first.
+///
+/// # Panics
+///
+/// Panics on an empty list.
+pub fn choice<T: Clone + Debug + PartialEq>(items: Vec<T>) -> Choice<T> {
+    assert!(!items.is_empty(), "choice over an empty list");
+    Choice { items }
+}
+
+impl<T: Clone + Debug + PartialEq> Strategy for Choice<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut StdRng) -> T {
+        self.items[rng.random_range(0..self.items.len())].clone()
+    }
+
+    fn shrink(&self, value: &T) -> Vec<T> {
+        let pos = self.items.iter().position(|x| x == value).unwrap_or(0);
+        self.items[..pos].to_vec()
+    }
+}
+
+// -------------------------------------------------------------- collections
+
+/// Variable-length vector of an element strategy; see [`vec_of`].
+#[derive(Debug, Clone)]
+pub struct VecOf<S> {
+    elem: S,
+    min_len: usize,
+    max_len: usize,
+}
+
+/// A vector of `min_len..=max_len` elements drawn from `elem`.
+///
+/// Shrinking is structural first — keep a prefix of minimum length, keep
+/// the first half, drop one element from either end — and element-wise
+/// second, so counterexamples collapse to few, simple elements.
+///
+/// # Panics
+///
+/// Panics if `min_len > max_len`.
+pub fn vec_of<S: Strategy>(elem: S, min_len: usize, max_len: usize) -> VecOf<S> {
+    assert!(min_len <= max_len, "vec_of range {min_len}..={max_len} is empty");
+    VecOf { elem, min_len, max_len }
+}
+
+impl<S: Strategy> Strategy for VecOf<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut StdRng) -> Vec<S::Value> {
+        let n = rng.random_range(self.min_len..self.max_len + 1);
+        (0..n).map(|_| self.elem.generate(rng)).collect()
+    }
+
+    fn shrink(&self, value: &Vec<S::Value>) -> Vec<Vec<S::Value>> {
+        let n = value.len();
+        let mut out = Vec::new();
+        if n > self.min_len {
+            let head = self.min_len.max(1);
+            if head < n {
+                out.push(value[..head].to_vec());
+            }
+            let half = self.min_len.max(n / 2);
+            if half < n && half != head {
+                out.push(value[..half].to_vec());
+            }
+            out.push(value[..n - 1].to_vec());
+            out.push(value[1..].to_vec());
+        }
+        // Element-wise, with bounded fan-out: long vectors have usually
+        // been structurally shrunk already by the time this matters.
+        for i in 0..n.min(8) {
+            for c in self.elem.shrink(&value[i]).into_iter().take(3) {
+                let mut w = value.clone();
+                w[i] = c;
+                out.push(w);
+            }
+        }
+        out
+    }
+}
+
+// ---------------------------------------------------------------- constants
+
+/// Always produce the same value; see [`just`].
+#[derive(Debug, Clone)]
+pub struct Just<T>(T);
+
+/// The constant strategy: every case sees `value`, nothing shrinks.
+pub fn just<T: Clone + Debug>(value: T) -> Just<T> {
+    Just(value)
+}
+
+impl<T: Clone + Debug> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut StdRng) -> T {
+        self.0.clone()
+    }
+}
+
+// ------------------------------------------------------------------- tuples
+
+impl<A: Strategy, B: Strategy> Strategy for (A, B) {
+    type Value = (A::Value, B::Value);
+
+    fn generate(&self, rng: &mut StdRng) -> Self::Value {
+        (self.0.generate(rng), self.1.generate(rng))
+    }
+
+    fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+        let mut out = Vec::new();
+        for c in self.0.shrink(&value.0) {
+            out.push((c, value.1.clone()));
+        }
+        for c in self.1.shrink(&value.1) {
+            out.push((value.0.clone(), c));
+        }
+        out
+    }
+}
+
+impl<A: Strategy, B: Strategy, C: Strategy> Strategy for (A, B, C) {
+    type Value = (A::Value, B::Value, C::Value);
+
+    fn generate(&self, rng: &mut StdRng) -> Self::Value {
+        (self.0.generate(rng), self.1.generate(rng), self.2.generate(rng))
+    }
+
+    fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+        let mut out = Vec::new();
+        for c in self.0.shrink(&value.0) {
+            out.push((c, value.1.clone(), value.2.clone()));
+        }
+        for c in self.1.shrink(&value.1) {
+            out.push((value.0.clone(), c, value.2.clone()));
+        }
+        for c in self.2.shrink(&value.2) {
+            out.push((value.0.clone(), value.1.clone(), c));
+        }
+        out
+    }
+}
+
+impl<A: Strategy, B: Strategy, C: Strategy, D: Strategy> Strategy for (A, B, C, D) {
+    type Value = (A::Value, B::Value, C::Value, D::Value);
+
+    fn generate(&self, rng: &mut StdRng) -> Self::Value {
+        (
+            self.0.generate(rng),
+            self.1.generate(rng),
+            self.2.generate(rng),
+            self.3.generate(rng),
+        )
+    }
+
+    fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+        let mut out = Vec::new();
+        for c in self.0.shrink(&value.0) {
+            out.push((c, value.1.clone(), value.2.clone(), value.3.clone()));
+        }
+        for c in self.1.shrink(&value.1) {
+            out.push((value.0.clone(), c, value.2.clone(), value.3.clone()));
+        }
+        for c in self.2.shrink(&value.2) {
+            out.push((value.0.clone(), value.1.clone(), c, value.3.clone()));
+        }
+        for c in self.3.shrink(&value.3) {
+            out.push((value.0.clone(), value.1.clone(), value.2.clone(), c));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(0xC0FFEE)
+    }
+
+    #[test]
+    fn uniform_stays_in_range_and_shrinks_toward_anchor() {
+        let s = uniform(2.0, 5.0);
+        let mut r = rng();
+        for _ in 0..1000 {
+            let v = s.generate(&mut r);
+            assert!((2.0..5.0).contains(&v));
+        }
+        let cands = s.shrink(&4.0);
+        assert_eq!(cands[0], 2.0, "anchor first");
+        assert!(cands.iter().all(|c| (2.0..=4.0).contains(c)));
+        // Anchored at κ: candidates close in on κ from the failing side.
+        let s = uniform(0.0, 1.0).shrink_toward(&[0.620_86]);
+        for c in s.shrink(&0.9) {
+            assert!((0.620_86..=0.9).contains(&c), "candidate {c}");
+        }
+        assert!(s.shrink(&0.620_86).is_empty(), "anchor itself is minimal");
+    }
+
+    #[test]
+    fn int_range_shrink_candidates_decrease() {
+        let s = int_range(1, 100);
+        for c in s.shrink(&64) {
+            assert!((1..64).contains(&c));
+        }
+        assert!(s.shrink(&1).is_empty());
+    }
+
+    #[test]
+    fn choice_shrinks_toward_earlier_items() {
+        let s = choice(vec!["a", "b", "c"]);
+        assert_eq!(s.shrink(&"c"), vec!["a", "b"]);
+        assert!(s.shrink(&"a").is_empty());
+    }
+
+    #[test]
+    fn vec_of_structural_shrinks_come_first() {
+        let s = vec_of(int_range(0, 9), 1, 8);
+        let v = vec![5u64, 6, 7, 8];
+        let cands = s.shrink(&v);
+        assert_eq!(cands[0], vec![5], "single-element prefix first");
+        assert!(cands.iter().all(|c| !c.is_empty()), "respects min_len");
+        assert!(s.generate(&mut rng()).len() <= 8);
+    }
+
+    #[test]
+    fn tuple_shrink_is_componentwise() {
+        let s = (int_range(0, 9), uniform(0.0, 1.0));
+        let cands = s.shrink(&(4u64, 0.5));
+        assert!(cands.iter().any(|&(k, x)| k < 4 && x == 0.5));
+        assert!(cands.iter().any(|&(k, x)| k == 4 && x < 0.5));
+    }
+
+    #[test]
+    fn just_never_shrinks() {
+        let s = just(42u64);
+        assert_eq!(s.generate(&mut rng()), 42);
+        assert!(s.shrink(&42).is_empty());
+    }
+}

@@ -23,13 +23,12 @@ pub const MAX_THREADS: usize = 512;
 /// default worker count) unless the string is an integer in
 /// `1..=`[`MAX_THREADS`] — so `"0"`, negatives, garbage, and absurdly
 /// large values all degrade to the default instead of panicking or
-/// oversubscribing the host.
+/// oversubscribing the host. The validation policy is shared with the
+/// workspace's other count-valued overrides (`BEVRA_CHECK_CASES`) via
+/// [`bevra_num::env::parse_bounded_count`].
 #[must_use]
 pub fn parse_thread_count(raw: &str) -> Option<usize> {
-    match raw.trim().parse::<usize>() {
-        Ok(n) if (1..=MAX_THREADS).contains(&n) => Some(n),
-        _ => None,
-    }
+    bevra_num::env::parse_bounded_count(raw, MAX_THREADS)
 }
 
 /// The fallback worker count: [`std::thread::available_parallelism`],

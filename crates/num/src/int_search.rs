@@ -10,14 +10,17 @@ use crate::error::{NumError, NumResult};
 
 /// Argmax of a unimodal sequence `f(k)` over `k ∈ [lo, ∞)`.
 ///
-/// "Unimodal" means nondecreasing up to some `k*`, nonincreasing after. The
-/// search doubles an upper probe until the sequence is observed to decrease,
-/// then ternary-searches the bracket. Plateaus are handled by returning the
-/// smallest argmax within resolution.
+/// "Unimodal" means *strictly* increasing up to the maximum value, which may
+/// then be held on a plateau, followed by a nonincreasing tail (which may
+/// itself contain plateaus). The search doubles an upper probe until the
+/// sequence is observed to decrease, then ternary-searches the bracket.
+/// Ties are broken toward the **smallest** maximizer: for a peak plateau
+/// the returned index is its left edge.
 ///
 /// # Errors
 ///
-/// [`NumError::NoBracket`] if the sequence is still increasing at `max_k`.
+/// [`NumError::NoBracket`] if the sequence is still increasing (or still
+/// flat, never having decreased) at `max_k`.
 pub fn argmax_unimodal_u64(
     mut f: impl FnMut(u64) -> f64,
     lo: u64,
@@ -39,7 +42,14 @@ pub fn argmax_unimodal_u64(
         if k >= max_k {
             return Err(NumError::NoBracket { what: "unimodal integer maximum before max_k" });
         }
-        bracket_lo = prev_k;
+        // Advance the lower bracket only on a *strict* increase: the
+        // invariant is f(bracket_lo) < max(f over probes), which keeps the
+        // smallest maximizer inside [bracket_lo, bracket_hi] even when the
+        // doubling probes walk along a peak plateau (equal values must not
+        // push the bracket past the plateau's left edge).
+        if v > prev_v {
+            bracket_lo = prev_k;
+        }
         prev_k = k;
         prev_v = v;
         step = step.saturating_mul(2);
@@ -53,6 +63,10 @@ pub fn argmax_unimodal_u64(
         if f(m1) < f(m2) {
             a = m1 + 1;
         } else {
+            // On f(m1) > f(m2) the peak is at or left of m2. On equality the
+            // two probes lie on a plateau — at the peak (left edge ≤ m1) or
+            // in the tail (peak < m1) — so the smallest maximizer is ≤ m2
+            // either way and the right part can be discarded.
             b = m2;
         }
     }

@@ -22,6 +22,7 @@
 // routines need.
 #![allow(clippy::neg_cmp_op_on_partial_ord)]
 
+pub mod env;
 pub mod error;
 pub mod fixed_point;
 pub mod int_search;
@@ -31,6 +32,7 @@ pub mod roots;
 pub mod special;
 pub mod sum;
 
+pub use env::{env_count, parse_bounded_count};
 pub use error::{NumError, NumResult};
 pub use fixed_point::fixed_point;
 pub use int_search::{argmax_unimodal_u64, first_true_u64};

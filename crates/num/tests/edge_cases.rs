@@ -1,0 +1,126 @@
+//! Edge-case coverage for the numerical substrate: plateaued integer
+//! argmax (ties toward smaller k), degenerate quadrature intervals, and
+//! non-bracketing root-finder inputs (typed errors, never panics).
+
+use bevra_num::{
+    argmax_unimodal_u64, bisect, brent, expand_bracket_up, integrate, integrate_to_inf,
+    tanh_sinh, NumError,
+};
+
+// ---------------------------------------------------------------- int_search
+
+/// A peak plateau: rises to a flat top, then decreases. The reported argmax
+/// must be the *smallest* k attaining the maximum.
+#[test]
+fn plateau_at_peak_ties_break_toward_smaller_k() {
+    // f rises on [0, 10], is flat at 10 on [10, 20], then decreases.
+    let f = |k: u64| {
+        if k <= 10 {
+            k as f64
+        } else if k <= 20 {
+            10.0
+        } else {
+            30.0 - k as f64
+        }
+    };
+    assert_eq!(argmax_unimodal_u64(f, 0, 1_000_000).unwrap(), 10);
+}
+
+/// A two-point plateau straddling the peak of a discrete parabola.
+#[test]
+fn two_point_plateau_returns_left_maximizer() {
+    // f(9) = f(10) = 100 is the shared maximum.
+    let f = |k: u64| -((2 * k) as f64 - 19.0).abs() + 100.0;
+    assert_eq!(argmax_unimodal_u64(f, 0, 1_000).unwrap(), 9);
+}
+
+/// Wide plateaus at several widths and offsets, swept to catch any
+/// bracket-phase/ternary-phase interaction: the left edge must win.
+#[test]
+fn plateau_widths_and_offsets_always_return_left_edge() {
+    for peak in [3u64, 17, 64, 1000] {
+        for width in [1u64, 2, 5, 33] {
+            let f = move |k: u64| {
+                if k < peak {
+                    k as f64
+                } else if k < peak + width {
+                    peak as f64
+                } else {
+                    peak as f64 - (k - peak - width + 1) as f64
+                }
+            };
+            assert_eq!(
+                argmax_unimodal_u64(f, 0, 1 << 40).unwrap(),
+                peak,
+                "peak={peak} width={width}"
+            );
+        }
+    }
+}
+
+/// An everywhere-constant sequence never strictly decreases; the search
+/// must report a typed bracketing failure rather than loop or guess.
+#[test]
+fn fully_flat_sequence_reports_no_bracket() {
+    let err = argmax_unimodal_u64(|_| 1.0, 0, 10_000).unwrap_err();
+    assert!(matches!(err, NumError::NoBracket { .. }));
+}
+
+// ---------------------------------------------------------------------- quad
+
+/// Zero-width intervals integrate to exactly 0 for every rule, even when
+/// the integrand is singular at the collapsed endpoint.
+#[test]
+fn zero_width_intervals_are_exactly_zero() {
+    assert_eq!(integrate(|x| x.exp(), 2.0, 2.0, 1e-12).unwrap(), 0.0);
+    assert_eq!(tanh_sinh(|x| 1.0 / x.sqrt(), 0.0, 0.0, 1e-12).unwrap(), 0.0);
+    // The semi-infinite rule maps [a, ∞) to (0, 1]; its degenerate analogue
+    // is an integrand that is zero everywhere.
+    assert_eq!(integrate_to_inf(|_| 0.0, 5.0, 1e-12).unwrap(), 0.0);
+}
+
+/// A nonpositive tolerance is a typed precondition failure.
+#[test]
+fn quadrature_rejects_bad_tolerance() {
+    assert!(matches!(
+        integrate(|x| x, 0.0, 1.0, 0.0).unwrap_err(),
+        NumError::InvalidInput { .. }
+    ));
+    assert!(matches!(
+        tanh_sinh(|x| x, 0.0, 1.0, -1.0).unwrap_err(),
+        NumError::InvalidInput { .. }
+    ));
+}
+
+// --------------------------------------------------------------------- roots
+
+/// f(a) and f(b) sharing a sign must yield `InvalidInput` from both
+/// finders — never a panic, never a bogus root.
+#[test]
+fn same_sign_endpoints_are_typed_errors() {
+    // Both endpoints positive.
+    let err = bisect(|x| x * x + 1.0, -2.0, 2.0, 1e-10).unwrap_err();
+    assert!(matches!(err, NumError::InvalidInput { .. }));
+    let err = brent(|x| x * x + 1.0, -2.0, 2.0, 1e-10).unwrap_err();
+    assert!(matches!(err, NumError::InvalidInput { .. }));
+    // Both endpoints negative.
+    let err = bisect(|x| -(x * x) - 0.5, -1.0, 1.0, 1e-10).unwrap_err();
+    assert!(matches!(err, NumError::InvalidInput { .. }));
+    let err = brent(|x| -(x * x) - 0.5, -1.0, 1.0, 1e-10).unwrap_err();
+    assert!(matches!(err, NumError::InvalidInput { .. }));
+}
+
+/// A sign-preserving function defeats upward bracket expansion with a
+/// typed `NoBracket`, not an infinite loop.
+#[test]
+fn bracket_expansion_with_no_sign_change_is_typed() {
+    let err = expand_bracket_up(|x| 1.0 + x.abs(), 0.0, 0.5, 1e6).unwrap_err();
+    assert!(matches!(err, NumError::NoBracket { .. }));
+}
+
+/// An exact root sitting on an endpoint short-circuits without iteration.
+#[test]
+fn endpoint_roots_returned_exactly() {
+    assert_eq!(bisect(|x| x - 3.0, 3.0, 10.0, 1e-12).unwrap(), 3.0);
+    assert_eq!(brent(|x| x - 10.0, 3.0, 10.0, 1e-12).unwrap(), 10.0);
+}

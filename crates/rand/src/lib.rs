@@ -120,6 +120,24 @@ macro_rules! impl_uniform_int {
 
 impl_uniform_int!(usize, u64, u32);
 
+/// Derive the seed of an independent child stream from a master seed and a
+/// stream index.
+///
+/// Uses one round of SplitMix64 over `master ⊕ golden·(stream+1)`, the same
+/// finalizer that expands seeds into generator state, so child streams are
+/// pairwise decorrelated even for adjacent indices. The property-test
+/// runner in `bevra-check` seeds every case as
+/// `derive_seed(master, case_index)`: any failing case can be replayed in
+/// isolation from its recorded child seed without regenerating the
+/// preceding cases.
+#[must_use]
+pub fn derive_seed(master: u64, stream: u64) -> u64 {
+    let mut z = master ^ stream.wrapping_add(1).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
 /// Concrete generators.
 pub mod rngs {
     use super::{RngCore, SeedableRng};
@@ -221,5 +239,19 @@ mod tests {
     fn empty_range_panics() {
         let mut rng = StdRng::seed_from_u64(4);
         let _ = rng.random_range(3..3usize);
+    }
+
+    #[test]
+    fn derived_seeds_are_deterministic_and_distinct() {
+        let a = super::derive_seed(42, 0);
+        assert_eq!(a, super::derive_seed(42, 0));
+        // Adjacent streams and adjacent masters all diverge.
+        assert_ne!(a, super::derive_seed(42, 1));
+        assert_ne!(a, super::derive_seed(43, 0));
+        // Child streams from adjacent indices are decorrelated, not shifted
+        // copies: their first draws differ.
+        let mut r0 = StdRng::seed_from_u64(super::derive_seed(7, 10));
+        let mut r1 = StdRng::seed_from_u64(super::derive_seed(7, 11));
+        assert_ne!(r0.random::<u64>(), r1.random::<u64>());
     }
 }

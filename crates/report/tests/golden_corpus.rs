@@ -1,0 +1,122 @@
+//! Golden-corpus snapshot tests: regenerate figure CSVs and diff them
+//! against committed goldens with per-column ULP budgets
+//! (`bevra_check::compare_csv`).
+//!
+//! The corpus pins two fully deterministic artifacts:
+//!
+//! * `fig1-panel1.csv` — the adaptive utility curve (401 points of
+//!   `π(b) = 1 − e^{−b²/(κ+b)}`), regenerated through the real
+//!   `fig1()` + `write_panel_csv` pipeline;
+//! * `sweep-poisson20.csv` — a small discrete sweep (Poisson load,
+//!   `k̄ = 20`, eight capacities, both rigid and adaptive utilities)
+//!   through the memoized `SweepEngine`, covering `B`, `R`, `δ` and the
+//!   root-solved `Δ`.
+//!
+//! Budgets: the `x`/`capacity` columns are grid arithmetic and must be
+//! bitwise; utility columns get a few ULPs for libm (`exp`, `ln`) drift
+//! across toolchains; the bandwidth gap column gets a larger budget
+//! because the root finder amplifies last-ULP differences of the utility
+//! evaluations it brackets with.
+//!
+//! To re-bless after an *intentional* output change:
+//!
+//! ```text
+//! BEVRA_BLESS=1 cargo test -p bevra-report --test golden_corpus
+//! ```
+
+use bevra_core::DiscreteModel;
+use bevra_engine::{ExecMode, SweepEngine};
+use bevra_load::{Poisson, Tabulated};
+use bevra_report::csv::write_panel_csv;
+use bevra_report::figures::fig1;
+use bevra_report::series::{Panel, Series};
+use bevra_utility::{AdaptiveExp, Rigid, Utility};
+use std::path::PathBuf;
+use std::sync::Arc;
+
+fn golden_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden")
+}
+
+/// Diff `candidate` against the committed golden `name`, or rewrite the
+/// golden when `BEVRA_BLESS` is set.
+fn assert_matches_golden(name: &str, candidate: &str, budgets: &[(&str, u64)]) {
+    let path = golden_dir().join(name);
+    if std::env::var_os("BEVRA_BLESS").is_some() {
+        std::fs::create_dir_all(golden_dir()).expect("create golden dir");
+        std::fs::write(&path, candidate).expect("bless golden");
+        return;
+    }
+    let golden = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing golden {} ({e}); run with BEVRA_BLESS=1", path.display()));
+    bevra_check::compare_csv(&golden, candidate, budgets, 0)
+        .unwrap_or_else(|e| panic!("{name} drifted from golden: {e}"));
+}
+
+fn panel_csv(panel: &Panel) -> String {
+    let mut buf = Vec::new();
+    write_panel_csv(panel, &mut buf).expect("in-memory CSV write");
+    String::from_utf8(buf).expect("CSV is UTF-8")
+}
+
+#[test]
+fn fig1_utility_curve_matches_golden() {
+    let fig = fig1();
+    let csv = panel_csv(&fig.panels[0]);
+    // The curve is one exp() per cell; the x grid is exact binary
+    // arithmetic (i · 0.025 rounds identically everywhere).
+    assert_matches_golden("fig1-panel1.csv", &csv, &[("bandwidth b", 0), ("π(b)", 4)]);
+}
+
+#[test]
+fn small_sweep_matches_golden() {
+    let load = Arc::new(Tabulated::from_model(&Poisson::new(20.0), 1e-12, 1 << 12));
+    let capacities = [2.0, 5.0, 10.0, 15.0, 20.0, 40.0, 80.0, 160.0];
+    let mut series = Vec::new();
+    for (name, utility) in [
+        ("rigid", Arc::new(Rigid::unit()) as Arc<dyn Utility>),
+        ("adaptive", Arc::new(AdaptiveExp::paper()) as Arc<dyn Utility>),
+    ] {
+        let engine = SweepEngine::with_mode(
+            DiscreteModel::new(Arc::clone(&load), utility),
+            ExecMode::Serial,
+        );
+        let points = engine.sweep(&capacities);
+        let columns: [(&str, Vec<f64>); 4] = [
+            ("B", points.iter().map(|p| p.best_effort).collect()),
+            ("R", points.iter().map(|p| p.reservation).collect()),
+            ("delta", points.iter().map(|p| p.performance_gap).collect()),
+            ("Delta", points.iter().map(|p| p.bandwidth_gap).collect()),
+        ];
+        for (col, ys) in columns {
+            series.push(Series::new(format!("{name} {col}"), capacities.to_vec(), ys));
+        }
+    }
+    let panel = Panel {
+        title: "golden sweep - Poisson(20)".into(),
+        xlabel: "capacity".into(),
+        ylabel: "value".into(),
+        series,
+    };
+    let csv = panel_csv(&panel);
+    assert_matches_golden(
+        "sweep-poisson20.csv",
+        &csv,
+        &[
+            ("capacity", 0),
+            // Table sums over a few hundred cells with one exp/powi per
+            // cell: a handful of ULPs absorbs libm drift.
+            ("rigid B", 8),
+            ("rigid R", 8),
+            ("rigid delta", 8),
+            ("adaptive B", 8),
+            ("adaptive R", 8),
+            ("adaptive delta", 8),
+            // Δ comes out of a bracketing root finder on top of those
+            // sums; last-ULP input drift can move the accepted root by
+            // many ULPs without being a regression.
+            ("rigid Delta", 4096),
+            ("adaptive Delta", 4096),
+        ],
+    );
+}

@@ -85,6 +85,21 @@ impl Census {
         assert!(!self.seen_at.is_empty(), "census has observed no arrivals");
         Tabulated::from_weights(self.seen_at.iter().map(|&c| c as f64).collect())
     }
+
+    /// Fold the census's exact state — every dwell time's bit pattern,
+    /// every arrival count, the total time — into an FNV-1a accumulator.
+    /// Used by `SimReport::digest` for bitwise determinism checks.
+    pub fn digest_into(&self, hash: &mut u64) {
+        crate::stats::fnv_fold(hash, self.time_at.len() as u64);
+        for &t in &self.time_at {
+            crate::stats::fnv_fold(hash, t.to_bits());
+        }
+        crate::stats::fnv_fold(hash, self.seen_at.len() as u64);
+        for &n in &self.seen_at {
+            crate::stats::fnv_fold(hash, n);
+        }
+        crate::stats::fnv_fold(hash, self.total_time.to_bits());
+    }
 }
 
 #[cfg(test)]

@@ -115,6 +115,27 @@ impl SimReport {
     pub fn occupancy(&self) -> Tabulated {
         self.census.occupancy()
     }
+
+    /// FNV-1a digest of the report's *exact* state: every counter and the
+    /// bit patterns of every accumulated float, census included.
+    ///
+    /// Two runs of the same configuration and seed must produce equal
+    /// digests — regardless of `BEVRA_THREADS`, because batching only
+    /// distributes whole runs across workers and each run's event loop is
+    /// single-threaded. The determinism tests assert exactly that.
+    #[must_use]
+    pub fn digest(&self) -> u64 {
+        let mut hash = 0xcbf2_9ce4_8422_2325u64;
+        for word in [self.completed, self.lost, self.blocked_attempts, self.attempts, self.retries]
+        {
+            crate::stats::fnv_fold(&mut hash, word);
+        }
+        self.utility_at_admission.digest_into(&mut hash);
+        self.utility_time_avg.digest_into(&mut hash);
+        self.utility_worst.digest_into(&mut hash);
+        self.census.digest_into(&mut hash);
+        hash
+    }
 }
 
 struct FlowSlot {

@@ -1,4 +1,15 @@
-//! Streaming statistics (Welford's online mean/variance).
+//! Streaming statistics (Welford's online mean/variance) and the FNV
+//! fold used by bitwise determinism digests.
+
+/// Fold one 64-bit word into an FNV-1a accumulator (byte-wise, so the
+/// digest is stable across platforms of the same endianness-free
+/// byte decomposition).
+pub fn fnv_fold(hash: &mut u64, word: u64) {
+    for byte in word.to_le_bytes() {
+        *hash ^= u64::from(byte);
+        *hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+}
 
 /// Welford's single-pass mean and variance accumulator with a normal-theory
 /// confidence half-width helper.
@@ -62,6 +73,14 @@ impl Welford {
     #[must_use]
     pub fn ci95(&self) -> f64 {
         1.96 * self.std_error()
+    }
+
+    /// Fold the accumulator's exact state (count and the bit patterns of
+    /// mean and M₂) into an FNV-1a digest accumulator.
+    pub fn digest_into(&self, hash: &mut u64) {
+        fnv_fold(hash, self.n);
+        fnv_fold(hash, self.mean.to_bits());
+        fnv_fold(hash, self.m2.to_bits());
     }
 }
 

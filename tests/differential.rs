@@ -1,0 +1,60 @@
+//! The randomized differential verification suite: every scenario is
+//! evaluated through the workspace's redundant computation paths and the
+//! results are compared on the tolerance ladder (see
+//! `bevra_check::scenario` and EXPERIMENTS.md § "Differential
+//! verification").
+//!
+//! The master seed is the hash of the property name, so CI runs are
+//! reproducible; `BEVRA_CHECK_SEED` rotates the corpus and
+//! `BEVRA_CHECK_REPLAY=<case seed>` replays one failing case. The
+//! long-running randomized driver (`cargo run --release -p bevra-check
+//! --bin check-sweep`) runs this exact oracle time-boxed instead of
+//! case-counted.
+
+use bevra_check::{check_scenario, check_scenario_sim, Checker, LoadFamily, Scenario,
+                  ScenarioStrategy, UtilityFamily};
+
+/// Analytic rungs (discrete model vs memoized engine vs parallel engine
+/// vs continuum closed forms) over a randomized scenario corpus. Each
+/// scenario costs a few milliseconds in release but tens in debug, so the
+/// ambient case count is divided down; `BEVRA_CHECK_CASES` still scales
+/// it for soak runs.
+#[test]
+fn randomized_scenarios_pass_the_analytic_ladder() {
+    Checker::new("differential_analytic_ladder")
+        .scale_cases(8)
+        .run(&ScenarioStrategy::default(), check_scenario);
+}
+
+/// The Monte Carlo rung on a small fixed panel: the simulator's measured
+/// admission-time utility must match the analytic `B(C)` evaluated on the
+/// run's own empirical occupancy (PASTA), within a CLT band. The panel is
+/// fixed rather than randomized because each run costs a simulation; the
+/// `check-sweep` driver covers the randomized version.
+#[test]
+fn sim_rung_matches_analytic_on_fixed_panel() {
+    let panel = [
+        Scenario {
+            loads: vec![LoadFamily::Poisson { mean: 25.0 }],
+            utility: UtilityFamily::Adaptive,
+            capacities: vec![25.0],
+            admission_cap: None,
+        },
+        Scenario {
+            loads: vec![LoadFamily::Exponential { mean: 20.0 }],
+            utility: UtilityFamily::Rigid,
+            capacities: vec![30.0],
+            admission_cap: None,
+        },
+        Scenario {
+            loads: vec![LoadFamily::Algebraic { z: 2.5, mean: 15.0 }],
+            utility: UtilityFamily::Ramp { a: 0.3 },
+            capacities: vec![18.0],
+            admission_cap: None,
+        },
+    ];
+    for (i, sc) in panel.iter().enumerate() {
+        let seed = rand::derive_seed(0xD1FF, i as u64);
+        check_scenario_sim(sc, seed).unwrap_or_else(|e| panic!("panel[{i}] {sc:?}: {e}"));
+    }
+}

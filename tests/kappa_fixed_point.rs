@@ -1,0 +1,58 @@
+//! Regression pin on the paper's adaptive-utility constant κ = 0.62086.
+//!
+//! Section 3.2 of the paper chooses κ in `π(r) = 1 − e^{−κr}` so that a
+//! reservation system prefers to admit flows right up to `k = C`: the
+//! per-capacity optimum `k_max(C) = argmax_k k·π(C/k)` lands exactly on
+//! the capacity. That fixed point is what makes the best-effort versus
+//! reservation comparison of the two disciplines "fair" — neither is
+//! handicapped by a utility that wants more or fewer flows than the link
+//! nominally fits. These tests pin the property across four decades of
+//! capacity and verify it is *sharp*: nudging κ by ±10⁻³ already tips
+//! `k_max(1000)` off 1000, so any future drift in the constant (or in the
+//! argmax search it feeds) fails loudly.
+
+use bevra::analysis::DiscreteModel;
+use bevra::load::{Poisson, Tabulated};
+use bevra::utility::AdaptiveExp;
+
+/// `k_max(C)` for an `AdaptiveExp(kappa)` utility under a load whose tail
+/// reaches far past `C`, so the argmax is interior and load-independent.
+fn k_max(kappa: f64, capacity: f64) -> u64 {
+    // k_max depends only on the utility's V(k) = k·π(C/k); the load table
+    // just has to put mass above the candidate range. Mean 2C does that
+    // for every capacity probed here.
+    let load = Tabulated::from_model(&Poisson::new(2.0 * capacity), 1e-12, 1 << 14);
+    DiscreteModel::new(load, AdaptiveExp::new(kappa))
+        .k_max(capacity)
+        .unwrap_or_else(|| panic!("k_max(kappa={kappa}, C={capacity}) must exist"))
+}
+
+const PAPER_KAPPA: f64 = 0.62086;
+
+#[test]
+fn paper_kappa_puts_k_max_on_the_capacity() {
+    for c in [1.0_f64, 10.0, 100.0, 1000.0] {
+        assert_eq!(
+            k_max(PAPER_KAPPA, c),
+            c.round() as u64,
+            "kappa = {PAPER_KAPPA} must give k_max(C) = C at C = {c}"
+        );
+    }
+    // The constructor's `paper()` preset is the same constant.
+    assert_eq!(AdaptiveExp::paper().kappa, PAPER_KAPPA);
+}
+
+#[test]
+fn kappa_pin_is_sharp_to_a_part_in_a_thousand() {
+    // At C = 1000 the argmax resolves κ to better than ±1e-3: a larger κ
+    // saturates utility sooner, so fewer flows maximize k·π(C/k); a
+    // smaller κ rewards admitting extra flows.
+    assert!(
+        k_max(PAPER_KAPPA + 1e-3, 1000.0) < 1000,
+        "kappa + 1e-3 must pull k_max(1000) below 1000"
+    );
+    assert!(
+        k_max(PAPER_KAPPA - 1e-3, 1000.0) > 1000,
+        "kappa - 1e-3 must push k_max(1000) above 1000"
+    );
+}

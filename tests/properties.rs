@@ -1,246 +1,249 @@
-//! Randomized property tests on the workspace's core invariants.
+//! Randomized property tests on the workspace's core invariants, run on
+//! the `bevra-check` framework.
 //!
-//! Formerly written with `proptest`; the offline build environment cannot
-//! fetch it, so each property is now a deterministic loop over seeded
-//! random inputs from the workspace's own `rand` stand-in. No shrinking,
-//! but every failure message carries the concrete inputs, and the case
-//! count per property (`CASES`) matches proptest's default of 256.
+//! Formerly hand-rolled seeded loops (and before that `proptest`, which
+//! the offline build cannot fetch). Each property now gets:
+//!
+//! - a master seed hashed from its name (override: `BEVRA_CHECK_SEED`),
+//! - the ambient case count (default 256, override: `BEVRA_CHECK_CASES`;
+//!   expensive properties divide it with `scale_cases`),
+//! - automatic counterexample shrinking, and a replay line
+//!   (`BEVRA_CHECK_REPLAY=<case seed>`) in every failure message,
+//! - failure records appended to `results/check-failures.jsonl`.
 
 use bevra::analysis::DiscreteModel;
 use bevra::load::{clip_at, flow_perspective, max_of_s, Geometric, Poisson, Tabulated};
 use bevra::net::{max_min_allocation, FlowSpec, Topology};
 use bevra::num::{bisect, brent};
 use bevra::utility::{AdaptiveExp, Ramp, Rigid, Saturating, Utility};
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use bevra_check::{choice, ensure, int_range, uniform, vec_of, Checker};
 
-const CASES: usize = 256;
-
-/// Uniform draw from `[lo, hi)`.
-fn uniform(rng: &mut StdRng, lo: f64, hi: f64) -> f64 {
-    lo + (hi - lo) * rng.random::<f64>()
+/// Weight-vector strategy: 2–39 entries in `[0, 10)` (mirrors the old
+/// `arb_weights`). Element-wise shrinking pulls entries toward 0, so a
+/// counterexample's irrelevant weights vanish; the all-zero vector the
+/// shrinker could reach is not tabulatable and is treated as vacuous.
+fn weights() -> impl bevra_check::Strategy<Value = Vec<f64>> {
+    vec_of(uniform(0.0, 10.0).shrink_toward(&[0.0]), 2, 39)
 }
 
-/// Weight vector of 2–39 entries in `[0, 10)` with at least one positive
-/// weight (mirrors the old `arb_weights` strategy).
-fn arb_weights(rng: &mut StdRng) -> Vec<f64> {
-    loop {
-        let len = rng.random_range(2..40usize);
-        let w: Vec<f64> = (0..len).map(|_| uniform(rng, 0.0, 10.0)).collect();
-        if w.iter().sum::<f64>() > 1e-9 {
-            return w;
-        }
-    }
+/// `Tabulated::from_weights` needs some mass; degenerate vectors pass
+/// vacuously (the generator essentially never produces them — this only
+/// keeps the shrinker from crossing into panics).
+fn tabulate(w: &[f64]) -> Option<Tabulated> {
+    (w.iter().sum::<f64>() > 1e-9).then(|| Tabulated::from_weights(w.to_vec()))
 }
 
 #[test]
 fn utilities_are_monotone_bounded() {
-    let mut rng = StdRng::seed_from_u64(0x9d01);
-    for _ in 0..CASES {
-        let kappa = uniform(&mut rng, 0.05, 5.0);
-        let b1 = uniform(&mut rng, 0.0, 50.0);
-        let b2 = uniform(&mut rng, 0.0, 50.0);
-        let (lo, hi) = if b1 <= b2 { (b1, b2) } else { (b2, b1) };
-        let u = AdaptiveExp::new(kappa);
-        assert!(u.value(lo) <= u.value(hi) + 1e-12, "kappa={kappa} lo={lo} hi={hi}");
-        assert!((0.0..=1.0).contains(&u.value(hi)), "kappa={kappa} hi={hi}");
-        let s = Saturating::new(kappa);
-        assert!(s.value(lo) <= s.value(hi) + 1e-12, "kappa={kappa} lo={lo} hi={hi}");
-    }
+    Checker::new("utilities_are_monotone_bounded").run(
+        &(uniform(0.05, 5.0), uniform(0.0, 50.0), uniform(0.0, 50.0)),
+        |&(kappa, b1, b2)| {
+            let (lo, hi) = if b1 <= b2 { (b1, b2) } else { (b2, b1) };
+            let u = AdaptiveExp::new(kappa);
+            ensure(u.value(lo) <= u.value(hi) + 1e-12, || {
+                format!("AdaptiveExp({kappa}) not monotone on [{lo}, {hi}]")
+            })?;
+            ensure((0.0..=1.0).contains(&u.value(hi)), || {
+                format!("AdaptiveExp({kappa})({hi}) out of [0, 1]")
+            })?;
+            let s = Saturating::new(kappa);
+            ensure(s.value(lo) <= s.value(hi) + 1e-12, || {
+                format!("Saturating({kappa}) not monotone on [{lo}, {hi}]")
+            })
+        },
+    );
 }
 
 #[test]
 fn ramp_h_coefficient_in_range() {
-    let mut rng = StdRng::seed_from_u64(0x9d02);
-    for _ in 0..CASES {
-        let a = uniform(&mut rng, 0.01, 1.0);
-        let z = uniform(&mut rng, 2.05, 6.0);
-        // 1 ≤ H(a, z) ≤ z − 1, monotone in a.
-        let h = Ramp::new(a).h_coefficient(z);
-        assert!(h >= 1.0 - 1e-12, "a={a} z={z} h={h}");
-        assert!(h <= z - 1.0 + 1e-9, "a={a} z={z} h={h}");
-        let h2 = Ramp::new((a * 0.5).max(1e-6)).h_coefficient(z);
-        assert!(h2 <= h + 1e-9, "a={a} z={z}: {h2} > {h}");
-    }
+    Checker::new("ramp_h_coefficient_in_range").run(
+        &(uniform(0.01, 1.0), uniform(2.05, 6.0)),
+        |&(a, z)| {
+            // 1 ≤ H(a, z) ≤ z − 1, monotone in a.
+            let h = Ramp::new(a).h_coefficient(z);
+            ensure(h >= 1.0 - 1e-12, || format!("H({a}, {z}) = {h} < 1"))?;
+            ensure(h <= z - 1.0 + 1e-9, || format!("H({a}, {z}) = {h} > z - 1"))?;
+            let h2 = Ramp::new((a * 0.5).max(1e-6)).h_coefficient(z);
+            ensure(h2 <= h + 1e-9, || format!("H not monotone in a at ({a}, {z}): {h2} > {h}"))
+        },
+    );
 }
 
 #[test]
 fn tabulated_invariants() {
-    let mut rng = StdRng::seed_from_u64(0x9d03);
-    for _ in 0..CASES {
-        let weights = arb_weights(&mut rng);
-        let t = Tabulated::from_weights(weights.clone());
+    Checker::new("tabulated_invariants").run(&weights(), |w| {
+        let Some(t) = tabulate(w) else { return Ok(()) };
         // Mass exactly 1; cdf monotone to 1; moments consistent.
         let mass: f64 = t.iter().map(|(_, p)| p).sum();
-        assert!((mass - 1.0).abs() < 1e-9, "weights={weights:?}");
+        ensure((mass - 1.0).abs() < 1e-9, || format!("mass {mass} != 1"))?;
         let mut prev = 0.0;
         for k in 0..t.len() as u64 {
-            assert!(t.cdf(k) + 1e-12 >= prev, "weights={weights:?} k={k}");
+            ensure(t.cdf(k) + 1e-12 >= prev, || format!("cdf not monotone at k={k}"))?;
             prev = t.cdf(k);
-            assert!(
-                (t.partial_mean(k) + t.tail_mean_above(k) - t.mean()).abs() < 1e-9,
-                "weights={weights:?} k={k}"
-            );
+            let split = t.partial_mean(k) + t.tail_mean_above(k);
+            ensure((split - t.mean()).abs() < 1e-9, || {
+                format!("partial_mean + tail_mean_above != mean at k={k}")
+            })?;
         }
-        assert_eq!(t.cdf(t.len() as u64 - 1), 1.0, "weights={weights:?}");
-    }
+        ensure(t.cdf(t.len() as u64 - 1) == 1.0, || "cdf does not reach 1".to_string())
+    });
 }
 
 #[test]
 fn quantiles_invert_cdf() {
-    let mut rng = StdRng::seed_from_u64(0x9d04);
-    for _ in 0..CASES {
-        let weights = arb_weights(&mut rng);
-        let q = rng.random::<f64>();
-        let t = Tabulated::from_weights(weights.clone());
+    Checker::new("quantiles_invert_cdf").run(&(weights(), uniform(0.0, 1.0)), |&(ref w, q)| {
+        let Some(t) = tabulate(w) else { return Ok(()) };
         let k = t.quantile(q);
-        assert!(t.cdf(k) >= q - 1e-12, "weights={weights:?} q={q}");
-        if k > 0 {
-            assert!(t.cdf(k - 1) < q + 1e-12, "weights={weights:?} q={q}");
-        }
-    }
+        ensure(t.cdf(k) >= q - 1e-12, || format!("cdf(quantile({q})) = {} < q", t.cdf(k)))?;
+        ensure(k == 0 || t.cdf(k - 1) < q + 1e-12, || format!("quantile({q}) = {k} not minimal"))
+    });
 }
 
 #[test]
 fn max_of_s_dominates() {
-    let mut rng = StdRng::seed_from_u64(0x9d05);
-    for _ in 0..CASES {
-        let weights = arb_weights(&mut rng);
-        let s = rng.random_range(1..6u32);
-        let base = Tabulated::from_weights(weights.clone());
-        let m = max_of_s(&base, s);
+    Checker::new("max_of_s_dominates").run(&(weights(), int_range(1, 5)), |&(ref w, s)| {
+        let Some(base) = tabulate(w) else { return Ok(()) };
+        let m = max_of_s(&base, s as u32);
         // Stochastic dominance: F_max(k) ≤ F(k); equality at the top.
         for k in 0..base.len() as u64 {
-            assert!(m.cdf(k) <= base.cdf(k) + 1e-12, "weights={weights:?} s={s} k={k}");
+            ensure(m.cdf(k) <= base.cdf(k) + 1e-12, || {
+                format!("max-of-{s} cdf above base at k={k}")
+            })?;
         }
-        assert!(m.mean() + 1e-12 >= base.mean(), "weights={weights:?} s={s}");
-    }
+        ensure(m.mean() + 1e-12 >= base.mean(), || {
+            format!("max-of-{s} mean {} below base {}", m.mean(), base.mean())
+        })
+    });
 }
 
 #[test]
 fn clipping_preserves_mass_and_caps_mean() {
-    let mut rng = StdRng::seed_from_u64(0x9d06);
-    for _ in 0..CASES {
-        let weights = arb_weights(&mut rng);
-        let cap = rng.random_range(0..40u64);
-        let base = Tabulated::from_weights(weights.clone());
-        let c = clip_at(&base, cap);
-        let mass: f64 = c.iter().map(|(_, p)| p).sum();
-        assert!((mass - 1.0).abs() < 1e-9, "weights={weights:?} cap={cap}");
-        assert!(c.mean() <= base.mean() + 1e-9, "weights={weights:?} cap={cap}");
-        assert!(
-            c.len() as u64 <= cap.min(base.len() as u64 - 1) + 1,
-            "weights={weights:?} cap={cap}"
-        );
-    }
+    Checker::new("clipping_preserves_mass_and_caps_mean").run(
+        &(weights(), int_range(0, 39)),
+        |&(ref w, cap)| {
+            let Some(base) = tabulate(w) else { return Ok(()) };
+            let c = clip_at(&base, cap);
+            let mass: f64 = c.iter().map(|(_, p)| p).sum();
+            ensure((mass - 1.0).abs() < 1e-9, || format!("clip_at({cap}) mass {mass} != 1"))?;
+            ensure(c.mean() <= base.mean() + 1e-9, || {
+                format!("clip_at({cap}) raised the mean")
+            })?;
+            ensure(c.len() as u64 <= cap.min(base.len() as u64 - 1) + 1, || {
+                format!("clip_at({cap}) support too long: {}", c.len())
+            })
+        },
+    );
 }
 
 #[test]
 fn flow_perspective_size_bias() {
-    let mut rng = StdRng::seed_from_u64(0x9d07);
-    for _ in 0..CASES {
-        let mean = uniform(&mut rng, 2.0, 40.0);
+    Checker::new("flow_perspective_size_bias").run(&uniform(2.0, 40.0), |&mean| {
         let p = Tabulated::from_model(&Poisson::new(mean), 1e-10, 1 << 14);
         let q = flow_perspective(&p);
         // E_Q[k] = E_P[k²]/E_P[k] ≥ E_P[k].
-        assert!(q.mean() >= p.mean() - 1e-9, "mean={mean}");
-        assert_eq!(q.pmf(0), 0.0, "mean={mean}");
-    }
+        ensure(q.mean() >= p.mean() - 1e-9, || {
+            format!("size-biased mean {} below base {}", q.mean(), p.mean())
+        })?;
+        ensure(q.pmf(0) == 0.0, || "flow perspective puts mass on k=0".to_string())
+    });
 }
 
 #[test]
 fn reservation_dominates_best_effort() {
-    let mut rng = StdRng::seed_from_u64(0x9d08);
     // Table construction dominates the runtime; a reduced case count keeps
     // the whole suite fast while still sweeping the parameter box.
-    for _ in 0..CASES / 4 {
-        let mean = uniform(&mut rng, 5.0, 60.0);
-        let c = uniform(&mut rng, 1.0, 200.0);
-        let rigid: bool = rng.random();
-        let load = Tabulated::from_model(&Geometric::from_mean(mean), 1e-9, 1 << 14);
-        let (b, r) = if rigid {
-            let m = DiscreteModel::new(load, Rigid::unit());
-            (m.best_effort(c), m.reservation(c))
-        } else {
-            let m = DiscreteModel::new(load, AdaptiveExp::paper());
-            (m.best_effort(c), m.reservation(c))
-        };
-        assert!(r >= b - 1e-9, "mean={mean} c={c} rigid={rigid}: R {r} < B {b}");
-        assert!((0.0..=1.0 + 1e-9).contains(&b), "mean={mean} c={c} rigid={rigid}");
-        assert!((0.0..=1.0 + 1e-9).contains(&r), "mean={mean} c={c} rigid={rigid}");
-    }
+    Checker::new("reservation_dominates_best_effort").scale_cases(4).run(
+        &(
+            uniform(5.0, 60.0),
+            uniform(1.0, 200.0).shrink_toward(&[1.0]),
+            choice(vec![true, false]),
+        ),
+        |&(mean, c, rigid)| {
+            let load = Tabulated::from_model(&Geometric::from_mean(mean), 1e-9, 1 << 14);
+            let (b, r) = if rigid {
+                let m = DiscreteModel::new(load, Rigid::unit());
+                (m.best_effort(c), m.reservation(c))
+            } else {
+                let m = DiscreteModel::new(load, AdaptiveExp::paper());
+                (m.best_effort(c), m.reservation(c))
+            };
+            ensure(r >= b - 1e-9, || format!("mean={mean} c={c} rigid={rigid}: R {r} < B {b}"))?;
+            ensure((0.0..=1.0 + 1e-9).contains(&b), || format!("B {b} out of range"))?;
+            ensure((0.0..=1.0 + 1e-9).contains(&r), || format!("R {r} out of range"))
+        },
+    );
 }
 
 #[test]
 fn best_effort_monotone_in_capacity() {
-    let mut rng = StdRng::seed_from_u64(0x9d09);
-    for _ in 0..CASES / 4 {
-        let mean = uniform(&mut rng, 5.0, 40.0);
-        let c = uniform(&mut rng, 1.0, 150.0);
-        let dc = uniform(&mut rng, 0.1, 50.0);
-        let load = Tabulated::from_model(&Poisson::new(mean), 1e-10, 1 << 14);
-        let m = DiscreteModel::new(load, AdaptiveExp::paper());
-        assert!(
-            m.best_effort(c + dc) + 1e-12 >= m.best_effort(c),
-            "mean={mean} c={c} dc={dc}"
-        );
-    }
+    Checker::new("best_effort_monotone_in_capacity").scale_cases(4).run(
+        &(uniform(5.0, 40.0), uniform(1.0, 150.0), uniform(0.1, 50.0)),
+        |&(mean, c, dc)| {
+            let load = Tabulated::from_model(&Poisson::new(mean), 1e-10, 1 << 14);
+            let m = DiscreteModel::new(load, AdaptiveExp::paper());
+            ensure(m.best_effort(c + dc) + 1e-12 >= m.best_effort(c), || {
+                format!("B not monotone: mean={mean} c={c} dc={dc}")
+            })
+        },
+    );
 }
 
 #[test]
 fn maxmin_is_feasible_and_positive() {
-    let mut rng = StdRng::seed_from_u64(0x9d0a);
-    for _ in 0..CASES {
-        let n_links = rng.random_range(1..5usize);
-        let caps: Vec<f64> = (0..n_links).map(|_| uniform(&mut rng, 1.0, 20.0)).collect();
-        let n_flows = rng.random_range(1..12usize);
-        let t = Topology::new(caps.clone());
-        let flows: Vec<FlowSpec> = (0..n_flows)
-            .map(|_| FlowSpec::unit(vec![rng.random_range(0..5usize) % n_links]))
-            .collect();
-        let rates = max_min_allocation(&t, &flows);
-        for (l, &cap) in caps.iter().enumerate() {
-            let used: f64 = flows
-                .iter()
-                .zip(&rates)
-                .filter(|(f, _)| f.route.contains(&l))
-                .map(|(_, &r)| r)
-                .sum();
-            assert!(used <= cap + 1e-9, "caps={caps:?} link {l} overloaded: {used} > {cap}");
-        }
-        for &r in &rates {
-            assert!(r > 0.0, "caps={caps:?}: every flow gets a positive rate");
-        }
-    }
+    Checker::new("maxmin_is_feasible_and_positive").run(
+        &(vec_of(uniform(1.0, 20.0), 1, 4), vec_of(int_range(0, 4), 1, 11)),
+        |(caps, routes)| {
+            let n_links = caps.len();
+            let t = Topology::new(caps.clone());
+            let flows: Vec<FlowSpec> =
+                routes.iter().map(|&l| FlowSpec::unit(vec![l as usize % n_links])).collect();
+            let rates = max_min_allocation(&t, &flows);
+            for (l, &cap) in caps.iter().enumerate() {
+                let used: f64 = flows
+                    .iter()
+                    .zip(&rates)
+                    .filter(|(f, _)| f.route.contains(&l))
+                    .map(|(_, &r)| r)
+                    .sum();
+                ensure(used <= cap + 1e-9, || {
+                    format!("caps={caps:?} link {l} overloaded: {used} > {cap}")
+                })?;
+            }
+            ensure(rates.iter().all(|&r| r > 0.0), || {
+                format!("caps={caps:?}: some flow got a nonpositive rate")
+            })
+        },
+    );
 }
 
 #[test]
 fn brent_and_bisect_agree() {
-    let mut rng = StdRng::seed_from_u64(0x9d0b);
-    for _ in 0..CASES {
-        let a = uniform(&mut rng, -5.0, -0.5);
-        let b = uniform(&mut rng, 0.5, 5.0);
-        let shift = uniform(&mut rng, -0.4, 0.4);
-        // Monotone cubic with a root strictly inside (a, b).
-        let f = |x: f64| (x - shift) * ((x - shift) * (x - shift) + 1.0);
-        let r1 = brent(f, a, b, 1e-12).unwrap();
-        let r2 = bisect(f, a, b, 1e-12).unwrap();
-        assert!((r1 - shift).abs() < 1e-8, "a={a} b={b} shift={shift}");
-        assert!((r1 - r2).abs() < 1e-6, "a={a} b={b} shift={shift}");
-    }
+    Checker::new("brent_and_bisect_agree").run(
+        &(uniform(-5.0, -0.5), uniform(0.5, 5.0), uniform(-0.4, 0.4).shrink_toward(&[0.0])),
+        |&(a, b, shift)| {
+            // Monotone cubic with a root strictly inside (a, b).
+            let f = |x: f64| (x - shift) * ((x - shift) * (x - shift) + 1.0);
+            let r1 = brent(f, a, b, 1e-12).map_err(|e| format!("brent: {e:?}"))?;
+            let r2 = bisect(f, a, b, 1e-12).map_err(|e| format!("bisect: {e:?}"))?;
+            ensure((r1 - shift).abs() < 1e-8, || {
+                format!("brent missed the root: {r1} vs {shift}")
+            })?;
+            ensure((r1 - r2).abs() < 1e-6, || format!("brent {r1} and bisect {r2} disagree"))
+        },
+    );
 }
 
 #[test]
 fn blocking_fraction_decreases_in_capacity() {
-    let mut rng = StdRng::seed_from_u64(0x9d0c);
-    for _ in 0..CASES / 4 {
-        let mean = uniform(&mut rng, 5.0, 40.0);
-        let c = uniform(&mut rng, 5.0, 100.0);
-        let load = Tabulated::from_model(&Geometric::from_mean(mean), 1e-9, 1 << 14);
-        let m = DiscreteModel::new(load, Rigid::unit());
-        let th1 = m.blocking_fraction(c);
-        let th2 = m.blocking_fraction(c + 10.0);
-        assert!(th2 <= th1 + 1e-9, "mean={mean} c={c}: {th2} > {th1}");
-        assert!((0.0..=1.0).contains(&th1), "mean={mean} c={c}");
-    }
+    Checker::new("blocking_fraction_decreases_in_capacity").scale_cases(4).run(
+        &(uniform(5.0, 40.0), uniform(5.0, 100.0)),
+        |&(mean, c)| {
+            let load = Tabulated::from_model(&Geometric::from_mean(mean), 1e-9, 1 << 14);
+            let m = DiscreteModel::new(load, Rigid::unit());
+            let th1 = m.blocking_fraction(c);
+            let th2 = m.blocking_fraction(c + 10.0);
+            ensure(th2 <= th1 + 1e-9, || format!("mean={mean} c={c}: {th2} > {th1}"))?;
+            ensure((0.0..=1.0).contains(&th1), || format!("blocking {th1} out of [0, 1]"))
+        },
+    );
 }
