@@ -17,6 +17,7 @@ fn sim_benches(c: &mut Criterion) {
         warmup: 10.0,
         horizon: 500.0,
         seed: 1,
+        max_events: None,
     };
     c.bench_function("sim_mm_infty_500tu", |b| {
         b.iter(|| black_box(Simulation::new(cfg.clone()).run()));

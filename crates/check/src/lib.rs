@@ -43,6 +43,7 @@
 //! [`DiscreteModel`]: bevra_core::DiscreteModel
 //! [`Checker`]: runner::Checker
 
+pub mod chaos;
 pub mod diff;
 pub mod golden;
 pub mod persist;
@@ -50,6 +51,7 @@ pub mod runner;
 pub mod scenario;
 pub mod strategy;
 
+pub use chaos::{run_case as run_chaos_case, silence_injected_panics, ChaosStats};
 pub use diff::{ulp_distance, Tolerance};
 pub use golden::compare_csv;
 pub use persist::FailureRecord;

@@ -519,6 +519,7 @@ pub fn check_scenario_sim(sc: &Scenario, seed: u64) -> Result<(), String> {
         warmup: 100.0,
         horizon: 3_000.0,
         seed,
+        max_events: None,
     };
     let rep = Simulation::new(cfg).run();
     if rep.completed == 0 {

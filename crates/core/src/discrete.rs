@@ -93,6 +93,17 @@ impl<U: Utility> DiscreteModel<U> {
         if capacity <= 0.0 {
             return 0.0;
         }
+        // Fault-injection site: a `nan:eval/best_effort` or `inf:...` rule
+        // (keyed by the capacity's bit pattern) corrupts the returned
+        // value; with no plan active this is the identity, bit-exact.
+        bevra_faults::corrupt_f64(
+            "eval/best_effort",
+            capacity.to_bits(),
+            self.best_effort_uninstrumented(capacity),
+        )
+    }
+
+    fn best_effort_uninstrumented(&self, capacity: f64) -> f64 {
         let kbar = self.load.mean();
         let mut acc = NeumaierSum::new();
         let len = self.load.len() as u64;
@@ -134,6 +145,15 @@ impl<U: Utility> DiscreteModel<U> {
     /// admission policy — which is exactly how footnote 9's chosen-cap
     /// studies use it.
     pub fn reservation_with_kmax(&self, capacity: f64, kmax: Option<u64>) -> f64 {
+        // Fault-injection site, mirroring `best_effort` (`eval/reservation`).
+        bevra_faults::corrupt_f64(
+            "eval/reservation",
+            capacity.to_bits(),
+            self.reservation_with_kmax_uninstrumented(capacity, kmax),
+        )
+    }
+
+    fn reservation_with_kmax_uninstrumented(&self, capacity: f64, kmax: Option<u64>) -> f64 {
         if capacity <= 0.0 {
             return 0.0;
         }

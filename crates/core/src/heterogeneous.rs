@@ -206,7 +206,7 @@ pub fn mix_loads(components: &[(f64, &Tabulated)]) -> Tabulated {
     assert!(!components.is_empty(), "need at least one component");
     let total_w: f64 = components.iter().map(|(w, _)| *w).sum();
     assert!(total_w > 0.0, "mixture weights must be positive");
-    let len = components.iter().map(|(_, t)| t.len()).max().expect("nonempty");
+    let len = components.iter().map(|(_, t)| t.len()).max().unwrap_or(0); // asserted non-empty above
     let mut weights = vec![0.0f64; len];
     for (w, t) in components {
         for (k, p) in t.iter() {

@@ -27,7 +27,7 @@ use bevra_load::{Algebraic, Geometric, Poisson, Tabulated};
 use bevra_num::{brent, expand_bracket_up, fixed_point, NumResult};
 use bevra_utility::Utility;
 use std::collections::HashMap;
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, PoisonError};
 
 /// A family of load distributions parameterized by their mean — the paper's
 /// "the retries obey the same basic distribution" assumption. Families are
@@ -76,13 +76,13 @@ macro_rules! cached_family {
             fn make(&self, mean: f64) -> Arc<Tabulated> {
                 let key = quantize(mean);
                 let mean_q = key as f64 / 1e4;
-                if let Some(hit) = self.cache.lock().expect("cache lock").get(&key) {
+                if let Some(hit) = self.cache.lock().unwrap_or_else(PoisonError::into_inner).get(&key) {
                     return Arc::clone(hit);
                 }
                 #[allow(clippy::redundant_closure_call)]
                 let built: Arc<Tabulated> =
                     Arc::new(($builder)(mean_q, self.tol, self.max_len));
-                let mut cache = self.cache.lock().expect("cache lock");
+                let mut cache = self.cache.lock().unwrap_or_else(PoisonError::into_inner);
                 if cache.len() >= CACHE_CAP {
                     cache.clear();
                 }
@@ -140,13 +140,14 @@ impl LoadFamily for AlgebraicFamily {
     fn make(&self, mean: f64) -> Arc<Tabulated> {
         let key = quantize(mean);
         let mean_q = key as f64 / 1e4;
-        if let Some(hit) = self.cache.lock().expect("cache lock").get(&key) {
+        if let Some(hit) = self.cache.lock().unwrap_or_else(PoisonError::into_inner).get(&key) {
             return Arc::clone(hit);
         }
-        let model = Algebraic::from_mean(self.z, mean_q)
-            .expect("algebraic family mean must be achievable");
+        let model = Algebraic::from_mean(self.z, mean_q).unwrap_or_else(|e| {
+            panic!("algebraic family mean {mean_q} unachievable at z = {z}: {e:?}", z = self.z)
+        });
         let built = Arc::new(Tabulated::from_model(&model, self.tol, self.max_len));
-        let mut cache = self.cache.lock().expect("cache lock");
+        let mut cache = self.cache.lock().unwrap_or_else(PoisonError::into_inner);
         if cache.len() >= CACHE_CAP {
             cache.clear();
         }

@@ -14,7 +14,7 @@
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, MutexGuard, PoisonError};
 
 const SHARDS: usize = 16;
 
@@ -72,6 +72,15 @@ impl<V> ShardedCache<V> {
         &self.shards[(h >> 60) as usize % SHARDS]
     }
 
+    /// Lock a shard, recovering from poisoning. Sound because shards only
+    /// ever hold complete entries: values are computed outside the lock
+    /// and inserted whole, so a panicked (or fault-injected) worker can't
+    /// leave a half-written map behind — isolated sweeps keep using the
+    /// caches after one point panics.
+    fn lock_shard(s: &Mutex<HashMap<u64, V>>) -> MutexGuard<'_, HashMap<u64, V>> {
+        s.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
     /// Current hit/miss counters.
     pub fn stats(&self) -> CacheStats {
         CacheStats {
@@ -82,7 +91,7 @@ impl<V> ShardedCache<V> {
 
     /// Total entries across all shards.
     pub fn len(&self) -> usize {
-        self.shards.iter().map(|s| s.lock().expect("cache shard poisoned").len()).sum()
+        self.shards.iter().map(|s| Self::lock_shard(s).len()).sum()
     }
 
     /// Whether the cache holds no entries.
@@ -93,7 +102,7 @@ impl<V> ShardedCache<V> {
     /// Drop all entries (counters are kept).
     pub fn clear(&self) {
         for s in &self.shards {
-            s.lock().expect("cache shard poisoned").clear();
+            Self::lock_shard(s).clear();
         }
     }
 }
@@ -105,18 +114,13 @@ impl<V: Clone> ShardedCache<V> {
     /// same missing key the first insertion wins and both observe it
     /// (identical by purity of `compute`).
     pub fn get_or_insert_with(&self, key: u64, compute: impl FnOnce() -> V) -> V {
-        if let Some(v) = self.shard(key).lock().expect("cache shard poisoned").get(&key) {
+        if let Some(v) = Self::lock_shard(self.shard(key)).get(&key) {
             self.hits.fetch_add(1, Ordering::Relaxed);
             return v.clone();
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
         let fresh = compute();
-        self.shard(key)
-            .lock()
-            .expect("cache shard poisoned")
-            .entry(key)
-            .or_insert(fresh)
-            .clone()
+        Self::lock_shard(self.shard(key)).entry(key).or_insert(fresh).clone()
     }
 }
 
@@ -170,6 +174,27 @@ mod tests {
         assert_eq!(cache.len(), 1000);
         let stats = cache.stats();
         assert_eq!(stats.hits + stats.misses, 8000);
+    }
+
+    #[test]
+    fn poisoned_shard_recovers_with_contents() {
+        let cache: ShardedCache<u64> = ShardedCache::new();
+        cache.get_or_insert_with(3, || 30);
+        // Poison the shard holding key 3 from a panicking thread.
+        let _ = std::thread::scope(|s| {
+            s.spawn(|| {
+                let _guard = cache.shard(3).lock().expect("first lock");
+                panic!("poison shard");
+            })
+            .join()
+        });
+        assert!(cache.shard(3).lock().is_err(), "shard is poisoned");
+        // Reads and writes keep working; the pre-poison entry survives.
+        assert_eq!(cache.get_or_insert_with(3, || 999), 30);
+        assert_eq!(cache.get_or_insert_with(4, || 40), 40);
+        assert!(cache.len() >= 2);
+        cache.clear();
+        assert!(cache.is_empty());
     }
 
     #[test]

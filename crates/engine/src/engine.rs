@@ -2,8 +2,8 @@
 //! capacity and price sweeps.
 
 use crate::cache::{f64_key, CacheStats, ShardedCache};
-use crate::instrument::span;
-use crate::pool::{parallel_map_with, thread_count};
+use crate::instrument::{span, SweepHealth};
+use crate::pool::{parallel_map_isolated, parallel_map_with, thread_count, ItemError};
 use bevra_core::welfare::SampledValue;
 use bevra_core::{equalizing_price_ratio, DiscreteModel};
 use bevra_num::{brent, expand_bracket_up, NumError, NumResult};
@@ -78,6 +78,69 @@ pub struct SweepPoint {
     /// Bandwidth gap `Δ(C)` solving `B(C + Δ) = R(C)`; NaN if the solver
     /// could not bracket a root (pathologically truncated tables only).
     pub bandwidth_gap: f64,
+}
+
+/// What one grid point of a checked sweep produced.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PointOutcome {
+    /// The point evaluated (possibly with non-finite fields, which the
+    /// sweep's [`SweepHealth`] counts as degraded).
+    Ok(SweepPoint),
+    /// The point produced no value: its worker panicked twice (initial
+    /// try plus the bounded serial retry) or its result slot was lost.
+    Failed {
+        /// The capacity that failed.
+        capacity: f64,
+        /// The grid index that failed.
+        index: usize,
+        /// Human-readable failure cause (panic message or slot loss).
+        cause: String,
+    },
+}
+
+impl PointOutcome {
+    /// The evaluated point, if the outcome is [`PointOutcome::Ok`].
+    #[must_use]
+    pub fn point(&self) -> Option<&SweepPoint> {
+        match self {
+            PointOutcome::Ok(p) => Some(p),
+            PointOutcome::Failed { .. } => None,
+        }
+    }
+}
+
+/// Result of [`SweepEngine::sweep_checked`]: one outcome per input
+/// capacity (in grid order) plus the degradation ledger derived from
+/// them.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CheckedSweep {
+    /// One outcome per grid capacity, in input order.
+    pub outcomes: Vec<PointOutcome>,
+    /// Ok/degraded/failed/non-finite accounting over `outcomes`.
+    pub health: SweepHealth,
+}
+
+impl CheckedSweep {
+    /// The evaluated points, skipping failed ones.
+    #[must_use]
+    pub fn points(&self) -> Vec<SweepPoint> {
+        self.outcomes.iter().filter_map(|o| o.point().copied()).collect()
+    }
+
+    /// The evaluated points, panicking on the first failed one — the
+    /// legacy all-or-nothing contract of [`SweepEngine::sweep`].
+    #[must_use]
+    pub fn expect_points(&self) -> Vec<SweepPoint> {
+        self.outcomes
+            .iter()
+            .map(|o| match o {
+                PointOutcome::Ok(p) => *p,
+                PointOutcome::Failed { capacity, index, cause } => {
+                    panic!("sweep point {index} (C = {capacity}) failed: {cause}")
+                }
+            })
+            .collect()
+    }
 }
 
 /// Memoized, parallel evaluator of `B(C)`, `R(C)`, `δ(C)`, `Δ(C)` and the
@@ -200,20 +263,88 @@ impl<U: Utility> SweepEngine<U> {
 
     /// Evaluate all four headline quantities over a capacity grid,
     /// parallel per [`Self::mode`]. Failed gap solves surface as NaN.
+    ///
+    /// Legacy all-or-nothing wrapper over [`Self::sweep_checked`]: a
+    /// point whose evaluation panics (twice — see the bounded retry in
+    /// [`crate::pool::parallel_map_isolated`]) panics here too, after
+    /// every other point has been evaluated. Use `sweep_checked` to get
+    /// structured per-point outcomes instead.
     pub fn sweep(&self, capacities: &[f64]) -> Vec<SweepPoint> {
+        self.sweep_checked(capacities).expect_points()
+    }
+
+    /// [`Self::sweep`] with per-point panic isolation and structured
+    /// degradation: every grid point gets a [`PointOutcome`] (in input
+    /// order), and the returned [`SweepHealth`] counts clean, degraded
+    /// (non-finite or failed gap solve) and failed (panicked) points —
+    /// one bad point no longer aborts the sweep.
+    ///
+    /// With no fault plan active and a panic-free evaluation, the `Ok`
+    /// points are bitwise-identical to the legacy [`Self::sweep`] under
+    /// any thread count, and `health` is all-ok; the ledger itself is
+    /// derived serially from the input-ordered outcomes, so it is
+    /// deterministic too.
+    pub fn sweep_checked(&self, capacities: &[f64]) -> CheckedSweep {
         let mut sp = span("sweep/points");
         sp.add_points(capacities.len() as u64);
         let timing = enabled(ObsLevel::Summary);
         let lat = metrics::histogram("engine/sweep_point_ns");
-        parallel_map_with(capacities, self.mode.threads(), |&c| {
-            timed_point(timing, &lat, || SweepPoint {
-                capacity: c,
-                best_effort: self.best_effort(c),
-                reservation: self.reservation(c),
-                performance_gap: self.performance_gap(c),
-                bandwidth_gap: self.bandwidth_gap(c).unwrap_or(f64::NAN),
+        let indexed: Vec<(usize, f64)> = capacities.iter().copied().enumerate().collect();
+        let raw = parallel_map_isolated(&indexed, self.mode.threads(), |&(i, c)| {
+            bevra_faults::panic_point("engine/point", i as u64);
+            timed_point(timing, &lat, || {
+                let best_effort = self.best_effort(c);
+                let reservation = self.reservation(c);
+                let performance_gap = self.performance_gap(c);
+                let (bandwidth_gap, gap_cause) = match self.bandwidth_gap(c) {
+                    Ok(g) => (g, None),
+                    Err(e) => (f64::NAN, Some(format!("bandwidth gap at C = {c}: {e}"))),
+                };
+                (
+                    SweepPoint {
+                        capacity: c,
+                        best_effort,
+                        reservation,
+                        performance_gap,
+                        bandwidth_gap,
+                    },
+                    gap_cause,
+                )
             })
-        })
+        });
+        let mut health = SweepHealth::new();
+        let outcomes = raw
+            .into_iter()
+            .zip(&indexed)
+            .map(|(r, &(index, capacity))| match r {
+                Ok((pt, gap_cause)) => {
+                    let mut non_finite_fields = 0u64;
+                    for v in
+                        [pt.best_effort, pt.reservation, pt.performance_gap, pt.bandwidth_gap]
+                    {
+                        if health.tally_non_finite(v) {
+                            non_finite_fields += 1;
+                        }
+                    }
+                    if let Some(cause) = gap_cause {
+                        health.note_degraded(&cause);
+                    } else if non_finite_fields > 0 {
+                        health.note_degraded(&format!(
+                            "{non_finite_fields} non-finite value(s) at C = {capacity}"
+                        ));
+                    } else {
+                        health.note_ok();
+                    }
+                    PointOutcome::Ok(pt)
+                }
+                Err(e @ (ItemError::Panic { .. } | ItemError::Missing)) => {
+                    let cause = e.to_string();
+                    health.note_failed(&cause);
+                    PointOutcome::Failed { capacity, index, cause }
+                }
+            })
+            .collect();
+        CheckedSweep { outcomes, health }
     }
 
     /// Build the welfare sampling table `V(C)` for one architecture over
@@ -230,6 +361,20 @@ impl<U: Utility> SweepEngine<U> {
         c_max: f64,
         n: usize,
     ) -> SampledValue {
+        self.value_table_checked(arch, c_scale, c_max, n).0
+    }
+
+    /// [`Self::value_table`] plus a degradation ledger counting grid
+    /// values that came out non-finite (from truncated load tables or
+    /// injected corruption) — nothing non-finite enters a welfare table
+    /// silently.
+    pub fn value_table_checked(
+        &self,
+        arch: Architecture,
+        c_scale: f64,
+        c_max: f64,
+        n: usize,
+    ) -> (SampledValue, SweepHealth) {
         let cs = SampledValue::grid(c_scale, c_max, n);
         let mut sp = span(match arch {
             Architecture::BestEffort => "welfare/value-table-B",
@@ -245,7 +390,15 @@ impl<U: Utility> SweepEngine<U> {
                 Architecture::Reservation => kbar * self.reservation(c),
             })
         });
-        SampledValue::from_samples(cs, vs)
+        let mut health = SweepHealth::new();
+        for (&c, &v) in cs.iter().zip(&vs) {
+            if health.tally_non_finite(v) {
+                health.note_degraded(&format!("non-finite welfare value at C = {c}"));
+            } else {
+                health.note_ok();
+            }
+        }
+        (SampledValue::from_samples(cs, vs), health)
     }
 
     /// Equalizing price ratio `γ(p)` over a price grid, parallel per
@@ -253,16 +406,47 @@ impl<U: Utility> SweepEngine<U> {
     /// `sv_b` and the ratio is solved against `sv_r`. Failed solves
     /// surface as NaN.
     pub fn gamma_sweep(&self, prices: &[f64], sv_b: &SampledValue, sv_r: &SampledValue) -> Vec<f64> {
+        self.gamma_sweep_checked(prices, sv_b, sv_r).0
+    }
+
+    /// [`Self::gamma_sweep`] plus a degradation ledger: each price whose
+    /// ratio solve failed (NaN output) is counted degraded, with the
+    /// solver's error as the recorded cause.
+    pub fn gamma_sweep_checked(
+        &self,
+        prices: &[f64],
+        sv_b: &SampledValue,
+        sv_r: &SampledValue,
+    ) -> (Vec<f64>, SweepHealth) {
         let mut sp = span("welfare/gamma");
         sp.add_points(prices.len() as u64);
         let timing = enabled(ObsLevel::Summary);
         let lat = metrics::histogram("engine/gamma_point_ns");
-        parallel_map_with(prices, self.mode.threads(), |&p| {
+        let raw = parallel_map_with(prices, self.mode.threads(), |&p| {
             timed_point(timing, &lat, || {
                 let wb = sv_b.welfare(p).welfare;
-                equalizing_price_ratio(|ph| sv_r.welfare(ph).welfare, wb, p).unwrap_or(f64::NAN)
+                match equalizing_price_ratio(|ph| sv_r.welfare(ph).welfare, wb, p) {
+                    Ok(g) => (g, None),
+                    Err(e) => (f64::NAN, Some(format!("gamma solve at p = {p}: {e}"))),
+                }
             })
-        })
+        });
+        let mut health = SweepHealth::new();
+        let mut out = Vec::with_capacity(raw.len());
+        for (g, cause) in raw {
+            match cause {
+                Some(c) => {
+                    health.tally_non_finite(g);
+                    health.note_degraded(&c);
+                }
+                None if health.tally_non_finite(g) => {
+                    health.note_degraded("non-finite gamma from a nominally successful solve");
+                }
+                None => health.note_ok(),
+            }
+            out.push(g);
+        }
+        (out, health)
     }
 
     /// Hit/miss counters of the three memo tables, named for reports.

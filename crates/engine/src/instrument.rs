@@ -8,9 +8,11 @@
 //! [`drain_stages`] — is unchanged; existing callers compile as before.
 //!
 //! What remains engine-specific: the cache-counter registry
-//! ([`record_caches`]/[`drain_caches`], tied to [`CacheStats`]) and the
-//! [`SweepReport`] aggregation that figure binaries serialize to JSON and
-//! CSV next to their artifacts under `results/`.
+//! ([`record_caches`]/[`drain_caches`], tied to [`CacheStats`]), the
+//! degradation ledger ([`SweepHealth`] with [`record_health`]/
+//! [`drain_health`]) and the [`SweepReport`] aggregation that figure
+//! binaries serialize to JSON and CSV next to their artifacts under
+//! `results/`.
 
 pub use bevra_obs::{drain_stages, span, Span, StageRecord};
 
@@ -19,6 +21,138 @@ use bevra_obs::{enabled, metrics, ObsLevel};
 use std::sync::{Mutex, PoisonError};
 
 static CACHES: Mutex<Vec<(String, CacheStats)>> = Mutex::new(Vec::new());
+static HEALTH: Mutex<Vec<(String, SweepHealth)>> = Mutex::new(Vec::new());
+
+/// Degradation ledger of one sweep stage: how many points evaluated
+/// cleanly, produced non-finite values, or failed outright, plus the
+/// first failure's cause. Derived serially from the input-ordered merged
+/// outcomes, so it is deterministic under any worker-thread count.
+///
+/// The invariant the chaos suite asserts: nothing degrades silently.
+/// Every non-finite value an engine sweep produces (whether from a real
+/// solver failure or an injected fault) is counted here and surfaces in
+/// the emitted `-perf.json`/`-perf.csv` artifacts.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SweepHealth {
+    /// Points that evaluated to fully finite values.
+    pub ok: u64,
+    /// Points that produced a value, but a degraded one (at least one
+    /// non-finite field, or a solver error surfaced as NaN).
+    pub degraded: u64,
+    /// Points that produced no value at all (isolated worker panic or a
+    /// lost result slot).
+    pub failed: u64,
+    /// Total non-finite fields across all degraded points (one point can
+    /// contribute several).
+    pub non_finite: u64,
+    /// Human-readable cause of the first degradation or failure, in
+    /// input order.
+    pub first_failure: Option<String>,
+}
+
+impl SweepHealth {
+    /// Ledger with all counters at zero.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Whether every point evaluated cleanly.
+    #[must_use]
+    pub fn is_clean(&self) -> bool {
+        self.degraded == 0 && self.failed == 0 && self.non_finite == 0
+    }
+
+    /// Total points accounted for.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.ok + self.degraded + self.failed
+    }
+
+    /// Count one clean point.
+    pub fn note_ok(&mut self) {
+        self.ok += 1;
+    }
+
+    /// Count one degraded point, remembering the first cause.
+    pub fn note_degraded(&mut self, cause: &str) {
+        self.degraded += 1;
+        if self.first_failure.is_none() {
+            self.first_failure = Some(cause.to_string());
+        }
+    }
+
+    /// Count one failed point, remembering the first cause.
+    pub fn note_failed(&mut self, cause: &str) {
+        self.failed += 1;
+        if self.first_failure.is_none() {
+            self.first_failure = Some(cause.to_string());
+        }
+    }
+
+    /// Count `value` toward the non-finite tally if it is NaN or ±∞,
+    /// returning whether it was non-finite. Callers fold the result into
+    /// the per-point ok/degraded decision.
+    pub fn tally_non_finite(&mut self, value: f64) -> bool {
+        if value.is_finite() {
+            false
+        } else {
+            self.non_finite += 1;
+            true
+        }
+    }
+
+    /// Fold another ledger into this one (first failure wins by call
+    /// order).
+    pub fn merge(&mut self, other: &SweepHealth) {
+        self.ok += other.ok;
+        self.degraded += other.degraded;
+        self.failed += other.failed;
+        self.non_finite += other.non_finite;
+        if self.first_failure.is_none() {
+            self.first_failure.clone_from(&other.first_failure);
+        }
+    }
+}
+
+impl std::fmt::Display for SweepHealth {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} ok, {} degraded, {} failed ({} non-finite values)",
+            self.ok, self.degraded, self.failed, self.non_finite
+        )?;
+        if let Some(cause) = &self.first_failure {
+            write!(f, "; first failure: {cause}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Publish one sweep stage's degradation ledger under `label` so the
+/// next [`drain_health`] (and through it the emitted perf artifacts)
+/// picks it up. Degraded/failed counts are mirrored into the metrics
+/// registry at [`ObsLevel::Summary`]. A poisoned registry drops the
+/// record rather than propagating the panic.
+pub fn record_health(label: &str, health: SweepHealth) {
+    if enabled(ObsLevel::Summary) && !health.is_clean() {
+        metrics::counter(&format!("health/{label}/degraded")).add(health.degraded);
+        metrics::counter(&format!("health/{label}/failed")).add(health.failed);
+        metrics::counter(&format!("health/{label}/non_finite")).add(health.non_finite);
+    }
+    let Ok(mut registry) = HEALTH.lock() else {
+        return; // poisoned: drop the record, never panic
+    };
+    registry.push((label.to_string(), health));
+}
+
+/// Remove and return every health ledger recorded since the last drain.
+/// A poisoned registry is recovered (its surviving contents returned)
+/// rather than panicking.
+#[must_use]
+pub fn drain_health() -> Vec<(String, SweepHealth)> {
+    std::mem::take(&mut *HEALTH.lock().unwrap_or_else(PoisonError::into_inner))
+}
 
 /// Publish one engine's cache counters under `prefix` (e.g. the sweep's
 /// utility family) so the next [`drain_caches`] picks them up. At
@@ -52,26 +186,36 @@ pub fn drain_caches() -> Vec<(String, CacheStats)> {
 }
 
 /// Aggregated instrumentation of one figure/sweep run: its stages plus the
-/// cache counters of every engine involved.
+/// cache counters and degradation ledgers of every engine involved.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct SweepReport {
     /// Completed stages in execution order.
     pub stages: Vec<StageRecord>,
     /// Named cache counters, e.g. `("best_effort", stats)`.
     pub caches: Vec<(String, CacheStats)>,
+    /// Named degradation ledgers, e.g. `("fig2/sweep", health)`.
+    pub health: Vec<(String, SweepHealth)>,
     /// Worker threads the run was configured with.
     pub threads: usize,
 }
 
 impl SweepReport {
-    /// Build a report from drained stages and cache counters.
+    /// Build a report from drained stages and cache counters (no health
+    /// ledgers — attach them with [`Self::with_health`]).
     #[must_use]
     pub fn new(
         stages: Vec<StageRecord>,
         caches: Vec<(String, CacheStats)>,
         threads: usize,
     ) -> Self {
-        Self { stages, caches, threads }
+        Self { stages, caches, health: Vec::new(), threads }
+    }
+
+    /// Attach drained degradation ledgers to the report.
+    #[must_use]
+    pub fn with_health(mut self, health: Vec<(String, SweepHealth)>) -> Self {
+        self.health = health;
+        self
     }
 
     /// Total wall-clock seconds across stages.
@@ -143,31 +287,68 @@ impl SweepReport {
                 if i + 1 < self.caches.len() { "," } else { "" }
             ));
         }
+        out.push_str("  ],\n  \"health\": [\n");
+        for (i, (name, h)) in self.health.iter().enumerate() {
+            let first = h.first_failure.as_ref().map_or_else(
+                || "null".to_string(),
+                |c| format!("\"{}\"", esc(c)),
+            );
+            out.push_str(&format!(
+                "    {{\"name\": \"{}\", \"ok\": {}, \"degraded\": {}, \"failed\": {}, \"non_finite\": {}, \"first_failure\": {}}}{}\n",
+                esc(name),
+                h.ok,
+                h.degraded,
+                h.failed,
+                h.non_finite,
+                first,
+                if i + 1 < self.health.len() { "," } else { "" }
+            ));
+        }
         out.push_str("  ]\n}\n");
         out
     }
 
     /// CSV serialization: one `stage` row per stage, one `cache` row per
-    /// cache, with a shared header.
+    /// cache, one `health` row per degradation ledger, with a shared
+    /// header. Non-finite numeric cells are emitted empty — consistent
+    /// with the `null`-for-non-finite rule of [`Self::to_json`].
     #[must_use]
     pub fn to_csv(&self) -> String {
-        let mut out = String::from("kind,name,seconds,points,points_per_sec,hits,misses,hit_rate\n");
+        fn cnum(x: f64) -> String {
+            if x.is_finite() {
+                format!("{x:?}")
+            } else {
+                String::new()
+            }
+        }
+        let mut out = String::from(
+            "kind,name,seconds,points,points_per_sec,hits,misses,hit_rate,ok,degraded,failed,non_finite,first_failure\n",
+        );
         for s in &self.stages {
             out.push_str(&format!(
-                "stage,{},{:?},{},{:?},,,\n",
+                "stage,{},{},{},{},,,,,,,,\n",
                 s.name,
-                s.seconds,
+                cnum(s.seconds),
                 s.points,
-                s.points_per_sec()
+                cnum(s.points_per_sec())
             ));
         }
         for (name, st) in &self.caches {
             out.push_str(&format!(
-                "cache,{},,,,{},{},{:?}\n",
+                "cache,{},,,,{},{},{},,,,,\n",
                 name,
                 st.hits,
                 st.misses,
-                st.hit_rate()
+                cnum(st.hit_rate())
+            ));
+        }
+        for (name, h) in &self.health {
+            let first = h.first_failure.as_deref().unwrap_or("");
+            // CSV-quote the free-text cause (it may contain commas).
+            let first = format!("\"{}\"", first.replace('"', "\"\""));
+            out.push_str(&format!(
+                "health,{},,,,,,,{},{},{},{},{}\n",
+                name, h.ok, h.degraded, h.failed, h.non_finite, first
             ));
         }
         out
@@ -219,6 +400,73 @@ mod tests {
         let json = report.to_json();
         assert!(json.contains("\"points_per_sec\": null"), "json: {json}");
         assert!(!json.contains("inf"), "no bare inf tokens in JSON");
+    }
+
+    #[test]
+    fn health_ledger_counts_and_first_cause() {
+        let mut h = SweepHealth::new();
+        assert!(h.is_clean());
+        h.note_ok();
+        assert!(h.tally_non_finite(f64::NAN));
+        assert!(h.tally_non_finite(f64::INFINITY));
+        assert!(!h.tally_non_finite(1.0));
+        h.note_degraded("gap solver: max iterations");
+        h.note_failed("worker panicked");
+        h.note_degraded("later cause");
+        assert_eq!((h.ok, h.degraded, h.failed, h.non_finite), (1, 2, 1, 2));
+        assert_eq!(h.total(), 4);
+        assert_eq!(h.first_failure.as_deref(), Some("gap solver: max iterations"));
+        assert!(!h.is_clean());
+        let text = h.to_string();
+        assert!(text.contains("2 degraded") && text.contains("max iterations"), "{text}");
+    }
+
+    #[test]
+    fn health_record_drain_roundtrip() {
+        let mut h = SweepHealth::new();
+        h.note_ok();
+        h.note_failed("boom");
+        record_health("roundtrip/sweep", h.clone());
+        let drained = drain_health();
+        let (_, got) = drained
+            .iter()
+            .find(|(n, _)| n == "roundtrip/sweep")
+            .expect("recorded ledger drained");
+        assert_eq!(got, &h);
+        assert!(!drain_health().iter().any(|(n, _)| n == "roundtrip/sweep"));
+    }
+
+    #[test]
+    fn report_serializes_health_section() {
+        let mut dirty = SweepHealth::new();
+        dirty.note_ok();
+        dirty.note_degraded("bandwidth gap: \"no bracket\", giving up");
+        dirty.non_finite = 1;
+        let report = SweepReport::new(vec![], vec![], 4)
+            .with_health(vec![("fig2/sweep".into(), dirty), ("fig2/gamma".into(), SweepHealth::new())]);
+        let json = report.to_json();
+        assert!(json.contains("\"health\""), "json: {json}");
+        assert!(json.contains("\"degraded\": 1"), "json: {json}");
+        assert!(json.contains("\\\"no bracket\\\""), "cause is escaped: {json}");
+        assert!(json.contains("\"first_failure\": null"), "clean ledger: {json}");
+        let csv = report.to_csv();
+        assert!(csv.lines().next().is_some_and(|h| h.ends_with("first_failure")));
+        assert!(csv.contains("health,fig2/sweep,,,,,,,1,1,0,1,"), "csv: {csv}");
+        assert!(csv.contains("\"\"no bracket\"\""), "csv-quoted cause: {csv}");
+    }
+
+    #[test]
+    fn csv_non_finite_cells_are_empty() {
+        let report = SweepReport::new(
+            vec![StageRecord { name: "s".into(), seconds: 0.0, points: 10 }],
+            vec![],
+            1,
+        );
+        let csv = report.to_csv();
+        // The zero-duration stage has an infinite rate: emitted empty,
+        // matching the JSON null rule.
+        assert!(csv.contains("stage,s,0.0,10,,"), "csv: {csv}");
+        assert!(!csv.contains("inf"), "no bare inf tokens in CSV: {csv}");
     }
 
     #[test]

@@ -8,7 +8,10 @@
 //! the serial scalar code:
 //!
 //! * [`pool`] — scoped-thread `parallel_map` with deterministic output
-//!   ordering (`BEVRA_THREADS` overrides the worker count);
+//!   ordering (`BEVRA_THREADS` overrides the worker count), plus
+//!   [`parallel_map_isolated`] which catches per-item panics (one bounded
+//!   serial retry, then a structured [`ItemError`]) so one bad grid point
+//!   degrades instead of aborting the sweep;
 //! * [`cache`] — sharded thread-safe memo tables keyed by capacity bit
 //!   patterns, with hit/miss counters;
 //! * [`engine`] — the [`SweepEngine`] tying both to a
@@ -32,6 +35,16 @@
 //! `engine_parity` property test asserts this across all three load
 //! families.
 //!
+//! # Degradation
+//!
+//! [`SweepEngine::sweep_checked`] is the failure-aware sweep: every grid
+//! point gets a [`PointOutcome`] and the run a [`SweepHealth`] ledger
+//! (ok/degraded/failed counts, non-finite tally, first failure cause)
+//! that the report crate serializes into each figure's `-perf` artifacts.
+//! Fault injection for exercising these paths lives in `bevra-faults`
+//! (`BEVRA_FAULTS`); with no plan active the checked paths are
+//! bitwise-identical to the legacy ones.
+//!
 //! ```
 //! use bevra_engine::{ExecMode, SweepEngine};
 //! use bevra_core::DiscreteModel;
@@ -51,11 +64,12 @@ pub mod instrument;
 pub mod pool;
 
 pub use cache::{CacheStats, ShardedCache};
-pub use engine::{Architecture, ExecMode, SweepEngine, SweepPoint};
+pub use engine::{Architecture, CheckedSweep, ExecMode, PointOutcome, SweepEngine, SweepPoint};
 pub use instrument::{
-    drain_caches, drain_stages, record_caches, span, Span, StageRecord, SweepReport,
+    drain_caches, drain_health, drain_stages, record_caches, record_health, span, Span,
+    StageRecord, SweepHealth, SweepReport,
 };
 pub use pool::{
-    default_thread_count, parallel_map, parallel_map_with, parse_thread_count, thread_count,
-    MAX_THREADS, THREADS_ENV,
+    default_thread_count, parallel_map, parallel_map_isolated, parallel_map_with,
+    parse_thread_count, thread_count, ItemError, MAX_THREADS, THREADS_ENV,
 };

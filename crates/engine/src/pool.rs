@@ -7,9 +7,22 @@
 //! **position-for-position identical** to a serial `map` — only wall-clock
 //! time differs. Per-point work in this workspace is microseconds to
 //! milliseconds, so the one-atomic-op-per-item scheduling cost is noise.
+//!
+//! # Failure isolation
+//!
+//! [`parallel_map_isolated`] additionally wraps every per-item call in
+//! [`std::panic::catch_unwind`] with **one bounded serial retry**: a
+//! panicking item is re-run once on the same worker, and if it panics
+//! again the item degrades to an [`ItemError::Panic`] in its output slot
+//! while every other item completes normally. A result slot that was
+//! never filled (a worker died outside the per-item guard) degrades to
+//! [`ItemError::Missing`]. One bad grid point can therefore no longer
+//! abort a whole sweep process — the engine turns these errors into
+//! structured `PointOutcome::Failed` entries and `SweepHealth` counts.
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, PoisonError};
 
 /// Environment variable overriding the worker-thread count.
 pub const THREADS_ENV: &str = "BEVRA_THREADS";
@@ -49,12 +62,54 @@ pub fn thread_count() -> usize {
         .unwrap_or_else(default_thread_count)
 }
 
+/// Why an isolated item produced no value.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ItemError {
+    /// The item's closure panicked on the first try *and* on its one
+    /// serial retry.
+    Panic {
+        /// The first panic's payload, rendered as text.
+        message: String,
+        /// Always `true` today (the bounded retry was attempted); kept
+        /// explicit so health reports can distinguish policies later.
+        retried: bool,
+    },
+    /// The item's result slot was never filled — its worker died outside
+    /// the per-item guard (e.g. an allocation failure while merging).
+    Missing,
+}
+
+impl std::fmt::Display for ItemError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ItemError::Panic { message, retried } => {
+                write!(f, "panicked{}: {message}", if *retried { " (retry also panicked)" } else { "" })
+            }
+            ItemError::Missing => write!(f, "result slot never filled by any worker"),
+        }
+    }
+}
+
+/// Render a `catch_unwind` payload as text (panics carry `String` or
+/// `&str` in practice; anything else gets a placeholder).
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    payload.downcast_ref::<String>().cloned().unwrap_or_else(|| {
+        payload
+            .downcast_ref::<&str>()
+            .map_or_else(|| "non-string panic payload".to_string(), |s| (*s).to_string())
+    })
+}
+
 /// Apply `f` to every item, using up to `threads` workers, returning the
 /// results in input order.
 ///
 /// With `threads <= 1` (or fewer than two items) this degenerates to a
 /// plain serial `map` on the calling thread — the two paths produce
 /// bitwise-identical results for any pure `f`.
+///
+/// A panicking `f` propagates (the scope re-raises the worker's panic),
+/// exactly like a serial `map` — use [`parallel_map_isolated`] when one
+/// bad item must not take down the whole sweep.
 pub fn parallel_map_with<T, U, F>(items: &[T], threads: usize, f: F) -> Vec<U>
 where
     T: Sync,
@@ -79,15 +134,91 @@ where
                     }
                     local.push((i, f(&items[i])));
                 }
-                collected.lock().expect("worker panicked holding lock").extend(local);
+                // Poisoning is recoverable here: workers only ever extend
+                // with complete (index, value) pairs, so the vector's
+                // contents are valid whether or not a peer panicked.
+                collected.lock().unwrap_or_else(PoisonError::into_inner).extend(local);
             });
         }
     });
     let mut slots: Vec<Option<U>> = (0..n).map(|_| None).collect();
-    for (i, v) in collected.into_inner().expect("worker panicked holding lock") {
+    for (i, v) in collected.into_inner().unwrap_or_else(PoisonError::into_inner) {
         slots[i] = Some(v);
     }
-    slots.into_iter().map(|s| s.expect("every index scheduled exactly once")).collect()
+    slots
+        .into_iter()
+        .enumerate()
+        .map(|(i, s)| match s {
+            Some(v) => v,
+            // Unreachable when no worker panicked (the atomic counter
+            // schedules every index exactly once), and a worker panic has
+            // already been propagated by the scope above.
+            None => panic!("parallel_map_with: slot {i} never filled"),
+        })
+        .collect()
+}
+
+/// [`parallel_map_with`], but with per-item panic isolation: each call of
+/// `f` runs under [`catch_unwind`], a panicking item is retried once
+/// serially on the same worker, and a second panic degrades the item to
+/// [`ItemError::Panic`] instead of aborting the sweep. Output slots that
+/// no worker filled degrade to [`ItemError::Missing`].
+///
+/// Ordering and bitwise determinism match [`parallel_map_with`]: `Ok`
+/// values are produced by the same scalar code path in input order.
+///
+/// `f` must be effectively unwind-safe: observable state it mutates
+/// across a panic boundary (caches, instrumentation) must tolerate a
+/// panicked writer — true for this workspace's sharded memo caches,
+/// which only ever insert complete values and recover poisoned shards.
+pub fn parallel_map_isolated<T, U, F>(
+    items: &[T],
+    threads: usize,
+    f: F,
+) -> Vec<Result<U, ItemError>>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(&T) -> U + Sync,
+{
+    let n = items.len();
+    let isolated = |i: usize| -> Result<U, ItemError> {
+        match catch_unwind(AssertUnwindSafe(|| f(&items[i]))) {
+            Ok(v) => Ok(v),
+            Err(first) => match catch_unwind(AssertUnwindSafe(|| f(&items[i]))) {
+                Ok(v) => Ok(v),
+                Err(_) => {
+                    Err(ItemError::Panic { message: panic_message(first.as_ref()), retried: true })
+                }
+            },
+        }
+    };
+    if threads <= 1 || n <= 1 {
+        return (0..n).map(isolated).collect();
+    }
+    let workers = threads.min(n);
+    let next = AtomicUsize::new(0);
+    let collected: Mutex<Vec<(usize, Result<U, ItemError>)>> = Mutex::new(Vec::with_capacity(n));
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| {
+                let mut local: Vec<(usize, Result<U, ItemError>)> = Vec::new();
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    local.push((i, isolated(i)));
+                }
+                collected.lock().unwrap_or_else(PoisonError::into_inner).extend(local);
+            });
+        }
+    });
+    let mut slots: Vec<Option<Result<U, ItemError>>> = (0..n).map(|_| None).collect();
+    for (i, v) in collected.into_inner().unwrap_or_else(PoisonError::into_inner) {
+        slots[i] = Some(v);
+    }
+    slots.into_iter().map(|s| s.unwrap_or(Err(ItemError::Missing))).collect()
 }
 
 /// [`parallel_map_with`] at the ambient [`thread_count`].
@@ -139,6 +270,66 @@ mod tests {
         let n = thread_count();
         assert!(n >= 1);
         assert!(n <= MAX_THREADS.max(default_thread_count()));
+    }
+
+    #[test]
+    fn isolated_panic_degrades_only_that_item() {
+        let items: Vec<u64> = (0..97).collect();
+        for threads in [1, 4, 16] {
+            let out = parallel_map_isolated(&items, threads, |&x| {
+                assert!(x != 41, "boom at {x}");
+                x * 3
+            });
+            assert_eq!(out.len(), items.len());
+            for (i, r) in out.iter().enumerate() {
+                if i == 41 {
+                    match r {
+                        Err(ItemError::Panic { message, retried }) => {
+                            assert!(message.contains("boom at 41"), "message: {message}");
+                            assert!(retried, "the bounded retry must have been attempted");
+                        }
+                        other => panic!("expected Panic at 41, got {other:?} (threads={threads})"),
+                    }
+                } else {
+                    assert_eq!(r.as_ref().copied(), Ok(i as u64 * 3), "threads={threads}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn isolated_retry_rescues_flaky_item() {
+        use std::sync::atomic::AtomicU32;
+        // Panics on its first call for item 5 only; the serial retry succeeds.
+        let calls = AtomicU32::new(0);
+        let out = parallel_map_isolated(&[1u32, 5, 9], 1, |&x| {
+            if x == 5 && calls.fetch_add(1, Ordering::Relaxed) == 0 {
+                panic!("transient");
+            }
+            x + 1
+        });
+        assert_eq!(out, vec![Ok(2), Ok(6), Ok(10)]);
+        assert_eq!(calls.load(Ordering::Relaxed), 2, "exactly one retry");
+    }
+
+    #[test]
+    fn isolated_matches_plain_map_when_clean() {
+        let items: Vec<f64> = (1..300).map(f64::from).collect();
+        let work = |&c: &f64| (c.ln() * c.sqrt()).sin();
+        let plain = parallel_map_with(&items, 8, work);
+        let isolated = parallel_map_isolated(&items, 8, work);
+        for (a, b) in plain.iter().zip(&isolated) {
+            let b = b.as_ref().expect("no faults injected");
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn item_error_display_is_descriptive() {
+        let e = ItemError::Panic { message: "boom".into(), retried: true };
+        assert!(e.to_string().contains("boom"));
+        assert!(e.to_string().contains("retry"));
+        assert!(ItemError::Missing.to_string().contains("never filled"));
     }
 
     #[test]

@@ -45,11 +45,12 @@ impl TabulatedSampler {
             }
         }
         let mut scaled = scaled;
-        // NOTE: pop inside the body, not in a tuple pattern — evaluating
-        // `(small.pop(), large.pop())` would discard an element when exactly
-        // one stack is empty.
-        while !small.is_empty() && !large.is_empty() {
-            let (s, l) = (small.pop().expect("checked"), large.pop().expect("checked"));
+        // NOTE: peek in the loop guard, pop in the body — a guard built on
+        // `(small.pop(), large.pop())` would discard an element when
+        // exactly one stack is empty.
+        while let (Some(s), Some(l)) = (small.last().copied(), large.last().copied()) {
+            small.pop();
+            large.pop();
             prob[s as usize] = scaled[s as usize];
             alias[s as usize] = l;
             scaled[l as usize] = (scaled[l as usize] + scaled[s as usize]) - 1.0;

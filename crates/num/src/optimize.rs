@@ -78,7 +78,7 @@ pub fn golden_section_max(
     let (bx, bf) = [(x, fx), (x1, f1), (x2, f2)]
         .into_iter()
         .max_by(|p, q| p.1.total_cmp(&q.1))
-        .expect("non-empty candidate list");
+        .unwrap_or((x, fx)); // literal 3-element array: the fallback never fires
     Ok(Maximum { x: bx, value: bf })
 }
 

@@ -36,6 +36,11 @@ pub fn integrate(mut f: impl FnMut(f64) -> f64, a: f64, b: f64, tol: f64) -> Num
     if !(tol > 0.0) {
         return Err(NumError::InvalidInput { what: "integrate requires tol > 0" });
     }
+    // Fault-injection site: a `numerr:num/quad/integrate` rule forces the
+    // non-convergence path callers must degrade through.
+    if bevra_faults::forced_numerr("num/quad/integrate", a.to_bits() ^ b.to_bits()) {
+        return Err(NumError::MaxIterations { what: "adaptive simpson (fault-injected)", iterations: 0 });
+    }
     let fa = eval(&mut f, a)?;
     let fb = eval(&mut f, b)?;
     let m = 0.5 * (a + b);
@@ -135,6 +140,10 @@ pub fn tanh_sinh_xc(
     }
     if !(tol > 0.0) {
         return Err(NumError::InvalidInput { what: "tanh_sinh requires tol > 0" });
+    }
+    // Fault-injection site, mirroring `integrate`.
+    if bevra_faults::forced_numerr("num/quad/tanh_sinh", a.to_bits() ^ b.to_bits()) {
+        return Err(NumError::MaxIterations { what: "tanh_sinh (fault-injected)", iterations: 0 });
     }
     let half = 0.5 * (b - a);
     // Transformed integrand including the Jacobian. Node offsets from the

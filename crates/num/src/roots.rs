@@ -125,6 +125,11 @@ pub fn bisect(
 /// [`NumError::InvalidInput`] if the endpoints do not bracket a sign change,
 /// [`NumError::MaxIterations`] if convergence is not reached in 200 steps.
 pub fn brent(mut f: impl FnMut(f64) -> f64, lo: f64, hi: f64, tol: f64) -> NumResult<f64> {
+    // Fault-injection site: a `numerr:num/roots/brent` rule forces the
+    // non-convergence path (e.g. the bandwidth-gap solver's NaN fallback).
+    if bevra_faults::forced_numerr("num/roots/brent", lo.to_bits() ^ hi.to_bits()) {
+        return Err(NumError::MaxIterations { what: "brent (fault-injected)", iterations: 0 });
+    }
     let mut a = lo;
     let mut b = hi;
     let mut fa = f(a);

@@ -207,10 +207,12 @@ pub fn export_run(id: &str, dir: &Path) -> std::io::Result<RunExport> {
     if level >= ObsLevel::Trace {
         std::fs::create_dir_all(dir)?;
         let events = drain_trace();
+        // Atomic writes (temp + rename): an interrupted export leaves the
+        // previous trace/log complete instead of a truncated JSON file.
         let trace_path = dir.join(format!("{id}-trace.json"));
-        std::fs::write(&trace_path, trace_json(&events))?;
+        bevra_faults::atomic_write("obs/trace", &trace_path, trace_json(&events).as_bytes())?;
         let jsonl_path = dir.join(format!("{id}-obs.jsonl"));
-        std::fs::write(&jsonl_path, jsonl(&events, &snap))?;
+        bevra_faults::atomic_write("obs/jsonl", &jsonl_path, jsonl(&events, &snap).as_bytes())?;
         out.trace_path = Some(trace_path);
         out.jsonl_path = Some(jsonl_path);
     }

@@ -251,6 +251,7 @@ fn main() -> std::io::Result<()> {
             warmup: 100.0,
             horizon,
             seed: 7,
+            max_events: None,
         })
         .collect();
     let sim_reports = Simulation::run_batch(&cfgs);

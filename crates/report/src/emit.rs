@@ -5,7 +5,7 @@ use crate::ascii::render_panel;
 use crate::csv::write_panel_csv;
 use crate::persist::save_figure;
 use crate::series::Figure;
-use bevra_engine::{drain_caches, drain_stages, thread_count, SweepReport};
+use bevra_engine::{drain_caches, drain_health, drain_stages, thread_count, SweepReport};
 use std::path::Path;
 
 /// Print a figure to stdout and write `results/<id>.json` plus
@@ -27,15 +27,26 @@ pub fn emit_figure(fig: &Figure, dir: &Path) -> std::io::Result<()> {
     for (i, p) in fig.panels.iter().enumerate() {
         println!("{}", render_panel(p, 72, 18));
         let csv_path = dir.join(format!("{}-panel{}.csv", fig.id, i + 1));
-        std::fs::create_dir_all(dir)?;
-        let file = std::fs::File::create(&csv_path)?;
-        write_panel_csv(p, std::io::BufWriter::new(file))?;
+        // Render fully in memory, then write atomically: a failed or
+        // interrupted run never leaves a truncated panel CSV behind.
+        let mut rendered = Vec::new();
+        write_panel_csv(p, &mut rendered)?;
+        bevra_faults::atomic_write("report/panel-csv", &csv_path, &rendered)?;
     }
     let json = save_figure(fig, dir)?;
-    let report = SweepReport::new(drain_stages(), drain_caches(), thread_count());
-    if !report.stages.is_empty() || !report.caches.is_empty() {
-        std::fs::write(dir.join(format!("{}-perf.json", fig.id)), report.to_json())?;
-        std::fs::write(dir.join(format!("{}-perf.csv", fig.id)), report.to_csv())?;
+    let report = SweepReport::new(drain_stages(), drain_caches(), thread_count())
+        .with_health(drain_health());
+    if !report.stages.is_empty() || !report.caches.is_empty() || !report.health.is_empty() {
+        bevra_faults::atomic_write(
+            "report/perf-json",
+            &dir.join(format!("{}-perf.json", fig.id)),
+            report.to_json().as_bytes(),
+        )?;
+        bevra_faults::atomic_write(
+            "report/perf-csv",
+            &dir.join(format!("{}-perf.csv", fig.id)),
+            report.to_csv().as_bytes(),
+        )?;
         println!(
             "perf: {threads} thread(s), {pts} points in {secs:.3}s ({rate:.0} points/s)",
             threads = report.threads,
@@ -43,6 +54,11 @@ pub fn emit_figure(fig: &Figure, dir: &Path) -> std::io::Result<()> {
             secs = report.total_seconds(),
             rate = report.points_per_sec(),
         );
+        for (label, health) in &report.health {
+            if !health.is_clean() {
+                println!("health: {label}: {health}");
+            }
+        }
     }
     let obs = bevra_obs::export::export_run(&fig.id, dir)?;
     if let Some(table) = &obs.summary {

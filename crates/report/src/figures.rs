@@ -14,7 +14,9 @@ use crate::series::{Figure, Panel, Series};
 use bevra_core::continuum::AlgebraicClosed;
 use bevra_core::retrying::{AlgebraicFamily, GeometricFamily, LoadFamily, RetryModel};
 use bevra_core::{equalizing_price_ratio, DiscreteModel, SampledValue, SamplingModel};
-use bevra_engine::{parallel_map, record_caches, span, Architecture, SweepEngine};
+use bevra_engine::{
+    parallel_map, record_caches, record_health, span, Architecture, SweepEngine, SweepHealth,
+};
 use bevra_load::{Algebraic, Geometric, Poisson, Tabulated, PAPER_MEAN_LOAD};
 use bevra_utility::{AdaptiveExp, Rigid, Utility};
 use std::sync::Arc;
@@ -91,19 +93,32 @@ fn utility_panels<U: Utility>(
     let kbar = load.mean();
     let engine = SweepEngine::new(DiscreteModel::new(Arc::clone(load), utility));
     let cs = capacity_grid(q, kbar);
-    let points = engine.sweep(&cs);
-    let b: Vec<f64> = points.iter().map(|p| p.best_effort).collect();
-    let r: Vec<f64> = points.iter().map(|p| p.reservation).collect();
-    let gap: Vec<f64> = points.iter().map(|p| p.bandwidth_gap).collect();
+    let tag = which.to_lowercase();
+    // Checked sweep: a failed point (isolated worker panic) degrades to
+    // NaN in the plotted series instead of aborting the figure, and the
+    // ledger lands in the perf report via record_health.
+    let checked = engine.sweep_checked(&cs);
+    let field = |get: fn(&bevra_engine::SweepPoint) -> f64| -> Vec<f64> {
+        checked.outcomes.iter().map(|o| o.point().map_or(f64::NAN, get)).collect()
+    };
+    let b = field(|p| p.best_effort);
+    let r = field(|p| p.reservation);
+    let gap = field(|p| p.bandwidth_gap);
+    record_health(&format!("{tag}/sweep"), checked.health.clone());
     // Welfare: sample V_B and V_R once on a capacity grid, then sweep p.
     // The ceiling must exceed the optimal capacity at the cheapest price
     // swept; for the heavy-tailed loads that is ~100·k̄ at p = 1e−4.
     let c_max = 300.0 * kbar;
-    let sv_b = engine.value_table(Architecture::BestEffort, kbar, c_max, q.welfare_grid());
-    let sv_r = engine.value_table(Architecture::Reservation, kbar, c_max, q.welfare_grid());
+    let (sv_b, hb) =
+        engine.value_table_checked(Architecture::BestEffort, kbar, c_max, q.welfare_grid());
+    let (sv_r, hr) =
+        engine.value_table_checked(Architecture::Reservation, kbar, c_max, q.welfare_grid());
+    record_health(&format!("{tag}/value-table-B"), hb);
+    record_health(&format!("{tag}/value-table-R"), hr);
     let ps = price_grid(q);
-    let gamma = engine.gamma_sweep(&ps, &sv_b, &sv_r);
-    record_caches(&which.to_lowercase(), engine.cache_stats());
+    let (gamma, hg) = engine.gamma_sweep_checked(&ps, &sv_b, &sv_r);
+    record_health(&format!("{tag}/gamma"), hg);
+    record_caches(&tag, engine.cache_stats());
     vec![
         Panel {
             title: format!("Utility - {which} Applications"),
@@ -187,7 +202,8 @@ pub fn fig3(q: Quality) -> Figure {
 /// mean 100).
 #[must_use]
 pub fn fig4(q: Quality) -> Figure {
-    let model = Algebraic::from_mean(3.0, PAPER_MEAN_LOAD).expect("calibration");
+    let model = Algebraic::from_mean(3.0, PAPER_MEAN_LOAD)
+        .unwrap_or_else(|e| panic!("fig4 calibration (z = 3, mean 100): {e:?}"));
     let load = Tabulated::from_model(&model, 1e-9, q.table_cap());
     six_panel_figure(
         "fig4",
@@ -218,10 +234,27 @@ pub fn ext_sampling(q: Quality) -> Figure {
         let mut sp = span(format!("sampling/gaps-S{s}"));
         sp.add_points(cs.len() as u64);
         let gaps = parallel_map(&cs, |&c| {
-            (sm.performance_gap(c), sm.bandwidth_gap(c).unwrap_or(f64::NAN))
+            let d = sm.performance_gap(c);
+            match sm.bandwidth_gap(c) {
+                Ok(g) => (d, g, None),
+                Err(e) => (d, f64::NAN, Some(format!("sampling gap at C = {c}: {e}"))),
+            }
         });
         drop(sp);
-        let (d, g): (Vec<f64>, Vec<f64>) = gaps.into_iter().unzip();
+        let mut health = SweepHealth::new();
+        let mut d = Vec::with_capacity(gaps.len());
+        let mut g = Vec::with_capacity(gaps.len());
+        for (dv, gv, cause) in gaps {
+            let bad = u64::from(health.tally_non_finite(dv)) + u64::from(health.tally_non_finite(gv));
+            match cause {
+                Some(c) => health.note_degraded(&c),
+                None if bad > 0 => health.note_degraded("non-finite sampling gap"),
+                None => health.note_ok(),
+            }
+            d.push(dv);
+            g.push(gv);
+        }
+        record_health(&format!("ext-sampling/S{s}"), health);
         perf_series.push(Series::new(format!("S = {s}"), cs.clone(), d));
         gap_series.push(Series::new(format!("S = {s}"), cs.clone(), g));
     }
@@ -292,10 +325,54 @@ fn retry_gamma_continuum(z: f64, alpha: f64, prices: &[f64]) -> Vec<f64> {
     let sv_r = SampledValue::build(v_r, kbar, 1e6, 2000);
     let mut sp = span(format!("retrying/gamma-continuum-a{alpha}"));
     sp.add_points(prices.len() as u64);
-    parallel_map(prices, |&p| {
+    let raw = parallel_map(prices, |&p| {
         let wb = closed.welfare_best_effort(p);
-        equalizing_price_ratio(|ph| sv_r.welfare(ph).welfare, wb, p).unwrap_or(f64::NAN)
-    })
+        match equalizing_price_ratio(|ph| sv_r.welfare(ph).welfare, wb, p) {
+            Ok(g) => (g, None),
+            Err(e) => (f64::NAN, Some(format!("retry gamma at p = {p}: {e}"))),
+        }
+    });
+    drop(sp);
+    let mut health = SweepHealth::new();
+    let mut out = Vec::with_capacity(raw.len());
+    for (g, cause) in raw {
+        let bad = health.tally_non_finite(g);
+        match cause {
+            Some(c) => health.note_degraded(&c),
+            None if bad => health.note_degraded("non-finite retry gamma"),
+            None => health.note_ok(),
+        }
+        out.push(g);
+    }
+    record_health(&format!("ext-retrying/gamma-a{alpha}"), health);
+    out
+}
+
+/// Evaluate a fallible per-capacity gap over `cs` in parallel, degrading
+/// failures to NaN with a recorded [`SweepHealth`] ledger under `label` —
+/// the structured replacement for the old silent `unwrap_or(NAN)`.
+fn gap_sweep_with_health(
+    label: &str,
+    cs: &[f64],
+    eval: impl Fn(f64) -> bevra_num::NumResult<f64> + Sync,
+) -> Vec<f64> {
+    let raw = parallel_map(cs, |&c| match eval(c) {
+        Ok(v) => (v, None),
+        Err(e) => (f64::NAN, Some(format!("{label} at C = {c}: {e}"))),
+    });
+    let mut health = SweepHealth::new();
+    let mut out = Vec::with_capacity(raw.len());
+    for (v, cause) in raw {
+        let bad = health.tally_non_finite(v);
+        match cause {
+            Some(c) => health.note_degraded(&c),
+            None if bad => health.note_degraded("non-finite gap"),
+            None => health.note_ok(),
+        }
+        out.push(v);
+    }
+    record_health(label, health);
+    out
 }
 
 /// **§5.2 retrying extension**: discrete performance gaps with and without
@@ -321,7 +398,9 @@ pub fn ext_retrying(q: Quality) -> Figure {
         );
         let mut sp = span(format!("retrying/exp-a{alpha}"));
         sp.add_points(cs.len() as u64);
-        let d = parallel_map(&cs, |&c| rm.performance_gap(c).unwrap_or(f64::NAN));
+        let d = gap_sweep_with_health(&format!("ext-retrying/exp-a{alpha}"), &cs, |c| {
+            rm.performance_gap(c)
+        });
         drop(sp);
         exp_series.push(Series::new(format!("α = {alpha}"), cs.clone(), d));
 
@@ -332,7 +411,9 @@ pub fn ext_retrying(q: Quality) -> Figure {
         let rma = RetryModel::new(fam, AdaptiveExp::paper(), kbar, alpha);
         let mut sp = span(format!("retrying/alg-a{alpha}"));
         sp.add_points(cs.len() as u64);
-        let da = parallel_map(&cs, |&c| rma.performance_gap(c).unwrap_or(f64::NAN));
+        let da = gap_sweep_with_health(&format!("ext-retrying/alg-a{alpha}"), &cs, |c| {
+            rma.performance_gap(c)
+        });
         drop(sp);
         alg_series.push(Series::new(format!("α = {alpha}"), cs.clone(), da));
     }

@@ -284,7 +284,9 @@ fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
                 // Consume one UTF-8 scalar (input is a &str, so slicing at
                 // the next char boundary is safe).
                 let rest = std::str::from_utf8(&bytes[*pos..]).map_err(|e| e.to_string())?;
-                let ch = rest.chars().next().expect("nonempty by guard");
+                let Some(ch) = rest.chars().next() else {
+                    unreachable!("Some(_) guard proves the slice non-empty")
+                };
                 out.push(ch);
                 *pos += ch.len_utf8();
             }

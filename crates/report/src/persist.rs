@@ -1,9 +1,16 @@
 //! JSON persistence of regenerated figures (for diffing across runs).
+//!
+//! Writes go through `bevra_faults::atomic_write` (render in memory,
+//! write a sibling temp file, rename over): an interrupted run leaves
+//! either the complete previous artifact or the complete new one on
+//! disk, never a truncated hybrid — asserted by the workspace's chaos
+//! suite under injected I/O faults.
 
 use crate::series::Figure;
 use std::path::Path;
 
-/// Save a figure as pretty JSON at `dir/<figure id>.json`.
+/// Save a figure as pretty JSON at `dir/<figure id>.json`, atomically
+/// (temp file + rename, bounded retry on transient errors).
 ///
 /// # Errors
 ///
@@ -11,7 +18,7 @@ use std::path::Path;
 pub fn save_figure(fig: &Figure, dir: &Path) -> std::io::Result<std::path::PathBuf> {
     std::fs::create_dir_all(dir)?;
     let path = dir.join(format!("{}.json", fig.id));
-    std::fs::write(&path, fig.to_json())?;
+    bevra_faults::atomic_write("report/figure", &path, fig.to_json().as_bytes())?;
     Ok(path)
 }
 

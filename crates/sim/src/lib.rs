@@ -45,5 +45,5 @@ pub use arrivals::{MixedPoisson, RateMixing};
 pub use census::Census;
 pub use holding::HoldingDist;
 pub use link::{Discipline, RetryPolicy};
-pub use runner::{SimConfig, SimReport, Simulation};
+pub use runner::{SimConfig, SimError, SimReport, Simulation};
 pub use stats::Welford;

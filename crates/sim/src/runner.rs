@@ -67,7 +67,40 @@ pub struct SimConfig {
     pub horizon: f64,
     /// RNG seed — equal seeds give bit-identical runs.
     pub seed: u64,
+    /// Watchdog budget: maximum events the loop may process before
+    /// [`Simulation::run_checked`] stops with
+    /// [`SimError::BudgetExhausted`]. `None` (the default everywhere in
+    /// this repo) means unbounded; a `budget:sim/budget@n=<N>` fault rule
+    /// overrides whatever is configured.
+    pub max_events: Option<u64>,
 }
+
+/// Why a checked run stopped early.
+#[derive(Debug)]
+pub enum SimError {
+    /// The event loop hit its watchdog budget ([`SimConfig::max_events`]
+    /// or an injected `sim/budget` override) before draining the horizon.
+    BudgetExhausted {
+        /// Events processed before the watchdog fired.
+        events: u64,
+        /// Statistics accumulated up to the cut-off. Internally
+        /// consistent (census totals match the truncated window, digest
+        /// is deterministic) but covers less simulated time than asked.
+        partial: Box<SimReport>,
+    },
+}
+
+impl std::fmt::Display for SimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::BudgetExhausted { events, .. } => {
+                write!(f, "event budget exhausted after {events} event(s)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
 
 /// Aggregated results of a run.
 #[derive(Debug, Clone)]
@@ -184,10 +217,30 @@ impl Simulation {
         bevra_engine::parallel_map(configs, |cfg| Simulation::new(cfg.clone()).run())
     }
 
-    /// Execute the run to completion and aggregate the report.
-    #[allow(clippy::too_many_lines)]
+    /// Execute the run and aggregate the report, degrading gracefully on
+    /// budget exhaustion: if the watchdog fires (see
+    /// [`Simulation::run_checked`]), the partial report is returned as-is
+    /// rather than panicking — callers that must distinguish a truncated
+    /// run use `run_checked`.
     #[must_use]
     pub fn run(&self) -> SimReport {
+        match self.run_checked() {
+            Ok(report) => report,
+            Err(SimError::BudgetExhausted { partial, .. }) => *partial,
+        }
+    }
+
+    /// Execute the run to completion and aggregate the report, stopping
+    /// with [`SimError::BudgetExhausted`] — carrying the partial report —
+    /// if the event loop processes more than [`SimConfig::max_events`]
+    /// events (or an injected `sim/budget` override) before reaching the
+    /// horizon.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::BudgetExhausted`] when the watchdog fires.
+    #[allow(clippy::too_many_lines)]
+    pub fn run_checked(&self) -> Result<SimReport, SimError> {
         let cfg = &self.cfg;
         // Event-loop observability: a span per run (nests under
         // `sim/run_batch` when batched on the same thread) plus, at
@@ -253,10 +306,21 @@ impl Simulation {
             }
         };
 
+        // Watchdog: the injected override (chaos runs) takes precedence
+        // over the configured ceiling. Checked before each event so a
+        // budget of N processes exactly N events.
+        let budget = bevra_faults::budget_override("sim/budget").or(cfg.max_events);
+        let mut events: u64 = 0;
+
         while let Some(ev) = queue.pop() {
             if ev.time > end {
                 break;
             }
+            if budget.is_some_and(|b| events >= b) {
+                report.census = census;
+                return Err(SimError::BudgetExhausted { events, partial: Box::new(report) });
+            }
+            events += 1;
             run_span.add_points(1);
             if let Some(o) = &obs {
                 o.occupancy.record(n);
@@ -375,7 +439,9 @@ impl Simulation {
                     }
                     // Remove from the active list by swap.
                     let pos = s.active_pos;
-                    let last = *active.last().expect("active nonempty on departure");
+                    let Some(&last) = active.last() else {
+                        unreachable!("departure event with empty active list")
+                    };
                     active.swap_remove(pos);
                     if pos < active.len() {
                         slots[last as usize].active_pos = pos;
@@ -387,7 +453,7 @@ impl Simulation {
         }
 
         report.census = census;
-        report
+        Ok(report)
     }
 
     /// Shared admission logic for fresh arrivals and retries.
@@ -514,6 +580,7 @@ mod tests {
             warmup: 50.0,
             horizon: 2_000.0,
             seed: 42,
+            max_events: None,
         }
     }
 
@@ -672,6 +739,43 @@ mod tests {
             slow.occupancy().len() as u64 > 16,
             "slow MBAC must overshoot the threshold occupancy"
         );
+    }
+
+    #[test]
+    fn budget_exhaustion_yields_consistent_partial_report() {
+        let mut cfg = base_cfg(40.0, Discipline::BestEffort);
+        cfg.max_events = Some(5_000);
+        let err = Simulation::new(cfg.clone()).run_checked().expect_err("budget must fire");
+        let SimError::BudgetExhausted { events, partial } = err;
+        assert_eq!(events, 5_000, "a budget of N processes exactly N events");
+        assert!(format!("{}", SimError::BudgetExhausted {
+            events,
+            partial: partial.clone()
+        })
+        .contains("5000 event(s)"));
+        // The partial report is a usable, self-consistent truncation: the
+        // census was flushed, counters are nonzero, and occupancy still
+        // tabulates (5000 events at ~40 events/time-unit is ~125 time
+        // units — well past the 50-unit warm-up).
+        assert!(partial.completed > 0, "some flows completed before the cut-off");
+        assert!(partial.attempts >= partial.completed);
+        let occ = partial.occupancy();
+        assert!(occ.mean() > 0.0);
+        // `run()` degrades to exactly that partial report.
+        let degraded = Simulation::new(cfg.clone()).run();
+        assert_eq!(degraded.digest(), partial.digest(), "run() returns the same truncation");
+        // And the truncation is deterministic: same seed, same budget,
+        // same digest.
+        let again = Simulation::new(cfg).run();
+        assert_eq!(again.digest(), degraded.digest());
+    }
+
+    #[test]
+    fn unbounded_budget_matches_legacy_run() {
+        let cfg = base_cfg(25.0, Discipline::BestEffort);
+        let checked = Simulation::new(cfg.clone()).run_checked().expect("no budget configured");
+        let legacy = Simulation::new(cfg).run();
+        assert_eq!(checked.digest(), legacy.digest());
     }
 
     #[test]

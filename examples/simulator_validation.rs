@@ -21,6 +21,7 @@ fn validate(name: &str, mixing: RateMixing) {
         warmup: 200.0,
         horizon: 30_000.0,
         seed: 2024,
+        max_events: None,
     };
     let be = Simulation::new(cfg.clone()).run();
 

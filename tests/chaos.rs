@@ -1,0 +1,57 @@
+//! Workspace acceptance: the chaos suite's pinned-seed corpus.
+//!
+//! Each case installs a random-but-seeded fault plan (injected worker
+//! panics, NaN/Inf corruption, forced solver errors, I/O faults, a
+//! simulator watchdog override) and asserts the structured-degradation
+//! invariants — no abort, no hang past the budget, exact `SweepHealth`
+//! accounting, atomic artifacts, deterministic replay. See
+//! `bevra_check::chaos` for the invariant definitions and the
+//! `check-chaos` binary for the time-boxed randomized version.
+//!
+//! Cases run serially inside each test (fault plans are process-global;
+//! the install lock inside `run_case` serializes across test threads).
+
+use bevra_check::chaos::{run_case, silence_injected_panics};
+
+/// The same fixed corpus base the `check-chaos` binary and CI use.
+const CORPUS_BASE: u64 = 0xC4A05;
+
+/// Every pinned corpus seed upholds all chaos invariants.
+#[test]
+fn pinned_chaos_corpus_passes() {
+    silence_injected_panics();
+    for seed in CORPUS_BASE..CORPUS_BASE + 8 {
+        if let Err(e) = run_case(seed) {
+            panic!("{e}");
+        }
+    }
+}
+
+/// Same case seed, same everything: scenario, plan, injection decisions,
+/// degradation counters.
+#[test]
+fn chaos_cases_replay_identically() {
+    silence_injected_panics();
+    for seed in [CORPUS_BASE, CORPUS_BASE + 3, 0x5EED_u64] {
+        let first = run_case(seed).unwrap_or_else(|e| panic!("{e}"));
+        let second = run_case(seed).unwrap_or_else(|e| panic!("{e}"));
+        assert_eq!(first, second, "seed {seed} did not replay identically");
+    }
+}
+
+/// The corpus actually exercises the fault machinery: across the pinned
+/// seeds, some points fail, some degrade, some saves fail — the suite is
+/// not vacuously green.
+#[test]
+fn pinned_chaos_corpus_is_not_vacuous() {
+    silence_injected_panics();
+    let mut total = bevra_check::ChaosStats::default();
+    for seed in CORPUS_BASE..CORPUS_BASE + 8 {
+        total += run_case(seed).unwrap_or_else(|e| panic!("{e}"));
+    }
+    assert!(total.points > 0);
+    assert!(total.failed > 0, "no injected panic landed across the corpus");
+    assert!(total.degraded > 0, "no injected corruption landed across the corpus");
+    assert!(total.sim_events > 0, "watchdog never engaged");
+    assert!(total.saves > total.save_failures, "at least one artifact save succeeded");
+}

@@ -26,6 +26,7 @@ fn batch_configs() -> Vec<SimConfig> {
         warmup: 50.0,
         horizon: 1500.0,
         seed,
+        max_events: None,
     };
     vec![
         base(25.0, Discipline::BestEffort, RateMixing::Fixed, 101),

@@ -20,6 +20,7 @@ fn base(capacity: f64, discipline: Discipline, mixing: RateMixing, seed: u64) ->
         warmup: 200.0,
         horizon: 15_000.0,
         seed,
+        max_events: None,
     }
 }
 
