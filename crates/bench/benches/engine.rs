@@ -1,10 +1,15 @@
 //! Bench: the sweep engine — serial vs parallel vs cached (warm) sweeps
-//! over the Figure 2/3 grids, plus the parallel welfare-table build. This
-//! is the acceptance bench for the engine's speedup claims.
+//! over the Figure 2/3 grids, the parallel welfare-table build, and the
+//! value-kernel paths (scalar per-point vs grid-batched vs warm
+//! persistent cache) on the Figure 4 algebraic/adaptive setting. This is
+//! the acceptance bench for the engine's speedup claims; results land in
+//! `BENCH_sweep.json` (see EXPERIMENTS.md § "Benchmark artifact schema").
 
 use bevra_core::DiscreteModel;
-use bevra_engine::{Architecture, ExecMode, SweepEngine};
-use bevra_load::{Geometric, Poisson, Tabulated, PAPER_MEAN_LOAD};
+use bevra_engine::{
+    Architecture, CacheMode, ExecMode, KernelMode, PersistentCache, SweepEngine,
+};
+use bevra_load::{Algebraic, Geometric, Poisson, Tabulated, PAPER_MEAN_LOAD};
 use bevra_utility::AdaptiveExp;
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
@@ -62,5 +67,76 @@ fn engine_sweeps(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, engine_sweeps);
+/// The value-kernel acceptance benches: `k_max`/`B`/`R` for a 48-point
+/// Figure 4 grid (algebraic z = 3 load, adaptive utility, 2^18-entry
+/// table), isolating the kernels from the off-grid gap root-finder. Four
+/// canonical rows: scalar per-point, grid-batched (fast π), parallel
+/// batched, and warm persistent cache; plus the bitwise-exact batched
+/// kernel for reference.
+fn kernel_sweeps(c: &mut Criterion) {
+    let alg = Algebraic::from_mean(3.0, PAPER_MEAN_LOAD).expect("paper fig4 family");
+    let load = Arc::new(Tabulated::from_model(&alg, 1e-9, 1 << 18));
+    let cs = grid(48);
+    let n = cs.len();
+    let model = || DiscreteModel::new(Arc::clone(&load), AdaptiveExp::paper());
+
+    c.bench_function("kernel_sweep_serial", |b| {
+        b.points(n);
+        b.iter(|| {
+            let m = model();
+            for &cap in &cs {
+                black_box(m.k_max(cap));
+                black_box(m.best_effort(cap));
+                black_box(m.reservation(cap));
+            }
+        });
+    });
+    c.bench_function("kernel_sweep_batched", |b| {
+        b.points(n);
+        b.iter(|| {
+            let eng = SweepEngine::with_mode(model(), ExecMode::Serial)
+                .with_kernel(KernelMode::BatchFast);
+            eng.prime(black_box(&cs));
+        });
+    });
+    c.bench_function("kernel_sweep_batched_exact", |b| {
+        b.points(n);
+        b.iter(|| {
+            let eng =
+                SweepEngine::with_mode(model(), ExecMode::Serial).with_kernel(KernelMode::Batch);
+            eng.prime(black_box(&cs));
+        });
+    });
+    let threads = bevra_engine::thread_count();
+    c.bench_function("kernel_sweep_parallel", |b| {
+        b.points(n);
+        b.iter(|| {
+            let eng = SweepEngine::with_mode(model(), ExecMode::Parallel { threads })
+                .with_kernel(KernelMode::BatchFast);
+            eng.prime(black_box(&cs));
+        });
+    });
+
+    // Warm persistent cache: one cold run stores the value table, then
+    // every iteration is a fresh engine loading it from disk.
+    let dir = std::env::temp_dir().join(format!("bevra-bench-pcache-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let pcache = || PersistentCache::new(&dir, CacheMode::ReadWrite);
+    SweepEngine::with_mode(model(), ExecMode::Serial)
+        .with_kernel(KernelMode::BatchFast)
+        .with_persistent_cache(pcache())
+        .prime(&cs);
+    c.bench_function("kernel_sweep_warm_cache", |b| {
+        b.points(n);
+        b.iter(|| {
+            let eng = SweepEngine::with_mode(model(), ExecMode::Serial)
+                .with_kernel(KernelMode::BatchFast)
+                .with_persistent_cache(pcache());
+            eng.prime(black_box(&cs));
+        });
+    });
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+criterion_group!(benches, engine_sweeps, kernel_sweeps);
 criterion_main!(benches);

@@ -82,9 +82,10 @@ fn main() {
 
     println!(
         "check-chaos: {ran} case(s), {} point(s) ({} failed, {} degraded — all accounted), \
-         {} sim event(s) bounded by watchdog, {}/{} artifact save(s) failed atomically; \
+         {} sim event(s) bounded by watchdog, {}/{} artifact save(s) failed atomically, \
+         {} cached sweep(s) bit-transparent ({} cache I/O fault(s) absorbed); \
          no invariant violated",
         stats.points, stats.failed, stats.degraded, stats.sim_events, stats.save_failures,
-        stats.saves,
+        stats.saves, stats.cache_sweeps, stats.cache_io_errors,
     );
 }

@@ -19,7 +19,11 @@
 //!    injected I/O faults either lands complete (parses back equal) or
 //!    fails leaving nothing behind, never a truncated file;
 //! 5. **determinism** — re-running the same case seed reproduces the
-//!    health ledger and every outcome bit pattern.
+//!    health ledger and every outcome bit pattern;
+//! 6. **cache transparency** — the persistent value-table cache under
+//!    injected load/store I/O faults degrades to recompute: cold and
+//!    warm cached sweeps reproduce the uncached sweep bit for bit, and
+//!    absorbed faults only ever cost time, never numbers.
 //!
 //! The driver is [`run_case`]; the `check-chaos` binary loops it over a
 //! fixed-seed prefix plus a time-boxed randomized tail, and the
@@ -31,7 +35,7 @@
 use crate::scenario::{Scenario, ScenarioStrategy};
 use crate::strategy::Strategy;
 use bevra_core::DiscreteModel;
-use bevra_engine::{CheckedSweep, PointOutcome, SweepEngine};
+use bevra_engine::{CacheMode, CheckedSweep, KernelMode, PersistentCache, PointOutcome, SweepEngine};
 use bevra_faults::{install, FaultKind, FaultPlan, FaultRule, PANIC_MARKER};
 use bevra_report::persist::{load_figure, save_figure};
 use bevra_report::series::{Figure, Panel, Series};
@@ -75,6 +79,19 @@ fn random_rules(rng: &mut StdRng) -> Vec<FaultRule> {
     if rng.random::<f64>() < 0.25 {
         rules.push(FaultRule::always(FaultKind::IoPermanent, "io/report/figure"));
     }
+    // Persistent value-table cache: transient faults hit load and store
+    // alike (prefix match), permanent faults kill stores outright. Both
+    // must degrade to recompute, never to a wrong number or an abort.
+    if rng.random::<f64>() < 0.5 {
+        rules.push(FaultRule::with_prob(
+            FaultKind::IoTransient,
+            "io/cache",
+            0.3 + 0.6 * rng.random::<f64>(),
+        ));
+    }
+    if rng.random::<f64>() < 0.25 {
+        rules.push(FaultRule::always(FaultKind::IoPermanent, "io/cache/store"));
+    }
     rules
 }
 
@@ -108,6 +125,11 @@ pub struct ChaosStats {
     pub saves: u64,
     /// Artifact saves that failed (and verifiably left nothing behind).
     pub save_failures: u64,
+    /// Persistent-cache sweeps compared against the uncached baseline.
+    pub cache_sweeps: u64,
+    /// Persistent-cache load/store attempts absorbed as I/O failures
+    /// (each degraded to a recompute or a skipped store).
+    pub cache_io_errors: u64,
 }
 
 /// Non-finite fields of one evaluated point (the four derived quantities;
@@ -270,6 +292,28 @@ pub fn run_case(case_seed: u64) -> Result<ChaosStats, String> {
     stats.failed += checked.health.failed;
     stats.degraded += checked.health.degraded;
 
+    // Invariant 6: the persistent value-table cache is transparent under
+    // the active plan. Injection decisions are pure functions of (plan
+    // seed, site, key), so a cold cached sweep (compute + store, possibly
+    // fault-blocked) and a warm cached sweep (load, possibly degraded to
+    // recompute) must both reproduce the uncached sweep bit for bit.
+    let cache_dir = std::env::temp_dir().join(format!("bevra-chaos-cache-{case_seed}"));
+    let _ = std::fs::remove_dir_all(&cache_dir);
+    for pass in ["cold", "warm"] {
+        let cached = SweepEngine::new(DiscreteModel::new(load.clone(), Arc::clone(&utility)))
+            .with_kernel(KernelMode::Batch)
+            .with_persistent_cache(PersistentCache::new(&cache_dir, CacheMode::ReadWrite));
+        let swept = cached.sweep_checked(&cs);
+        if outcome_bits(&swept) != outcome_bits(&checked) {
+            return Err(fail(format!("{pass} cached sweep diverged from uncached bitwise")));
+        }
+        stats.cache_sweeps += 1;
+        stats.cache_io_errors += cached
+            .persistent_cache()
+            .map_or(0, bevra_engine::PersistentCache::io_errors);
+    }
+    let _ = std::fs::remove_dir_all(&cache_dir);
+
     // Invariant 5: an identical engine under the identical plan (the
     // guard is still installed — trip decisions are pure functions of the
     // plan seed and stable keys) reproduces health and outcome bits.
@@ -369,6 +413,8 @@ impl std::ops::AddAssign for ChaosStats {
         self.sim_events += o.sim_events;
         self.saves += o.saves;
         self.save_failures += o.save_failures;
+        self.cache_sweeps += o.cache_sweeps;
+        self.cache_io_errors += o.cache_io_errors;
     }
 }
 

@@ -61,6 +61,13 @@ impl<U: Utility> DiscreteModel<U> {
         &self.utility
     }
 
+    /// The fixed admission cap installed by [`Self::with_admission_cap`],
+    /// if any. Exposed so grid evaluators (`crate::discrete_batch`) can
+    /// mirror [`Self::k_max`] exactly.
+    pub fn admission_cap(&self) -> Option<u64> {
+        self.k_max_override
+    }
+
     /// Mean offered load `k̄`.
     pub fn mean_load(&self) -> f64 {
         self.load.mean()
@@ -113,8 +120,13 @@ impl<U: Utility> DiscreteModel<U> {
             if p > 0.0 {
                 acc.add(p * k as f64 * pi);
             }
-            // Early exit: remaining Σ_{j>k} P(j)·j·π(C/j) ≤ π(C/k)·tail mean.
-            if k % 64 == 0 {
+            // Early exit: remaining Σ_{j>k} P(j)·j·π(C/j) ≤ π(C/k)·tail mean
+            // (π is nonincreasing in k). Checked every 64 entries, and
+            // additionally as soon as π reaches exactly 0 — from there every
+            // remaining term is exactly 0.0 and the bound is exact, so the
+            // exit stays bitwise neutral even for tables shorter than 64
+            // entries (which the periodic check alone never reaches).
+            if k % 64 == 0 || pi == 0.0 {
                 let bound = pi * self.load.tail_mean_above(k);
                 if bound <= 1e-15 * acc.total().abs().max(1e-300) {
                     acc.add(0.5 * bound);
@@ -314,5 +326,52 @@ mod tests {
         let m = DiscreteModel::new(poisson_model(10.0), AdaptiveExp::paper());
         let c = 15.0;
         assert!((m.total_best_effort(c) - m.mean_load() * m.best_effort(c)).abs() < 1e-12);
+    }
+
+    /// A utility wrapper counting `value` calls, for pinning the early-exit
+    /// cadence of the summation loop.
+    struct Counting {
+        inner: Rigid,
+        calls: std::sync::atomic::AtomicUsize,
+    }
+    impl Utility for Counting {
+        fn value(&self, b: f64) -> f64 {
+            self.calls.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            self.inner.value(b)
+        }
+        fn name(&self) -> &'static str {
+            "counting-rigid"
+        }
+    }
+
+    #[test]
+    fn short_table_early_exit_fires_and_preserves_results() {
+        // Regression for the early-exit cadence: a `k % 64 == 0` check alone
+        // never fires on tables shorter than 64 entries, so small-k̄ sweeps
+        // paid the full O(len) even after π hit exactly 0. With rigid b̄ = 1
+        // and C = 10, π(C/k) = 0 for every k > 10, so the loop must stop
+        // right after k = 11 — not scan all 40 entries.
+        let weights: Vec<f64> = (0..40).map(|k| 1.0 / f64::from(k + 1)).collect();
+        let load = Arc::new(Tabulated::from_weights(weights.clone()));
+
+        let counting =
+            Counting { inner: Rigid::unit(), calls: std::sync::atomic::AtomicUsize::new(0) };
+        let m = DiscreteModel::new(Arc::clone(&load), counting);
+        let got = m.best_effort(10.0);
+        let calls = m.utility().calls.load(std::sync::atomic::Ordering::Relaxed);
+        assert!(calls <= 12, "early exit did not fire: {calls} value() calls for 40 entries");
+
+        // And the exit is bitwise neutral: identical to the full-order
+        // reference sum over every entry (the skipped terms are exactly 0).
+        let mut acc = NeumaierSum::new();
+        for k in 1..load.len() as u64 {
+            let p = load.pmf(k);
+            let pi = Rigid::unit().value(10.0 / k as f64);
+            if p > 0.0 {
+                acc.add(p * k as f64 * pi);
+            }
+        }
+        let want = acc.total() / load.mean();
+        assert_eq!(got.to_bits(), want.to_bits(), "exit changed the sum: {got:e} vs {want:e}");
     }
 }

@@ -1,0 +1,509 @@
+//! Grid-batched evaluation of the discrete model over a sorted capacity
+//! grid.
+//!
+//! The per-point API ([`DiscreteModel::best_effort`] & friends) walks the
+//! whole load table once *per capacity*: a G-point sweep over a table of K
+//! entries costs G·K utility evaluations with the table streamed G times.
+//! This module interchanges the loops — **outer `k` over the load table,
+//! inner contiguous pass over the capacity grid** — so the table (its pmf
+//! and prefix sums) is traversed once, the inner loop works on contiguous
+//! `f64` arrays (auto-vectorization-friendly SoA layout), and a
+//! **per-capacity early-exit frontier** retires small capacities as soon as
+//! their remaining tail is provably negligible (`tail_mean_above` is O(1),
+//! so the exit test costs nothing extra).
+//!
+//! Two evaluation modes are offered ([`PiEval`]):
+//!
+//! * [`PiEval::Exact`] — the default. Per retired-lane arithmetic is an
+//!   **op-for-op mirror of the scalar path**: same `π` calls, same
+//!   [`NeumaierSum`] accumulation order, same early-exit test and
+//!   tail-midpoint correction, same fault-injection wrapping. Results are
+//!   bitwise identical to calling [`DiscreteModel::best_effort`] /
+//!   [`DiscreteModel::reservation_with_kmax`] point by point — the
+//!   workspace's differential ladder and golden corpus rely on this.
+//! * [`PiEval::Fast`] — opt-in. Exponential-family utilities evaluate `π`
+//!   through [`Utility::value_slice_fast`] (a branch-free polynomial
+//!   `1 − e^{−x}` that compiles to packed SIMD), the Neumaier update is a
+//!   branch-free select over SoA accumulators, and the early-exit bound
+//!   truncates at [`FAST_TRUNC_REL`] of the total instead of the exact
+//!   path's `1e-15` (the dominant speedup on heavy algebraic tails).
+//!   Deterministic (same input bits ⇒ same output bits on every platform)
+//!   but only tolerance-close (≤ 1e-13 relative) to the scalar path; the
+//!   property suite budgets the difference.
+//!
+//! The admission sweep exploits monotonicity: `k_max(C)` is nondecreasing
+//! in `C` (more capacity never lowers the optimal admission count), so for
+//! a sorted grid the argmax search for point `i+1` starts from point `i`'s
+//! result instead of from 1 — amortized O(K + G·log) instead of G
+//! independent O(log²) searches. [`bevra_num::argmax_unimodal_u64`] breaks
+//! ties toward the smallest maximizer regardless of its lower bound, so
+//! the carried bracket returns bitwise-identical thresholds (the
+//! monotonicity invariant itself is property- and mutation-tested in
+//! `tests/batch_parity.rs`).
+
+use crate::discrete::DiscreteModel;
+use bevra_num::{argmax_unimodal_u64, NeumaierSum};
+use bevra_utility::{total_utility, Utility};
+
+/// How the batched kernels evaluate `π` (see module docs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PiEval {
+    /// Bitwise mirror of the scalar per-point path (default).
+    Exact,
+    /// Vectorized polynomial `π`; deterministic, ULP-budgeted, not bitwise.
+    Fast,
+}
+
+/// Results of a batched sweep: one entry per capacity, in input order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GridSweep {
+    /// Admission threshold `k_max(C)` per capacity (`None` = elastic /
+    /// never deny), identical to [`DiscreteModel::k_max`].
+    pub k_max: Vec<Option<u64>>,
+    /// Normalized best-effort utility `B(C)` per capacity.
+    pub best_effort: Vec<f64>,
+    /// Normalized reservation utility `R(C)` per capacity.
+    pub reservation: Vec<f64>,
+}
+
+/// Check the sorted-ascending grid precondition shared by every kernel.
+///
+/// NaN capacities are rejected outright (they cannot be ordered); ±∞ and
+/// nonpositive values are fine and handled exactly like the scalar path.
+fn assert_sorted(capacities: &[f64]) {
+    assert!(
+        capacities.iter().all(|c| !c.is_nan()),
+        "capacity grid must not contain NaN"
+    );
+    assert!(
+        capacities.windows(2).all(|w| w[0] <= w[1]),
+        "capacity grid must be sorted ascending"
+    );
+}
+
+/// Batched [`DiscreteModel::k_max`] over a sorted capacity grid with a
+/// carried argmax bracket (see module docs).
+///
+/// # Panics
+///
+/// Panics if `capacities` is not sorted ascending or contains NaN.
+pub fn k_max_grid<U: Utility>(
+    model: &DiscreteModel<U>,
+    capacities: &[f64],
+) -> Vec<Option<u64>> {
+    k_max_grid_with_carry_nudge(model, capacities, |k| k)
+}
+
+/// [`k_max_grid`] with an injectable carry perturbation.
+///
+/// The mutation tests use this to prove the carried bracket actually
+/// matters: nudging the carried lower bound above the true argmax (e.g.
+/// `|k| k + 1` on a plateau grid) must produce detectably wrong thresholds.
+/// Production code always uses the identity nudge via [`k_max_grid`].
+#[doc(hidden)]
+pub fn k_max_grid_with_carry_nudge<U: Utility>(
+    model: &DiscreteModel<U>,
+    capacities: &[f64],
+    nudge: impl Fn(u64) -> u64,
+) -> Vec<Option<u64>> {
+    assert_sorted(capacities);
+    let cap_override = model.admission_cap();
+    let u = model.utility();
+    let mut out = Vec::with_capacity(capacities.len());
+    // Carried lower bound for the argmax search. k_max(C) is nondecreasing
+    // in C, and the search returns the smallest maximizer independent of
+    // where the bracket starts (as long as it starts at or below it), so
+    // seeding with the previous point's threshold is exact, not heuristic.
+    let mut lo = 1u64;
+    for &c in capacities {
+        let km = if c <= 0.0 {
+            None
+        } else if let Some(cap) = cap_override {
+            Some(cap)
+        } else {
+            match argmax_unimodal_u64(|k| total_utility(u, k, c), lo, 1u64 << 40) {
+                Ok(k) => {
+                    lo = nudge(k).max(1);
+                    Some(k)
+                }
+                Err(_) => None,
+            }
+        };
+        out.push(km);
+    }
+    out
+}
+
+/// Batched [`DiscreteModel::best_effort`] over a sorted capacity grid.
+///
+/// One loop-interchanged pass over the load table computes `B(C)` for every
+/// capacity; [`PiEval::Exact`] is bitwise identical to the scalar path
+/// (including its fault-injection site `eval/best_effort`).
+///
+/// # Panics
+///
+/// Panics if `capacities` is not sorted ascending or contains NaN.
+pub fn best_effort_grid<U: Utility>(
+    model: &DiscreteModel<U>,
+    capacities: &[f64],
+    mode: PiEval,
+) -> Vec<f64> {
+    assert_sorted(capacities);
+    let raw = match mode {
+        PiEval::Exact => best_effort_grid_exact(model, capacities),
+        PiEval::Fast => best_effort_grid_fast(model, capacities),
+    };
+    capacities
+        .iter()
+        .zip(raw)
+        .map(|(&c, v)| {
+            if c <= 0.0 {
+                // Scalar path returns before reaching its fault site.
+                0.0
+            } else {
+                bevra_faults::corrupt_f64("eval/best_effort", c.to_bits(), v)
+            }
+        })
+        .collect()
+}
+
+/// Exact-mode kernel: outer `k`, inner scalar-mirrored lane update.
+fn best_effort_grid_exact<U: Utility>(model: &DiscreteModel<U>, capacities: &[f64]) -> Vec<f64> {
+    let load = model.load();
+    let u = model.utility();
+    let kbar = load.mean();
+    let g = capacities.len();
+    let len = load.len() as u64;
+
+    let mut acc = vec![NeumaierSum::new(); g];
+    let mut active: Vec<bool> = capacities.iter().map(|&c| c > 0.0).collect();
+    let mut alive = active.iter().filter(|&&a| a).count();
+    // Lanes exit smallest-capacity-first, so finished lanes form a growing
+    // prefix; `start` skips it. Mid-grid holes (possible but rare) are
+    // handled by the per-lane `active` flag.
+    let mut start = 0usize;
+
+    for k in 1..len {
+        if alive == 0 {
+            break;
+        }
+        let p = load.pmf(k);
+        let kf = k as f64;
+        let check = k % 64 == 0;
+        let tail_mean = load.tail_mean_above(k);
+        for i in start..g {
+            if !active[i] {
+                continue;
+            }
+            // Mirror of `best_effort_uninstrumented`'s loop body, per lane.
+            let pi = u.value(capacities[i] / kf);
+            if p > 0.0 {
+                acc[i].add(p * kf * pi);
+            }
+            if check || pi == 0.0 {
+                let bound = pi * tail_mean;
+                if bound <= 1e-15 * acc[i].total().abs().max(1e-300) {
+                    acc[i].add(0.5 * bound);
+                    active[i] = false;
+                    alive -= 1;
+                }
+            }
+        }
+        while start < g && !active[start] {
+            start += 1;
+        }
+    }
+    acc.into_iter().map(|a| a.total() / kbar).collect()
+}
+
+/// Truncation threshold for the fast kernel's early-exit bound, relative
+/// to the accumulated total.
+///
+/// The exact path retires a lane when the provable tail bound drops below
+/// `1e-15` of the total (mirroring the scalar path bit for bit). The fast
+/// path's contract is looser — deterministic but only tolerance-close
+/// (≤ `1e-13` relative, see `fast_sweep_is_ulp_close` and the engine's
+/// budget test) — so it may stop as soon as the bound reaches `1e-13`:
+/// the tail-midpoint correction halves the residual to ≤ `5e-14` relative,
+/// inside the contract with 2× margin. For heavy algebraic tails, where
+/// the bound decays like `k^{−(z+1)}`, retiring at `ε` instead of `1e-15`
+/// shortens the walk by `(1e-15/ε)^{1/(z+1)}` — about 3× for the paper's
+/// z = 3 family — and is where most of the fast kernel's speedup over the
+/// scalar path comes from on tails the `1e-15` bound cannot cut.
+pub const FAST_TRUNC_REL: f64 = 1e-13;
+
+/// Fast-mode kernel: vectorized `π` via [`Utility::value_slice_fast`] and a
+/// branch-free masked Neumaier update over SoA accumulators.
+fn best_effort_grid_fast<U: Utility>(model: &DiscreteModel<U>, capacities: &[f64]) -> Vec<f64> {
+    let load = model.load();
+    let u = model.utility();
+    let kbar = load.mean();
+    let g = capacities.len();
+    let len = load.len() as u64;
+
+    let mut sums = vec![0.0f64; g];
+    let mut comps = vec![0.0f64; g];
+    // 1.0 = live lane, 0.0 = retired; multiplying the term by the mask is
+    // bit-neutral for live lanes and adds an exact 0.0 to retired ones
+    // (Neumaier on a nonnegative accumulator is unchanged by adding +0.0).
+    let mut mask: Vec<f64> = capacities.iter().map(|&c| if c > 0.0 { 1.0 } else { 0.0 }).collect();
+    let mut alive = mask.iter().filter(|&&m| m != 0.0).count();
+    let mut start = 0usize;
+    let mut bs = vec![0.0f64; g];
+    let mut pis = vec![0.0f64; g];
+
+    for k in 1..len {
+        if alive == 0 {
+            break;
+        }
+        let p = load.pmf(k);
+        let kf = k as f64;
+        let scale = if p > 0.0 { p * kf } else { 0.0 };
+
+        // Phases 1+2: π(C/k) over the live window in one dispatched pass.
+        // Families that can absorb the bandwidth division into their
+        // exponent override `value_capacity_slice_fast` (the adaptive
+        // family saves a packed divide per lane); the default divides
+        // into `bs` and forwards to `value_slice_fast`.
+        u.value_capacity_slice_fast(
+            &capacities[start..g],
+            kf,
+            &mut bs[start..g],
+            &mut pis[start..g],
+        );
+        // Phase 3: masked branch-free Neumaier accumulation (packed,
+        // AVX2-dispatched, bitwise equal to `NeumaierSum::add` per lane).
+        bevra_num::masked_neumaier_step(
+            scale,
+            &pis[start..g],
+            &mask[start..g],
+            &mut sums[start..g],
+            &mut comps[start..g],
+        );
+
+        // Phase 4: early-exit frontier — same bound as the scalar path.
+        // Capacities are sorted ascending, so for fixed `k` the bandwidths
+        // and hence the `π` values are nondecreasing across the window:
+        // if any lane underflowed to `π = 0` then so did the frontier
+        // lane, and probing `pis[start]` alone suffices (a retired frontier
+        // lane can only over-trigger the check, which is harmless).
+        let need_check = k % 64 == 0 || pis[start] == 0.0;
+        if need_check {
+            let tail_mean = load.tail_mean_above(k);
+            let periodic = k % 64 == 0;
+            for i in start..g {
+                if mask[i] != 0.0 && (periodic || pis[i] == 0.0) {
+                    let pi = pis[i];
+                    let bound = pi * tail_mean;
+                    let total = sums[i] + comps[i];
+                    if bound <= FAST_TRUNC_REL * total.abs().max(1e-300) {
+                        // Retire the lane with the tail-midpoint correction.
+                        let v = 0.5 * bound;
+                        let s = sums[i];
+                        let t = s + v;
+                        let corr =
+                            if s.abs() >= v.abs() { (s - t) + v } else { (v - t) + s };
+                        comps[i] += corr;
+                        sums[i] = t;
+                        mask[i] = 0.0;
+                        alive -= 1;
+                    }
+                }
+            }
+            while start < g && mask[start] == 0.0 {
+                start += 1;
+            }
+        }
+    }
+    (0..g).map(|i| (sums[i] + comps[i]) / kbar).collect()
+}
+
+/// Batched [`DiscreteModel::reservation_with_kmax`] over a sorted grid.
+///
+/// `k_maxes[i]` must be what [`DiscreteModel::k_max`] returns for
+/// `capacities[i]` (use [`k_max_grid`]); `best_efforts[i]` must be the
+/// already-instrumented best-effort values (use [`best_effort_grid`]) —
+/// elastic lanes (`k_max = None`) reuse them, mirroring the scalar
+/// delegation `R(C) = B(C)`. Always evaluates `π` exactly: the admitted
+/// head is O(k_max) per lane, far too short for vectorization to matter.
+///
+/// # Panics
+///
+/// Panics if the slice lengths differ, or if `capacities` is not sorted
+/// ascending or contains NaN.
+pub fn reservation_grid<U: Utility>(
+    model: &DiscreteModel<U>,
+    capacities: &[f64],
+    k_maxes: &[Option<u64>],
+    best_efforts: &[f64],
+) -> Vec<f64> {
+    assert_sorted(capacities);
+    assert_eq!(capacities.len(), k_maxes.len(), "k_max table length mismatch");
+    assert_eq!(capacities.len(), best_efforts.len(), "best-effort table length mismatch");
+    let load = model.load();
+    let u = model.utility();
+    let kbar = load.mean();
+    let g = capacities.len();
+    let len_m1 = load.len() as u64 - 1;
+
+    // Lanes with a finite positive threshold sum an admitted head of the
+    // table; everything else short-circuits exactly like the scalar path.
+    let mut acc = vec![NeumaierSum::new(); g];
+    let mut cap_k = vec![0u64; g];
+    let mut max_cap_k = 0u64;
+    for i in 0..g {
+        if capacities[i] > 0.0 {
+            if let Some(m) = k_maxes[i] {
+                if m > 0 {
+                    cap_k[i] = m.min(len_m1);
+                    max_cap_k = max_cap_k.max(cap_k[i]);
+                }
+            }
+        }
+    }
+
+    for k in 1..=max_cap_k {
+        let p = load.pmf(k);
+        let kf = k as f64;
+        for i in 0..g {
+            if k <= cap_k[i] && p > 0.0 {
+                acc[i].add(p * kf * u.value(capacities[i] / kf));
+            }
+        }
+    }
+
+    (0..g)
+        .map(|i| {
+            let c = capacities[i];
+            let raw = if c <= 0.0 {
+                0.0
+            } else {
+                match k_maxes[i] {
+                    // Elastic: the architectures coincide; reuse the
+                    // (already fault-wrapped) best-effort value, exactly as
+                    // the scalar path delegates to `best_effort`.
+                    None => best_efforts[i],
+                    Some(0) => 0.0,
+                    Some(m) => {
+                        let overload_mass = load.tail_mass_above(cap_k[i]);
+                        if overload_mass > 0.0 {
+                            acc[i].add(m as f64 * u.value(c / m as f64) * overload_mass);
+                        }
+                        acc[i].total() / kbar
+                    }
+                }
+            };
+            // The scalar `reservation_with_kmax` wraps unconditionally.
+            bevra_faults::corrupt_f64("eval/reservation", c.to_bits(), raw)
+        })
+        .collect()
+}
+
+/// Full batched sweep: `k_max`, `B`, and `R` for every capacity in one
+/// table pass plus an O(Σ k_max) head pass.
+///
+/// Equivalent to calling [`DiscreteModel::k_max`],
+/// [`DiscreteModel::best_effort`], and [`DiscreteModel::reservation`] per
+/// point — bitwise so under [`PiEval::Exact`].
+///
+/// # Panics
+///
+/// Panics if `capacities` is not sorted ascending or contains NaN.
+pub fn sweep_grid<U: Utility>(
+    model: &DiscreteModel<U>,
+    capacities: &[f64],
+    mode: PiEval,
+) -> GridSweep {
+    let k_max = k_max_grid(model, capacities);
+    let best_effort = best_effort_grid(model, capacities, mode);
+    let reservation = reservation_grid(model, capacities, &k_max, &best_effort);
+    GridSweep { k_max, best_effort, reservation }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bevra_load::{Poisson, Tabulated};
+    use bevra_utility::{AdaptiveExp, ExponentialElastic, Rigid};
+    use std::sync::Arc;
+
+    fn model_rigid() -> DiscreteModel<Rigid> {
+        let load = Tabulated::from_model(&Poisson::new(20.0), 1e-12, 1 << 12);
+        DiscreteModel::new(load, Rigid::unit())
+    }
+
+    #[test]
+    fn exact_sweep_is_bitwise_equal_to_scalar() {
+        let m = model_rigid();
+        let caps = [-1.0, 0.0, 0.5, 2.0, 5.0, 10.0, 15.0, 20.0, 40.0, 80.0];
+        let got = sweep_grid(&m, &caps, PiEval::Exact);
+        for (i, &c) in caps.iter().enumerate() {
+            assert_eq!(got.k_max[i], m.k_max(c), "k_max C={c}");
+            assert_eq!(
+                got.best_effort[i].to_bits(),
+                m.best_effort(c).to_bits(),
+                "B C={c}"
+            );
+            assert_eq!(
+                got.reservation[i].to_bits(),
+                m.reservation(c).to_bits(),
+                "R C={c}"
+            );
+        }
+    }
+
+    #[test]
+    fn exact_sweep_mirrors_elastic_delegation() {
+        let load = Tabulated::from_model(&Poisson::new(20.0), 1e-12, 1 << 12);
+        let m = DiscreteModel::new(load, ExponentialElastic::default());
+        let caps = [1.0, 5.0, 20.0, 60.0];
+        let got = sweep_grid(&m, &caps, PiEval::Exact);
+        for (i, &c) in caps.iter().enumerate() {
+            assert_eq!(got.k_max[i], None);
+            assert_eq!(got.reservation[i].to_bits(), m.reservation(c).to_bits());
+        }
+    }
+
+    #[test]
+    fn fast_sweep_is_ulp_close() {
+        let load = Tabulated::from_model(&Poisson::new(20.0), 1e-12, 1 << 12);
+        let m = DiscreteModel::new(load, AdaptiveExp::paper());
+        let caps = [0.5, 2.0, 5.0, 10.0, 20.0, 40.0];
+        let got = sweep_grid(&m, &caps, PiEval::Fast);
+        for (i, &c) in caps.iter().enumerate() {
+            let b = m.best_effort(c);
+            let diff = (got.best_effort[i] - b).abs();
+            assert!(
+                diff <= 1e-13 * b.abs().max(1e-300),
+                "C={c}: fast {0:e} vs scalar {b:e}",
+                got.best_effort[i]
+            );
+        }
+    }
+
+    #[test]
+    fn admission_cap_override_is_mirrored() {
+        let load = Arc::new(Tabulated::from_model(&Poisson::new(20.0), 1e-12, 1 << 12));
+        let m = DiscreteModel::new(Arc::clone(&load), AdaptiveExp::paper()).with_admission_cap(7);
+        let caps = [1.0, 10.0, 30.0];
+        let got = sweep_grid(&m, &caps, PiEval::Exact);
+        for (i, &c) in caps.iter().enumerate() {
+            assert_eq!(got.k_max[i], Some(7));
+            assert_eq!(got.reservation[i].to_bits(), m.reservation(c).to_bits());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "sorted ascending")]
+    fn unsorted_grid_rejected() {
+        let m = model_rigid();
+        let _ = sweep_grid(&m, &[5.0, 2.0], PiEval::Exact);
+    }
+
+    #[test]
+    #[should_panic(expected = "must not contain NaN")]
+    fn nan_grid_rejected() {
+        let m = model_rigid();
+        let _ = sweep_grid(&m, &[f64::NAN], PiEval::Exact);
+    }
+}

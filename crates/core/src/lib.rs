@@ -44,6 +44,7 @@
 pub mod asymptotics;
 pub mod continuum;
 pub mod discrete;
+pub mod discrete_batch;
 pub mod gaps;
 pub mod heterogeneous;
 pub mod retrying;
@@ -51,6 +52,9 @@ pub mod sampling;
 pub mod welfare;
 
 pub use discrete::DiscreteModel;
+pub use discrete_batch::{
+    best_effort_grid, k_max_grid, reservation_grid, sweep_grid, GridSweep, PiEval,
+};
 pub use gaps::{bandwidth_gap, performance_gap};
 pub use heterogeneous::{mix_loads, FlowClass, HeterogeneousModel, RiskAverseModel};
 pub use retrying::RetryModel;

@@ -122,6 +122,22 @@ impl<V: Clone> ShardedCache<V> {
         let fresh = compute();
         Self::lock_shard(self.shard(key)).entry(key).or_insert(fresh).clone()
     }
+
+    /// The value for `key` if present, **without** touching the hit/miss
+    /// counters. Used by the grid-priming path to decide what still needs
+    /// computing; the counters keep describing consumer lookups only.
+    pub fn peek(&self, key: u64) -> Option<V> {
+        Self::lock_shard(self.shard(key)).get(&key).cloned()
+    }
+
+    /// Insert a precomputed value, counting it as one miss (the value was
+    /// computed fresh rather than served from the cache). An existing
+    /// entry is kept — by purity of the memoized functions a racing
+    /// insert holds the identical value.
+    pub fn insert(&self, key: u64, value: V) {
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        Self::lock_shard(self.shard(key)).entry(key).or_insert(value);
+    }
 }
 
 /// The canonical cache key for a capacity: its IEEE-754 bit pattern.

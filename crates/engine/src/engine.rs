@@ -3,9 +3,10 @@
 
 use crate::cache::{f64_key, CacheStats, ShardedCache};
 use crate::instrument::{span, SweepHealth};
+use crate::persist::{grid_key, GridRow, PersistentCache};
 use crate::pool::{parallel_map_isolated, parallel_map_with, thread_count, ItemError};
 use bevra_core::welfare::SampledValue;
-use bevra_core::{equalizing_price_ratio, DiscreteModel};
+use bevra_core::{equalizing_price_ratio, DiscreteModel, PiEval};
 use bevra_num::{brent, expand_bracket_up, NumError, NumResult};
 use bevra_obs::{enabled, metrics, ObsLevel};
 use bevra_utility::Utility;
@@ -50,6 +51,45 @@ impl ExecMode {
         match self {
             ExecMode::Serial => 1,
             ExecMode::Parallel { threads } => threads.max(1),
+        }
+    }
+}
+
+/// Which value kernel fills the engine's memo tables for grid sweeps.
+///
+/// Off-grid probes (the bandwidth-gap root finder) always evaluate through
+/// the scalar per-point path; the kernel mode governs how *grids* are
+/// primed before the per-point phase reads them back.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KernelMode {
+    /// No grid priming: every capacity is evaluated by the scalar
+    /// per-point path on first use. The pre-batching behavior; kept as the
+    /// baseline for benchmarks and as an escape hatch (`BEVRA_KERNEL=scalar`).
+    Scalar,
+    /// Default: grids are primed by the loop-interchanged batched kernels
+    /// in exact mode ([`bevra_core::PiEval::Exact`]) — bitwise identical
+    /// to [`KernelMode::Scalar`], one load-table pass per grid instead of
+    /// one per point. `k_max` stays per-point scalar: for utilities whose
+    /// `V(k)` has a noise-level plateau (e.g. ramp), the carried-bracket
+    /// argmax is search-path-dependent at the ULP level, and the engine's
+    /// bitwise contract wins over the microseconds the carry saves.
+    Batch,
+    /// Opt-in (`BEVRA_KERNEL=fast`): batched kernels with the vectorized
+    /// ULP-budgeted `π` ([`bevra_core::PiEval::Fast`]) plus the carried
+    /// monotone `k_max` sweep. Deterministic but *not* bitwise against the
+    /// scalar path; do not use where goldens or parity digests apply.
+    BatchFast,
+}
+
+impl KernelMode {
+    /// Mode selected by `BEVRA_KERNEL`: `scalar`, `fast`, or (default,
+    /// including unset/unknown) `batch`.
+    #[must_use]
+    pub fn from_env() -> Self {
+        match std::env::var("BEVRA_KERNEL").ok().as_deref() {
+            Some("scalar") => KernelMode::Scalar,
+            Some("fast") => KernelMode::BatchFast,
+            _ => KernelMode::Batch,
         }
     }
 }
@@ -164,6 +204,8 @@ impl CheckedSweep {
 pub struct SweepEngine<U: Utility> {
     model: DiscreteModel<U>,
     mode: ExecMode,
+    kernel: KernelMode,
+    persist: Option<PersistentCache>,
     kmax: ShardedCache<Option<u64>>,
     b: ShardedCache<f64>,
     r: ShardedCache<f64>,
@@ -184,16 +226,36 @@ impl<U: Utility> SweepEngine<U> {
         Self::with_mode(model, ExecMode::Serial)
     }
 
-    /// Engine with an explicit execution mode.
+    /// Engine with an explicit execution mode. The kernel mode comes from
+    /// `BEVRA_KERNEL` and the persistent cache from `BEVRA_CACHE` (see
+    /// [`KernelMode::from_env`] and [`PersistentCache::from_env`]); both
+    /// can be overridden with the builder methods.
     #[must_use]
     pub fn with_mode(model: DiscreteModel<U>, mode: ExecMode) -> Self {
         Self {
             model,
             mode,
+            kernel: KernelMode::from_env(),
+            persist: PersistentCache::from_env(),
             kmax: ShardedCache::new(),
             b: ShardedCache::new(),
             r: ShardedCache::new(),
         }
+    }
+
+    /// Replace the kernel mode (builder style).
+    #[must_use]
+    pub fn with_kernel(mut self, kernel: KernelMode) -> Self {
+        self.kernel = kernel;
+        self
+    }
+
+    /// Attach an explicit persistent cache (builder style), replacing
+    /// whatever `BEVRA_CACHE` configured.
+    #[must_use]
+    pub fn with_persistent_cache(mut self, cache: PersistentCache) -> Self {
+        self.persist = Some(cache);
+        self
     }
 
     /// The wrapped model.
@@ -204,6 +266,120 @@ impl<U: Utility> SweepEngine<U> {
     /// The execution mode.
     pub fn mode(&self) -> ExecMode {
         self.mode
+    }
+
+    /// The active kernel mode.
+    pub fn kernel(&self) -> KernelMode {
+        self.kernel
+    }
+
+    /// The attached persistent cache, if any (for inspecting its
+    /// counters after a sweep).
+    pub fn persistent_cache(&self) -> Option<&PersistentCache> {
+        self.persist.as_ref()
+    }
+
+    /// Prime the memo tables for a capacity grid with the batched kernels
+    /// (no-op under [`KernelMode::Scalar`]).
+    ///
+    /// Non-finite and nonpositive capacities are left to the scalar path;
+    /// the rest are sorted, deduplicated, filtered to what is not already
+    /// memoized, then either loaded from the persistent cache or computed
+    /// by `bevra_core::discrete_batch` — in parallel contiguous chunks
+    /// under [`ExecMode::Parallel`] — and inserted. Both sources are
+    /// exact-bitwise against the scalar path (fast mode excepted, see
+    /// [`KernelMode::BatchFast`]), so sweeps that read the primed tables
+    /// stay bitwise-identical under any thread count or chunking.
+    ///
+    /// A panic inside the batched compute is caught and counted
+    /// (`engine/prime/panic`): the sweep then falls back to the per-point
+    /// scalar path, preserving the engine's degradation contract.
+    pub fn prime(&self, capacities: &[f64]) {
+        if self.kernel == KernelMode::Scalar {
+            return;
+        }
+        let mut cs: Vec<f64> =
+            capacities.iter().copied().filter(|c| c.is_finite() && *c > 0.0).collect();
+        cs.sort_unstable_by(f64::total_cmp);
+        cs.dedup_by(|a, b| a.to_bits() == b.to_bits());
+        cs.retain(|&c| {
+            let k = f64_key(c);
+            self.kmax.peek(k).is_none()
+                || self.b.peek(k).is_none()
+                || self.r.peek(k).is_none()
+        });
+        if cs.is_empty() {
+            return;
+        }
+
+        let tag = match self.kernel {
+            KernelMode::BatchFast => 1u8,
+            _ => 0u8,
+        };
+        if let Some(pc) = &self.persist {
+            let key = grid_key(&self.model, tag, &cs);
+            if let Some(rows) = pc.load(key, &cs) {
+                self.insert_rows(&cs, &rows);
+                return;
+            }
+            if let Some(rows) = self.compute_rows(&cs) {
+                self.insert_rows(&cs, &rows);
+                pc.store(key, &cs, &rows);
+            }
+            return;
+        }
+        if let Some(rows) = self.compute_rows(&cs) {
+            self.insert_rows(&cs, &rows);
+        }
+    }
+
+    /// Batched evaluation of `(k_max, B, R)` rows for a sorted deduped
+    /// grid; `None` if the kernel panicked (fall back to scalar).
+    fn compute_rows(&self, cs: &[f64]) -> Option<Vec<GridRow>> {
+        let pi = match self.kernel {
+            KernelMode::BatchFast => PiEval::Fast,
+            _ => PiEval::Exact,
+        };
+        let kernel = self.kernel;
+        let model = &self.model;
+        let threads = self.mode.threads();
+        let computed = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let chunk_len = cs.len().div_ceil(threads).max(1);
+            let chunks: Vec<&[f64]> = cs.chunks(chunk_len).collect();
+            let parts = parallel_map_with(&chunks, threads, |chunk| {
+                // Exact mode: per-point scalar k_max (bitwise under every
+                // chunking); fast mode: the carried monotone sweep.
+                let kmaxes: Vec<Option<u64>> = match kernel {
+                    KernelMode::BatchFast => bevra_core::k_max_grid(model, chunk),
+                    _ => chunk.iter().map(|&c| model.k_max(c)).collect(),
+                };
+                let bs = bevra_core::best_effort_grid(model, chunk, pi);
+                let rs = bevra_core::reservation_grid(model, chunk, &kmaxes, &bs);
+                kmaxes
+                    .into_iter()
+                    .zip(bs)
+                    .zip(rs)
+                    .map(|((k, b), r)| (k, b, r))
+                    .collect::<Vec<GridRow>>()
+            });
+            parts.into_iter().flatten().collect::<Vec<GridRow>>()
+        }));
+        match computed {
+            Ok(rows) => Some(rows),
+            Err(_) => {
+                metrics::counter("engine/prime/panic").inc();
+                None
+            }
+        }
+    }
+
+    fn insert_rows(&self, cs: &[f64], rows: &[GridRow]) {
+        for (&c, &(kmax, b, r)) in cs.iter().zip(rows) {
+            let k = f64_key(c);
+            self.kmax.insert(k, kmax);
+            self.b.insert(k, b);
+            self.r.insert(k, r);
+        }
     }
 
     /// Memoized admission threshold `k_max(C)`.
@@ -287,6 +463,7 @@ impl<U: Utility> SweepEngine<U> {
     pub fn sweep_checked(&self, capacities: &[f64]) -> CheckedSweep {
         let mut sp = span("sweep/points");
         sp.add_points(capacities.len() as u64);
+        self.prime(capacities);
         let timing = enabled(ObsLevel::Summary);
         let lat = metrics::histogram("engine/sweep_point_ns");
         let indexed: Vec<(usize, f64)> = capacities.iter().copied().enumerate().collect();
@@ -381,6 +558,7 @@ impl<U: Utility> SweepEngine<U> {
             Architecture::Reservation => "welfare/value-table-R",
         });
         sp.add_points(cs.len() as u64);
+        self.prime(&cs);
         let kbar = self.model.mean_load();
         let timing = enabled(ObsLevel::Summary);
         let lat = metrics::histogram("engine/value_point_ns");
@@ -449,13 +627,18 @@ impl<U: Utility> SweepEngine<U> {
         (out, health)
     }
 
-    /// Hit/miss counters of the three memo tables, named for reports.
+    /// Hit/miss counters of the three memo tables — plus the persistent
+    /// cross-run cache, when one is attached — named for reports.
     pub fn cache_stats(&self) -> Vec<(String, CacheStats)> {
-        vec![
+        let mut out = vec![
             ("k_max".into(), self.kmax.stats()),
             ("best_effort".into(), self.b.stats()),
             ("reservation".into(), self.r.stats()),
-        ]
+        ];
+        if let Some(pc) = &self.persist {
+            out.push(("persistent".into(), pc.stats()));
+        }
+        out
     }
 }
 
@@ -525,6 +708,75 @@ mod tests {
         for c in [10.0, 75.0, 320.0, 4000.0] {
             assert_eq!(sv_legacy.value(c).to_bits(), sv_engine.value(c).to_bits(), "C={c}");
         }
+    }
+
+    #[test]
+    fn batched_priming_matches_scalar_kernel_bitwise() {
+        let cs = grid();
+        let scalar = poisson_engine(ExecMode::Serial).with_kernel(KernelMode::Scalar).sweep(&cs);
+        let batched = poisson_engine(ExecMode::Serial).with_kernel(KernelMode::Batch).sweep(&cs);
+        let batched_par = poisson_engine(ExecMode::Parallel { threads: 5 })
+            .with_kernel(KernelMode::Batch)
+            .sweep(&cs);
+        for ((s, b), p) in scalar.iter().zip(&batched).zip(&batched_par) {
+            assert_eq!(s.best_effort.to_bits(), b.best_effort.to_bits());
+            assert_eq!(s.reservation.to_bits(), b.reservation.to_bits());
+            assert_eq!(s.bandwidth_gap.to_bits(), b.bandwidth_gap.to_bits());
+            assert_eq!(s.best_effort.to_bits(), p.best_effort.to_bits());
+            assert_eq!(s.reservation.to_bits(), p.reservation.to_bits());
+            assert_eq!(s.bandwidth_gap.to_bits(), p.bandwidth_gap.to_bits());
+        }
+    }
+
+    #[test]
+    fn fast_kernel_is_close_but_fast_tables_never_cross_keys() {
+        let cs = grid();
+        let exact = poisson_engine(ExecMode::Serial).with_kernel(KernelMode::Batch).sweep(&cs);
+        let fast = poisson_engine(ExecMode::Serial).with_kernel(KernelMode::BatchFast).sweep(&cs);
+        for (e, f) in exact.iter().zip(&fast) {
+            let tol = 1e-12 * e.best_effort.abs().max(1e-300);
+            assert!(
+                (e.best_effort - f.best_effort).abs() <= tol,
+                "C={}: exact {:e} fast {:e}",
+                e.capacity,
+                e.best_effort,
+                f.best_effort
+            );
+        }
+    }
+
+    #[test]
+    fn persistent_cache_warm_run_hits_everything() {
+        let dir = std::env::temp_dir()
+            .join(format!("bevra-engine-pcache-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cs = grid();
+
+        // Cold run: computes and stores.
+        let cold = poisson_engine(ExecMode::Serial).with_persistent_cache(
+            crate::persist::PersistentCache::new(&dir, crate::persist::CacheMode::ReadWrite),
+        );
+        let first = cold.sweep(&cs);
+        let cold_stats = cold.cache_stats();
+        let (_, pc) = cold_stats.iter().find(|(n, _)| n == "persistent").expect("pcache stats");
+        assert_eq!((pc.hits, pc.misses), (0, 1), "cold run misses once");
+
+        // Warm run in a fresh engine (empty memo tables): loads instead of
+        // computing, with bitwise-identical sweep output.
+        let warm = poisson_engine(ExecMode::Serial).with_persistent_cache(
+            crate::persist::PersistentCache::new(&dir, crate::persist::CacheMode::ReadWrite),
+        );
+        let second = warm.sweep(&cs);
+        let warm_stats = warm.cache_stats();
+        let (_, pw) = warm_stats.iter().find(|(n, _)| n == "persistent").expect("pcache stats");
+        assert_eq!((pw.hits, pw.misses), (1, 0), "warm run is a pure hit");
+        assert!((pw.hit_rate() - 1.0).abs() < 1e-15, "hit rate gauge is 100%");
+        for (a, b) in first.iter().zip(&second) {
+            assert_eq!(a.best_effort.to_bits(), b.best_effort.to_bits());
+            assert_eq!(a.reservation.to_bits(), b.reservation.to_bits());
+            assert_eq!(a.bandwidth_gap.to_bits(), b.bandwidth_gap.to_bits());
+        }
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

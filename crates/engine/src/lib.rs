@@ -14,6 +14,10 @@
 //!   degrades instead of aborting the sweep;
 //! * [`cache`] — sharded thread-safe memo tables keyed by capacity bit
 //!   patterns, with hit/miss counters;
+//! * [`persist`] — an on-disk cross-run value-table cache keyed by content
+//!   hashes of (load digest, utility, grid), gated by
+//!   `BEVRA_CACHE=off|rw|ro`, so warm figure regeneration skips the value
+//!   tables entirely (corrupt or missing entries degrade to recompute);
 //! * [`engine`] — the [`SweepEngine`] tying both to a
 //!   [`bevra_core::DiscreteModel`]: memoized `k_max(C)` tables, `B`/`R`
 //!   evaluations shared between the gap root-finder and the welfare
@@ -33,7 +37,12 @@
 //! pool writes results by input index, and the caches memoize pure
 //! functions (racing threads compute identical bits). The workspace's
 //! `engine_parity` property test asserts this across all three load
-//! families.
+//! families. Grid sweeps are primed by the loop-interchanged batched
+//! kernels of `bevra_core::discrete_batch` ([`KernelMode::Batch`], the
+//! default), whose exact mode mirrors the scalar path op for op — so
+//! priming changes wall-clock, never bits; `BEVRA_KERNEL=scalar` disables
+//! priming and `BEVRA_KERNEL=fast` opts into the vectorized ULP-budgeted
+//! kernels.
 //!
 //! # Degradation
 //!
@@ -61,10 +70,14 @@
 pub mod cache;
 pub mod engine;
 pub mod instrument;
+pub mod persist;
 pub mod pool;
 
 pub use cache::{CacheStats, ShardedCache};
-pub use engine::{Architecture, CheckedSweep, ExecMode, PointOutcome, SweepEngine, SweepPoint};
+pub use engine::{
+    Architecture, CheckedSweep, ExecMode, KernelMode, PointOutcome, SweepEngine, SweepPoint,
+};
+pub use persist::{grid_key, CacheMode, GridRow, PersistentCache};
 pub use instrument::{
     drain_caches, drain_health, drain_stages, record_caches, record_health, span, Span,
     StageRecord, SweepHealth, SweepReport,

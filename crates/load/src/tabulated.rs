@@ -213,6 +213,42 @@ impl Tabulated {
         self.name
     }
 
+    /// The raw pmf table as a contiguous slice (`pmf_values()[k] = pmf(k)`).
+    ///
+    /// Exposed for grid-batched kernels that traverse the table once for a
+    /// whole capacity grid and need the compiler to see a plain `&[f64]`
+    /// rather than a bounds-checked accessor in the hot loop.
+    #[must_use]
+    pub fn pmf_values(&self) -> &[f64] {
+        &self.pmf
+    }
+
+    /// Content digest of the distribution: FNV-1a over the name, length,
+    /// and the exact bit patterns of every pmf entry.
+    ///
+    /// Two tables compare equal under this digest iff every probability is
+    /// bitwise identical — the precondition for bit-exact reuse of derived
+    /// value tables (the persistent sweep cache keys on it). The digest is
+    /// O(len); callers that need it repeatedly should memoize it.
+    #[must_use]
+    pub fn digest(&self) -> u64 {
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = OFFSET;
+        let mut eat = |bytes: &[u8]| {
+            for &b in bytes {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(PRIME);
+            }
+        };
+        eat(self.name.as_bytes());
+        eat(&(self.pmf.len() as u64).to_le_bytes());
+        for &p in &self.pmf {
+            eat(&p.to_bits().to_le_bytes());
+        }
+        h
+    }
+
     /// Iterate `(k, pmf(k))` over the support.
     pub fn iter(&self) -> impl Iterator<Item = (u64, f64)> + '_ {
         self.pmf.iter().enumerate().map(|(k, &p)| (k as u64, p))
@@ -305,6 +341,27 @@ mod tests {
     #[should_panic(expected = "weights must not all be zero")]
     fn all_zero_weights_rejected() {
         let _ = Tabulated::from_weights(vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn digest_distinguishes_content_not_identity() {
+        let a = Tabulated::from_model(&Poisson::new(20.0), 1e-12, 1 << 16);
+        let b = Tabulated::from_model(&Poisson::new(20.0), 1e-12, 1 << 16);
+        assert_eq!(a.digest(), b.digest(), "identical builds must share a digest");
+        let c = Tabulated::from_model(&Poisson::new(20.0 + 1e-9), 1e-12, 1 << 16);
+        assert_ne!(a.digest(), c.digest(), "a perturbed table must re-key");
+        let d = Tabulated::from_model(&Geometric::from_mean(20.0), 1e-12, 1 << 16);
+        assert_ne!(a.digest(), d.digest());
+    }
+
+    #[test]
+    fn pmf_values_matches_accessor() {
+        let t = Tabulated::from_model(&Poisson::new(7.0), 1e-12, 1 << 12);
+        let s = t.pmf_values();
+        assert_eq!(s.len(), t.len());
+        for (k, &p) in s.iter().enumerate() {
+            assert_eq!(p.to_bits(), t.pmf(k as u64).to_bits());
+        }
     }
 
     #[test]

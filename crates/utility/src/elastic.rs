@@ -56,6 +56,13 @@ impl Utility for ExponentialElastic {
             self.rate * (-self.rate * b).exp()
         }
     }
+
+    fn value_slice_fast(&self, bs: &[f64], out: &mut [f64]) {
+        // Fused dispatched kernel: branch-free clamp + 1 − e^{−rate·b} on
+        // one vector path; b = 0 gives x = 0 ⇒ π = 0 exactly, matching
+        // `value`.
+        bevra_num::one_minus_exp_neg_scaled_slice(bs, self.rate, out);
+    }
 }
 
 /// `π(b) = b / (s + b)`: a hyperbolic saturating utility, strictly concave,

@@ -28,6 +28,74 @@ pub trait Utility: Send + Sync {
     fn knots(&self) -> Vec<f64> {
         Vec::new()
     }
+
+    /// Evaluate `π` over a bandwidth slice: `out[i] = value(bs[i])`.
+    ///
+    /// The default loops over [`Utility::value`]; overrides must stay
+    /// **bitwise identical** to that loop (the batched welfare kernels rely
+    /// on this to mirror the scalar evaluation path exactly). Families whose
+    /// `value` is branch-light (e.g. step functions) may override this with
+    /// an auto-vectorizable loop.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bs` and `out` have different lengths.
+    fn value_slice(&self, bs: &[f64], out: &mut [f64]) {
+        assert_eq!(bs.len(), out.len(), "bandwidth/output slices must match");
+        for (o, &b) in out.iter_mut().zip(bs) {
+            *o = self.value(b);
+        }
+    }
+
+    /// Fast approximate slice evaluation: `out[i] ≈ value(bs[i])` within a
+    /// few ULPs.
+    ///
+    /// The default forwards to [`Utility::value_slice`] (exact). Families
+    /// dominated by transcendental calls override this with a vectorizable
+    /// polynomial kernel (see `bevra_num::one_minus_exp_neg`); such
+    /// overrides are *deterministic* (same input bits ⇒ same output bits,
+    /// on every platform) but need not match `value` bitwise. Callers that
+    /// require bitwise parity with the scalar path must use
+    /// [`Utility::value_slice`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bs` and `out` have different lengths.
+    fn value_slice_fast(&self, bs: &[f64], out: &mut [f64]) {
+        self.value_slice(bs, out);
+    }
+
+    /// Fast evaluation of `π(C/k)` over a **capacity** slice at admission
+    /// level `kf = k`: `out[i] ≈ value(cs[i] / kf)`.
+    ///
+    /// This is the hot call of the grid-batched welfare kernels (see
+    /// `bevra_core::discrete_batch`), which walk a whole load table with
+    /// the capacity grid fixed. The default divides into `scratch` and
+    /// forwards to [`Utility::value_slice_fast`]; families whose exponent
+    /// can absorb the division algebraically override it to save a packed
+    /// divide per lane (e.g. the adaptive family's
+    /// `x = C²/(κk² + Ck)` form). Overrides carry the same contract as
+    /// [`Utility::value_slice_fast`] — deterministic, tolerance-budgeted,
+    /// not necessarily bitwise equal to the scalar composition.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cs`, `scratch`, and `out` lengths differ, or if `kf` is
+    /// not strictly positive.
+    fn value_capacity_slice_fast(
+        &self,
+        cs: &[f64],
+        kf: f64,
+        scratch: &mut [f64],
+        out: &mut [f64],
+    ) {
+        assert!(kf > 0.0, "admission level must be positive");
+        assert_eq!(cs.len(), scratch.len(), "capacity/scratch slices must match");
+        for (b, &c) in scratch.iter_mut().zip(cs) {
+            *b = c / kf;
+        }
+        self.value_slice_fast(scratch, out);
+    }
 }
 
 /// Blanket impl so `&U`, `Box<U>`, `Arc<U>` can be used wherever a utility
@@ -42,6 +110,18 @@ impl<U: Utility + ?Sized> Utility for &U {
     fn derivative(&self, b: f64) -> f64 {
         (**self).derivative(b)
     }
+    fn knots(&self) -> Vec<f64> {
+        (**self).knots()
+    }
+    fn value_slice(&self, bs: &[f64], out: &mut [f64]) {
+        (**self).value_slice(bs, out);
+    }
+    fn value_slice_fast(&self, bs: &[f64], out: &mut [f64]) {
+        (**self).value_slice_fast(bs, out);
+    }
+    fn value_capacity_slice_fast(&self, cs: &[f64], kf: f64, scratch: &mut [f64], out: &mut [f64]) {
+        (**self).value_capacity_slice_fast(cs, kf, scratch, out);
+    }
 }
 
 impl<U: Utility + ?Sized> Utility for std::sync::Arc<U> {
@@ -53,6 +133,18 @@ impl<U: Utility + ?Sized> Utility for std::sync::Arc<U> {
     }
     fn derivative(&self, b: f64) -> f64 {
         (**self).derivative(b)
+    }
+    fn knots(&self) -> Vec<f64> {
+        (**self).knots()
+    }
+    fn value_slice(&self, bs: &[f64], out: &mut [f64]) {
+        (**self).value_slice(bs, out);
+    }
+    fn value_slice_fast(&self, bs: &[f64], out: &mut [f64]) {
+        (**self).value_slice_fast(bs, out);
+    }
+    fn value_capacity_slice_fast(&self, cs: &[f64], kf: f64, scratch: &mut [f64], out: &mut [f64]) {
+        (**self).value_capacity_slice_fast(cs, kf, scratch, out);
     }
 }
 

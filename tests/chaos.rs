@@ -39,6 +39,66 @@ fn chaos_cases_replay_identically() {
     }
 }
 
+/// Pinned cache-fault scenario: with transient faults on every cache
+/// load and permanent faults on every cache store, a persistently-cached
+/// engine must degrade to recompute — bitwise-identical results to an
+/// uncached engine, nothing written to the cache directory, and the
+/// absorbed faults visible on the I/O-error counter. Never a wrong
+/// number, never an abort.
+#[test]
+fn pinned_cache_fault_scenario_degrades_to_recompute() {
+    use bevra::analysis::DiscreteModel;
+    use bevra::engine::{CacheMode, ExecMode, KernelMode, PersistentCache, SweepEngine};
+    use bevra::load::{Poisson, Tabulated};
+    use bevra::utility::AdaptiveExp;
+    use bevra_faults::{install, FaultKind, FaultPlan, FaultRule};
+
+    let load = Tabulated::from_model(&Poisson::new(30.0), 1e-12, 1 << 10);
+    let cs: Vec<f64> = (1..=12).map(|i| 5.0 * f64::from(i)).collect();
+    let mk = || {
+        SweepEngine::with_mode(
+            DiscreteModel::new(load.clone(), AdaptiveExp::paper()),
+            ExecMode::Serial,
+        )
+        .with_kernel(KernelMode::Batch)
+    };
+    let baseline = mk().sweep(&cs);
+
+    let dir = std::env::temp_dir().join(format!("bevra-pinned-cache-fault-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let plan = FaultPlan::seeded(0x0CAC_4EFA)
+        .rule(FaultRule::always(FaultKind::IoTransient, "io/cache/load"))
+        .rule(FaultRule::always(FaultKind::IoPermanent, "io/cache/store"));
+    let _guard = install(plan);
+
+    let mut io_errors = 0;
+    for pass in ["cold", "warm"] {
+        let engine = mk().with_persistent_cache(PersistentCache::new(&dir, CacheMode::ReadWrite));
+        let points = engine.sweep(&cs);
+        for (b, p) in baseline.iter().zip(&points) {
+            assert_eq!(
+                b.best_effort.to_bits(),
+                p.best_effort.to_bits(),
+                "{pass} pass: B diverged under cache faults at C={}",
+                b.capacity
+            );
+            assert_eq!(
+                b.reservation.to_bits(),
+                p.reservation.to_bits(),
+                "{pass} pass: R diverged under cache faults at C={}",
+                b.capacity
+            );
+        }
+        let pc = engine.persistent_cache().expect("cache attached");
+        assert_eq!(pc.stores(), 0, "{pass} pass: a store slipped past the permanent fault");
+        io_errors += pc.io_errors();
+    }
+    assert!(io_errors >= 2, "faults never landed: {io_errors} absorbed");
+    let leftovers = std::fs::read_dir(&dir).map(|it| it.count()).unwrap_or(0);
+    assert_eq!(leftovers, 0, "failed stores left partial entries behind");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 /// The corpus actually exercises the fault machinery: across the pinned
 /// seeds, some points fail, some degrade, some saves fail — the suite is
 /// not vacuously green.
@@ -54,4 +114,5 @@ fn pinned_chaos_corpus_is_not_vacuous() {
     assert!(total.degraded > 0, "no injected corruption landed across the corpus");
     assert!(total.sim_events > 0, "watchdog never engaged");
     assert!(total.saves > total.save_failures, "at least one artifact save succeeded");
+    assert!(total.cache_sweeps > 0, "no cached sweep was compared");
 }
