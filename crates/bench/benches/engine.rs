@@ -6,9 +6,8 @@
 //! `BENCH_sweep.json` (see EXPERIMENTS.md § "Benchmark artifact schema").
 
 use bevra_core::DiscreteModel;
-use bevra_engine::{
-    Architecture, CacheMode, ExecMode, KernelMode, PersistentCache, SweepEngine,
-};
+use bevra_core::kernel;
+use bevra_engine::{Architecture, CacheMode, ExecMode, PersistentCache, SweepEngine};
 use bevra_load::{Algebraic, Geometric, Poisson, Tabulated, PAPER_MEAN_LOAD};
 use bevra_utility::AdaptiveExp;
 use criterion::{criterion_group, criterion_main, Criterion};
@@ -71,8 +70,8 @@ fn engine_sweeps(c: &mut Criterion) {
 /// Figure 4 grid (algebraic z = 3 load, adaptive utility, 2^18-entry
 /// table), isolating the kernels from the off-grid gap root-finder. Four
 /// canonical rows: scalar per-point, grid-batched (fast π), parallel
-/// batched, and warm persistent cache; plus the bitwise-exact batched
-/// kernel for reference.
+/// batched, and warm persistent cache; plus the bitwise-exact batched and
+/// deterministic-portable backends for reference.
 fn kernel_sweeps(c: &mut Criterion) {
     let alg = Algebraic::from_mean(3.0, PAPER_MEAN_LOAD).expect("paper fig4 family");
     let load = Arc::new(Tabulated::from_model(&alg, 1e-9, 1 << 18));
@@ -95,7 +94,7 @@ fn kernel_sweeps(c: &mut Criterion) {
         b.points(n);
         b.iter(|| {
             let eng = SweepEngine::with_mode(model(), ExecMode::Serial)
-                .with_kernel(KernelMode::BatchFast);
+                .with_kernel(kernel::fast());
             eng.prime(black_box(&cs));
         });
     });
@@ -103,7 +102,15 @@ fn kernel_sweeps(c: &mut Criterion) {
         b.points(n);
         b.iter(|| {
             let eng =
-                SweepEngine::with_mode(model(), ExecMode::Serial).with_kernel(KernelMode::Batch);
+                SweepEngine::with_mode(model(), ExecMode::Serial).with_kernel(kernel::batch());
+            eng.prime(black_box(&cs));
+        });
+    });
+    c.bench_function("kernel_sweep_batched_portable", |b| {
+        b.points(n);
+        b.iter(|| {
+            let eng =
+                SweepEngine::with_mode(model(), ExecMode::Serial).with_kernel(kernel::portable());
             eng.prime(black_box(&cs));
         });
     });
@@ -112,7 +119,7 @@ fn kernel_sweeps(c: &mut Criterion) {
         b.points(n);
         b.iter(|| {
             let eng = SweepEngine::with_mode(model(), ExecMode::Parallel { threads })
-                .with_kernel(KernelMode::BatchFast);
+                .with_kernel(kernel::fast());
             eng.prime(black_box(&cs));
         });
     });
@@ -123,14 +130,14 @@ fn kernel_sweeps(c: &mut Criterion) {
     let _ = std::fs::remove_dir_all(&dir);
     let pcache = || PersistentCache::new(&dir, CacheMode::ReadWrite);
     SweepEngine::with_mode(model(), ExecMode::Serial)
-        .with_kernel(KernelMode::BatchFast)
+        .with_kernel(kernel::fast())
         .with_persistent_cache(pcache())
         .prime(&cs);
     c.bench_function("kernel_sweep_warm_cache", |b| {
         b.points(n);
         b.iter(|| {
             let eng = SweepEngine::with_mode(model(), ExecMode::Serial)
-                .with_kernel(KernelMode::BatchFast)
+                .with_kernel(kernel::fast())
                 .with_persistent_cache(pcache());
             eng.prime(black_box(&cs));
         });

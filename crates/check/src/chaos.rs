@@ -25,6 +25,12 @@
 //!    warm cached sweeps reproduce the uncached sweep bit for bit, and
 //!    absorbed faults only ever cost time, never numbers.
 //!
+//! Invariants 1, 2 and 6 run once per **registered kernel backend**
+//! (`bevra_engine::registry::backends()`): each backend's checked sweep
+//! must account exactly, and each grid-priming backend's cached sweeps
+//! must reproduce *that backend's* uncached sweep bit for bit. A backend
+//! added to the registry later gets this coverage automatically.
+//!
 //! The driver is [`run_case`]; the `check-chaos` binary loops it over a
 //! fixed-seed prefix plus a time-boxed randomized tail, and the
 //! workspace's `tests/chaos.rs` pins a handful of seeds as acceptance
@@ -35,7 +41,7 @@
 use crate::scenario::{Scenario, ScenarioStrategy};
 use crate::strategy::Strategy;
 use bevra_core::DiscreteModel;
-use bevra_engine::{CacheMode, CheckedSweep, KernelMode, PersistentCache, PointOutcome, SweepEngine};
+use bevra_engine::{CacheMode, CheckedSweep, PersistentCache, PointOutcome, SweepEngine};
 use bevra_faults::{install, FaultKind, FaultPlan, FaultRule, PANIC_MARKER};
 use bevra_report::persist::{load_figure, save_figure};
 use bevra_report::series::{Figure, Panel, Series};
@@ -292,27 +298,54 @@ pub fn run_case(case_seed: u64) -> Result<ChaosStats, String> {
     stats.failed += checked.health.failed;
     stats.degraded += checked.health.degraded;
 
-    // Invariant 6: the persistent value-table cache is transparent under
-    // the active plan. Injection decisions are pure functions of (plan
-    // seed, site, key), so a cold cached sweep (compute + store, possibly
-    // fault-blocked) and a warm cached sweep (load, possibly degraded to
-    // recompute) must both reproduce the uncached sweep bit for bit.
-    let cache_dir = std::env::temp_dir().join(format!("bevra-chaos-cache-{case_seed}"));
-    let _ = std::fs::remove_dir_all(&cache_dir);
-    for pass in ["cold", "warm"] {
-        let cached = SweepEngine::new(DiscreteModel::new(load.clone(), Arc::clone(&utility)))
-            .with_kernel(KernelMode::Batch)
-            .with_persistent_cache(PersistentCache::new(&cache_dir, CacheMode::ReadWrite));
-        let swept = cached.sweep_checked(&cs);
-        if outcome_bits(&swept) != outcome_bits(&checked) {
-            return Err(fail(format!("{pass} cached sweep diverged from uncached bitwise")));
+    // Invariants 1 + 2 + 6, per registered backend. Every backend's
+    // checked sweep must complete with exact accounting, and for every
+    // grid-priming backend the persistent value-table cache must be
+    // transparent under the active plan: injection decisions are pure
+    // functions of (plan seed, site, key), so a cold cached sweep
+    // (compute + store, possibly fault-blocked) and a warm cached sweep
+    // (load, possibly degraded to recompute) must both reproduce that
+    // same backend's uncached sweep bit for bit.
+    for kernel in bevra_engine::registry::backends() {
+        let cap = kernel.capability();
+        let uncached = SweepEngine::new(DiscreteModel::new(load.clone(), Arc::clone(&utility)))
+            .with_kernel(kernel);
+        let base = uncached.sweep_checked(&cs);
+        check_accounting(&format!("sweep[{}]", cap.name), cs.len(), &base).map_err(&fail)?;
+        if base.health.kernel.as_deref() != Some(cap.name) {
+            return Err(fail(format!(
+                "sweep[{}]: health ledger stamped {:?}",
+                cap.name, base.health.kernel
+            )));
         }
-        stats.cache_sweeps += 1;
-        stats.cache_io_errors += cached
-            .persistent_cache()
-            .map_or(0, bevra_engine::PersistentCache::io_errors);
+        stats.points += base.health.total();
+        stats.failed += base.health.failed;
+        stats.degraded += base.health.degraded;
+        if !cap.grid_priming {
+            continue;
+        }
+        let cache_dir = std::env::temp_dir()
+            .join(format!("bevra-chaos-cache-{case_seed}-{}", cap.name));
+        let _ = std::fs::remove_dir_all(&cache_dir);
+        for pass in ["cold", "warm"] {
+            let cached =
+                SweepEngine::new(DiscreteModel::new(load.clone(), Arc::clone(&utility)))
+                    .with_kernel(kernel)
+                    .with_persistent_cache(PersistentCache::new(&cache_dir, CacheMode::ReadWrite));
+            let swept = cached.sweep_checked(&cs);
+            if outcome_bits(&swept) != outcome_bits(&base) {
+                return Err(fail(format!(
+                    "{pass} cached sweep[{}] diverged from uncached bitwise",
+                    cap.name
+                )));
+            }
+            stats.cache_sweeps += 1;
+            stats.cache_io_errors += cached
+                .persistent_cache()
+                .map_or(0, bevra_engine::PersistentCache::io_errors);
+        }
+        let _ = std::fs::remove_dir_all(&cache_dir);
     }
-    let _ = std::fs::remove_dir_all(&cache_dir);
 
     // Invariant 5: an identical engine under the identical plan (the
     // guard is still installed — trip decisions are pure functions of the

@@ -30,6 +30,13 @@
 //!   Deterministic (same input bits ⇒ same output bits on every platform)
 //!   but only tolerance-close (≤ 1e-13 relative) to the scalar path; the
 //!   property suite budgets the difference.
+//! * [`PiEval::Portable`] — opt-in. Every `π` evaluation (`k_max` argmax,
+//!   `B`, and `R`) goes through [`Utility::value_portable`], the scalar
+//!   branch-free polynomial with no libm dependence: results are
+//!   bit-identical across operating systems, libm versions, and
+//!   architectures, at the cost of the same ≤ 1e-13 relative distance from
+//!   the scalar path as the fast mode. This is what the engine's
+//!   `deterministic-portable` backend runs.
 //!
 //! The admission sweep exploits monotonicity: `k_max(C)` is nondecreasing
 //! in `C` (more capacity never lowers the optimal admission count), so for
@@ -52,6 +59,11 @@ pub enum PiEval {
     Exact,
     /// Vectorized polynomial `π`; deterministic, ULP-budgeted, not bitwise.
     Fast,
+    /// Scalar polynomial `π` ([`Utility::value_portable`]) for **every**
+    /// evaluation, including the `k_max` argmax and the reservation head:
+    /// bit-identical across platforms and libm versions, ULP-budgeted
+    /// against the scalar path.
+    Portable,
 }
 
 /// Results of a batched sweep: one entry per capacity, in input order.
@@ -91,7 +103,27 @@ pub fn k_max_grid<U: Utility>(
     model: &DiscreteModel<U>,
     capacities: &[f64],
 ) -> Vec<Option<u64>> {
-    k_max_grid_with_carry_nudge(model, capacities, |k| k)
+    k_max_grid_inner(model, capacities, |k| k, PiEval::Exact)
+}
+
+/// [`k_max_grid`] with an explicit `π` evaluation mode.
+///
+/// [`PiEval::Exact`] and [`PiEval::Fast`] both search over the scalar
+/// `V(k) = k·π(C/k)` (the fast π is slice-based and never feeds the
+/// argmax, so the thresholds are bitwise the scalar ones);
+/// [`PiEval::Portable`] searches over `k·value_portable(C/k)`, which can
+/// differ from the scalar threshold only on value plateaus where the two
+/// `π` variants break an exact tie differently.
+///
+/// # Panics
+///
+/// Panics if `capacities` is not sorted ascending or contains NaN.
+pub fn k_max_grid_pi<U: Utility>(
+    model: &DiscreteModel<U>,
+    capacities: &[f64],
+    mode: PiEval,
+) -> Vec<Option<u64>> {
+    k_max_grid_inner(model, capacities, |k| k, mode)
 }
 
 /// [`k_max_grid`] with an injectable carry perturbation.
@@ -106,9 +138,25 @@ pub fn k_max_grid_with_carry_nudge<U: Utility>(
     capacities: &[f64],
     nudge: impl Fn(u64) -> u64,
 ) -> Vec<Option<u64>> {
+    k_max_grid_inner(model, capacities, nudge, PiEval::Exact)
+}
+
+fn k_max_grid_inner<U: Utility>(
+    model: &DiscreteModel<U>,
+    capacities: &[f64],
+    nudge: impl Fn(u64) -> u64,
+    mode: PiEval,
+) -> Vec<Option<u64>> {
     assert_sorted(capacities);
     let cap_override = model.admission_cap();
     let u = model.utility();
+    // The objective the argmax searches: scalar V(k) for Exact/Fast,
+    // portable-π V(k) for Portable (k ≥ 1 always — the bracket never
+    // probes 0, matching `total_utility`'s k = 0 short-circuit).
+    let v = |k: u64, c: f64| match mode {
+        PiEval::Exact | PiEval::Fast => total_utility(u, k, c),
+        PiEval::Portable => k as f64 * u.value_portable(c / k as f64),
+    };
     let mut out = Vec::with_capacity(capacities.len());
     // Carried lower bound for the argmax search. k_max(C) is nondecreasing
     // in C, and the search returns the smallest maximizer independent of
@@ -121,7 +169,7 @@ pub fn k_max_grid_with_carry_nudge<U: Utility>(
         } else if let Some(cap) = cap_override {
             Some(cap)
         } else {
-            match argmax_unimodal_u64(|k| total_utility(u, k, c), lo, 1u64 << 40) {
+            match argmax_unimodal_u64(|k| v(k, c), lo, 1u64 << 40) {
                 Ok(k) => {
                     lo = nudge(k).max(1);
                     Some(k)
@@ -150,8 +198,9 @@ pub fn best_effort_grid<U: Utility>(
 ) -> Vec<f64> {
     assert_sorted(capacities);
     let raw = match mode {
-        PiEval::Exact => best_effort_grid_exact(model, capacities),
+        PiEval::Exact => best_effort_grid_pointwise(model, capacities, U::value),
         PiEval::Fast => best_effort_grid_fast(model, capacities),
+        PiEval::Portable => best_effort_grid_pointwise(model, capacities, U::value_portable),
     };
     capacities
         .iter()
@@ -167,8 +216,18 @@ pub fn best_effort_grid<U: Utility>(
         .collect()
 }
 
-/// Exact-mode kernel: outer `k`, inner scalar-mirrored lane update.
-fn best_effort_grid_exact<U: Utility>(model: &DiscreteModel<U>, capacities: &[f64]) -> Vec<f64> {
+/// Pointwise-π kernel: outer `k`, inner scalar-mirrored lane update.
+///
+/// `pi_of` selects the evaluation ([`Utility::value`] for the exact mode,
+/// [`Utility::value_portable`] for the portable mode); everything else —
+/// accumulation order, early-exit test, tail-midpoint correction — is an
+/// op-for-op mirror of the scalar path, so with `U::value` the result is
+/// bitwise the scalar one.
+fn best_effort_grid_pointwise<U: Utility>(
+    model: &DiscreteModel<U>,
+    capacities: &[f64],
+    pi_of: impl Fn(&U, f64) -> f64,
+) -> Vec<f64> {
     let load = model.load();
     let u = model.utility();
     let kbar = load.mean();
@@ -196,7 +255,7 @@ fn best_effort_grid_exact<U: Utility>(model: &DiscreteModel<U>, capacities: &[f6
                 continue;
             }
             // Mirror of `best_effort_uninstrumented`'s loop body, per lane.
-            let pi = u.value(capacities[i] / kf);
+            let pi = pi_of(u, capacities[i] / kf);
             if p > 0.0 {
                 acc[i].add(p * kf * pi);
             }
@@ -324,8 +383,9 @@ fn best_effort_grid_fast<U: Utility>(model: &DiscreteModel<U>, capacities: &[f64
 /// `capacities[i]` (use [`k_max_grid`]); `best_efforts[i]` must be the
 /// already-instrumented best-effort values (use [`best_effort_grid`]) —
 /// elastic lanes (`k_max = None`) reuse them, mirroring the scalar
-/// delegation `R(C) = B(C)`. Always evaluates `π` exactly: the admitted
-/// head is O(k_max) per lane, far too short for vectorization to matter.
+/// delegation `R(C) = B(C)`. Evaluates `π` exactly — the admitted head is
+/// O(k_max) per lane, far too short for vectorization to matter; use
+/// [`reservation_grid_pi`] to select the portable `π` instead.
 ///
 /// # Panics
 ///
@@ -337,7 +397,33 @@ pub fn reservation_grid<U: Utility>(
     k_maxes: &[Option<u64>],
     best_efforts: &[f64],
 ) -> Vec<f64> {
+    reservation_grid_pi(model, capacities, k_maxes, best_efforts, PiEval::Exact)
+}
+
+/// [`reservation_grid`] with an explicit `π` evaluation mode.
+///
+/// [`PiEval::Exact`] and [`PiEval::Fast`] both evaluate the admitted head
+/// with the scalar [`Utility::value`] (the fast π is slice-based and
+/// never feeds `R`, so fast-mode reservations are bitwise the scalar
+/// ones); [`PiEval::Portable`] uses [`Utility::value_portable`]
+/// throughout.
+///
+/// # Panics
+///
+/// Panics if the slice lengths differ, or if `capacities` is not sorted
+/// ascending or contains NaN.
+pub fn reservation_grid_pi<U: Utility>(
+    model: &DiscreteModel<U>,
+    capacities: &[f64],
+    k_maxes: &[Option<u64>],
+    best_efforts: &[f64],
+    mode: PiEval,
+) -> Vec<f64> {
     assert_sorted(capacities);
+    let pi_of = |u: &U, b: f64| match mode {
+        PiEval::Exact | PiEval::Fast => u.value(b),
+        PiEval::Portable => u.value_portable(b),
+    };
     assert_eq!(capacities.len(), k_maxes.len(), "k_max table length mismatch");
     assert_eq!(capacities.len(), best_efforts.len(), "best-effort table length mismatch");
     let load = model.load();
@@ -367,7 +453,7 @@ pub fn reservation_grid<U: Utility>(
         let kf = k as f64;
         for i in 0..g {
             if k <= cap_k[i] && p > 0.0 {
-                acc[i].add(p * kf * u.value(capacities[i] / kf));
+                acc[i].add(p * kf * pi_of(u, capacities[i] / kf));
             }
         }
     }
@@ -387,7 +473,7 @@ pub fn reservation_grid<U: Utility>(
                     Some(m) => {
                         let overload_mass = load.tail_mass_above(cap_k[i]);
                         if overload_mass > 0.0 {
-                            acc[i].add(m as f64 * u.value(c / m as f64) * overload_mass);
+                            acc[i].add(m as f64 * pi_of(u, c / m as f64) * overload_mass);
                         }
                         acc[i].total() / kbar
                     }
@@ -414,9 +500,9 @@ pub fn sweep_grid<U: Utility>(
     capacities: &[f64],
     mode: PiEval,
 ) -> GridSweep {
-    let k_max = k_max_grid(model, capacities);
+    let k_max = k_max_grid_pi(model, capacities, mode);
     let best_effort = best_effort_grid(model, capacities, mode);
-    let reservation = reservation_grid(model, capacities, &k_max, &best_effort);
+    let reservation = reservation_grid_pi(model, capacities, &k_max, &best_effort, mode);
     GridSweep { k_max, best_effort, reservation }
 }
 
@@ -478,6 +564,43 @@ mod tests {
                 "C={c}: fast {0:e} vs scalar {b:e}",
                 got.best_effort[i]
             );
+        }
+    }
+
+    #[test]
+    fn portable_sweep_is_tolerance_close_to_scalar() {
+        let load = Tabulated::from_model(&Poisson::new(20.0), 1e-12, 1 << 12);
+        let m = DiscreteModel::new(load, AdaptiveExp::paper());
+        let caps = [0.5, 2.0, 5.0, 10.0, 20.0, 40.0];
+        let got = sweep_grid(&m, &caps, PiEval::Portable);
+        for (i, &c) in caps.iter().enumerate() {
+            for (name, v, want) in [
+                ("B", got.best_effort[i], m.best_effort(c)),
+                ("R", got.reservation[i], m.reservation(c)),
+            ] {
+                assert!(
+                    (v - want).abs() <= 1e-13 * want.abs().max(1e-300),
+                    "C={c}: portable {name} {v:e} vs scalar {want:e}"
+                );
+            }
+        }
+        // And the portable sweep is self-reproducible bit for bit.
+        let again = sweep_grid(&m, &caps, PiEval::Portable);
+        assert_eq!(got, again);
+    }
+
+    #[test]
+    fn portable_sweep_matches_exact_for_arithmetic_utilities() {
+        // Rigid π is pure compare-and-select: `value_portable` defaults to
+        // `value`, so the portable mode must be bitwise the exact mode.
+        let m = model_rigid();
+        let caps = [0.5, 2.0, 5.0, 10.0, 20.0, 40.0];
+        let exact = sweep_grid(&m, &caps, PiEval::Exact);
+        let portable = sweep_grid(&m, &caps, PiEval::Portable);
+        assert_eq!(exact.k_max, portable.k_max);
+        for i in 0..caps.len() {
+            assert_eq!(exact.best_effort[i].to_bits(), portable.best_effort[i].to_bits());
+            assert_eq!(exact.reservation[i].to_bits(), portable.reservation[i].to_bits());
         }
     }
 

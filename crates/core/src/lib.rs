@@ -47,6 +47,7 @@ pub mod discrete;
 pub mod discrete_batch;
 pub mod gaps;
 pub mod heterogeneous;
+pub mod kernel;
 pub mod retrying;
 pub mod sampling;
 pub mod welfare;
@@ -55,6 +56,7 @@ pub use discrete::DiscreteModel;
 pub use discrete_batch::{
     best_effort_grid, k_max_grid, reservation_grid, sweep_grid, GridSweep, PiEval,
 };
+pub use kernel::{DynModel, Kernel, KernelCapability, ParityClass, SimdLevel};
 pub use gaps::{bandwidth_gap, performance_gap};
 pub use heterogeneous::{mix_loads, FlowClass, HeterogeneousModel, RiskAverseModel};
 pub use retrying::RetryModel;

@@ -6,7 +6,7 @@ use crate::instrument::{span, SweepHealth};
 use crate::persist::{grid_key, GridRow, PersistentCache};
 use crate::pool::{parallel_map_isolated, parallel_map_with, thread_count, ItemError};
 use bevra_core::welfare::SampledValue;
-use bevra_core::{equalizing_price_ratio, DiscreteModel, PiEval};
+use bevra_core::{equalizing_price_ratio, DiscreteModel, Kernel};
 use bevra_num::{brent, expand_bracket_up, NumError, NumResult};
 use bevra_obs::{enabled, metrics, ObsLevel};
 use bevra_utility::Utility;
@@ -51,45 +51,6 @@ impl ExecMode {
         match self {
             ExecMode::Serial => 1,
             ExecMode::Parallel { threads } => threads.max(1),
-        }
-    }
-}
-
-/// Which value kernel fills the engine's memo tables for grid sweeps.
-///
-/// Off-grid probes (the bandwidth-gap root finder) always evaluate through
-/// the scalar per-point path; the kernel mode governs how *grids* are
-/// primed before the per-point phase reads them back.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum KernelMode {
-    /// No grid priming: every capacity is evaluated by the scalar
-    /// per-point path on first use. The pre-batching behavior; kept as the
-    /// baseline for benchmarks and as an escape hatch (`BEVRA_KERNEL=scalar`).
-    Scalar,
-    /// Default: grids are primed by the loop-interchanged batched kernels
-    /// in exact mode ([`bevra_core::PiEval::Exact`]) — bitwise identical
-    /// to [`KernelMode::Scalar`], one load-table pass per grid instead of
-    /// one per point. `k_max` stays per-point scalar: for utilities whose
-    /// `V(k)` has a noise-level plateau (e.g. ramp), the carried-bracket
-    /// argmax is search-path-dependent at the ULP level, and the engine's
-    /// bitwise contract wins over the microseconds the carry saves.
-    Batch,
-    /// Opt-in (`BEVRA_KERNEL=fast`): batched kernels with the vectorized
-    /// ULP-budgeted `π` ([`bevra_core::PiEval::Fast`]) plus the carried
-    /// monotone `k_max` sweep. Deterministic but *not* bitwise against the
-    /// scalar path; do not use where goldens or parity digests apply.
-    BatchFast,
-}
-
-impl KernelMode {
-    /// Mode selected by `BEVRA_KERNEL`: `scalar`, `fast`, or (default,
-    /// including unset/unknown) `batch`.
-    #[must_use]
-    pub fn from_env() -> Self {
-        match std::env::var("BEVRA_KERNEL").ok().as_deref() {
-            Some("scalar") => KernelMode::Scalar,
-            Some("fast") => KernelMode::BatchFast,
-            _ => KernelMode::Batch,
         }
     }
 }
@@ -204,7 +165,7 @@ impl CheckedSweep {
 pub struct SweepEngine<U: Utility> {
     model: DiscreteModel<U>,
     mode: ExecMode,
-    kernel: KernelMode,
+    kernel: &'static dyn Kernel,
     persist: Option<PersistentCache>,
     kmax: ShardedCache<Option<u64>>,
     b: ShardedCache<f64>,
@@ -226,16 +187,17 @@ impl<U: Utility> SweepEngine<U> {
         Self::with_mode(model, ExecMode::Serial)
     }
 
-    /// Engine with an explicit execution mode. The kernel mode comes from
-    /// `BEVRA_KERNEL` and the persistent cache from `BEVRA_CACHE` (see
-    /// [`KernelMode::from_env`] and [`PersistentCache::from_env`]); both
-    /// can be overridden with the builder methods.
+    /// Engine with an explicit execution mode. The kernel backend comes
+    /// from `BEVRA_KERNEL` via the registry and the persistent cache from
+    /// `BEVRA_CACHE` (see [`crate::registry::from_env`] and
+    /// [`PersistentCache::from_env`]); both can be overridden with the
+    /// builder methods.
     #[must_use]
     pub fn with_mode(model: DiscreteModel<U>, mode: ExecMode) -> Self {
         Self {
             model,
             mode,
-            kernel: KernelMode::from_env(),
+            kernel: crate::registry::from_env(),
             persist: PersistentCache::from_env(),
             kmax: ShardedCache::new(),
             b: ShardedCache::new(),
@@ -243,9 +205,11 @@ impl<U: Utility> SweepEngine<U> {
         }
     }
 
-    /// Replace the kernel mode (builder style).
+    /// Replace the kernel backend (builder style). Use the accessors in
+    /// `bevra_core::kernel` (e.g. `kernel::fast()`) or a registry lookup
+    /// (`crate::registry::lookup`).
     #[must_use]
-    pub fn with_kernel(mut self, kernel: KernelMode) -> Self {
+    pub fn with_kernel(mut self, kernel: &'static dyn Kernel) -> Self {
         self.kernel = kernel;
         self
     }
@@ -268,8 +232,8 @@ impl<U: Utility> SweepEngine<U> {
         self.mode
     }
 
-    /// The active kernel mode.
-    pub fn kernel(&self) -> KernelMode {
+    /// The active kernel backend.
+    pub fn kernel(&self) -> &'static dyn Kernel {
         self.kernel
     }
 
@@ -279,23 +243,27 @@ impl<U: Utility> SweepEngine<U> {
         self.persist.as_ref()
     }
 
-    /// Prime the memo tables for a capacity grid with the batched kernels
-    /// (no-op under [`KernelMode::Scalar`]).
+    /// Prime the memo tables for a capacity grid with the active kernel
+    /// backend (no-op for backends whose capability reports
+    /// `grid_priming: false`, e.g. the scalar reference backend).
     ///
     /// Non-finite and nonpositive capacities are left to the scalar path;
     /// the rest are sorted, deduplicated, filtered to what is not already
-    /// memoized, then either loaded from the persistent cache or computed
-    /// by `bevra_core::discrete_batch` — in parallel contiguous chunks
-    /// under [`ExecMode::Parallel`] — and inserted. Both sources are
-    /// exact-bitwise against the scalar path (fast mode excepted, see
-    /// [`KernelMode::BatchFast`]), so sweeps that read the primed tables
-    /// stay bitwise-identical under any thread count or chunking.
+    /// memoized, then either loaded from the persistent cache (keyed by
+    /// the backend's capability record, so cached rows never cross parity
+    /// classes) or computed by the backend's grid entry points — in
+    /// parallel contiguous chunks under [`ExecMode::Parallel`] — and
+    /// inserted. Bitwise-class backends mirror the scalar path exactly;
+    /// tolerance-class backends are deterministic within their documented
+    /// budget. Either way, results are identical under any thread count
+    /// or chunking.
     ///
     /// A panic inside the batched compute is caught and counted
     /// (`engine/prime/panic`): the sweep then falls back to the per-point
     /// scalar path, preserving the engine's degradation contract.
     pub fn prime(&self, capacities: &[f64]) {
-        if self.kernel == KernelMode::Scalar {
+        let cap = self.kernel.capability();
+        if !cap.grid_priming {
             return;
         }
         let mut cs: Vec<f64> =
@@ -312,12 +280,9 @@ impl<U: Utility> SweepEngine<U> {
             return;
         }
 
-        let tag = match self.kernel {
-            KernelMode::BatchFast => 1u8,
-            _ => 0u8,
-        };
+        metrics::counter(&format!("engine/kernel/{}/primes", cap.name)).inc();
         if let Some(pc) = &self.persist {
-            let key = grid_key(&self.model, tag, &cs);
+            let key = grid_key(&self.model, &cap, &cs);
             if let Some(rows) = pc.load(key, &cs) {
                 self.insert_rows(&cs, &rows);
                 return;
@@ -334,27 +299,24 @@ impl<U: Utility> SweepEngine<U> {
     }
 
     /// Batched evaluation of `(k_max, B, R)` rows for a sorted deduped
-    /// grid; `None` if the kernel panicked (fall back to scalar).
+    /// grid through the active backend; `None` if the kernel panicked
+    /// (fall back to scalar).
     fn compute_rows(&self, cs: &[f64]) -> Option<Vec<GridRow>> {
-        let pi = match self.kernel {
-            KernelMode::BatchFast => PiEval::Fast,
-            _ => PiEval::Exact,
-        };
         let kernel = self.kernel;
-        let model = &self.model;
         let threads = self.mode.threads();
         let computed = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            // One type-erased view shared by all workers: an Arc clone of
+            // the load plus a borrow of the utility — no table copies.
+            let dyn_model = self.model.as_dyn();
             let chunk_len = cs.len().div_ceil(threads).max(1);
             let chunks: Vec<&[f64]> = cs.chunks(chunk_len).collect();
             let parts = parallel_map_with(&chunks, threads, |chunk| {
-                // Exact mode: per-point scalar k_max (bitwise under every
-                // chunking); fast mode: the carried monotone sweep.
-                let kmaxes: Vec<Option<u64>> = match kernel {
-                    KernelMode::BatchFast => bevra_core::k_max_grid(model, chunk),
-                    _ => chunk.iter().map(|&c| model.k_max(c)).collect(),
-                };
-                let bs = bevra_core::best_effort_grid(model, chunk, pi);
-                let rs = bevra_core::reservation_grid(model, chunk, &kmaxes, &bs);
+                // Backends with a carried argmax restart the bracket per
+                // chunk; the search returns the smallest maximizer
+                // regardless of the carry, so chunking never changes bits.
+                let kmaxes = kernel.k_max_grid(&dyn_model, chunk);
+                let bs = kernel.best_effort_grid(&dyn_model, chunk);
+                let rs = kernel.reservation_grid(&dyn_model, chunk, &kmaxes, &bs);
                 kmaxes
                     .into_iter()
                     .zip(bs)
@@ -490,6 +452,7 @@ impl<U: Utility> SweepEngine<U> {
             })
         });
         let mut health = SweepHealth::new();
+        health.kernel = Some(self.kernel.capability().name.to_string());
         let outcomes = raw
             .into_iter()
             .zip(&indexed)
@@ -569,6 +532,7 @@ impl<U: Utility> SweepEngine<U> {
             })
         });
         let mut health = SweepHealth::new();
+        health.kernel = Some(self.kernel.capability().name.to_string());
         for (&c, &v) in cs.iter().zip(&vs) {
             if health.tally_non_finite(v) {
                 health.note_degraded(&format!("non-finite welfare value at C = {c}"));
@@ -713,10 +677,12 @@ mod tests {
     #[test]
     fn batched_priming_matches_scalar_kernel_bitwise() {
         let cs = grid();
-        let scalar = poisson_engine(ExecMode::Serial).with_kernel(KernelMode::Scalar).sweep(&cs);
-        let batched = poisson_engine(ExecMode::Serial).with_kernel(KernelMode::Batch).sweep(&cs);
+        let scalar =
+            poisson_engine(ExecMode::Serial).with_kernel(bevra_core::kernel::scalar()).sweep(&cs);
+        let batched =
+            poisson_engine(ExecMode::Serial).with_kernel(bevra_core::kernel::batch()).sweep(&cs);
         let batched_par = poisson_engine(ExecMode::Parallel { threads: 5 })
-            .with_kernel(KernelMode::Batch)
+            .with_kernel(bevra_core::kernel::batch())
             .sweep(&cs);
         for ((s, b), p) in scalar.iter().zip(&batched).zip(&batched_par) {
             assert_eq!(s.best_effort.to_bits(), b.best_effort.to_bits());
@@ -731,8 +697,10 @@ mod tests {
     #[test]
     fn fast_kernel_is_close_but_fast_tables_never_cross_keys() {
         let cs = grid();
-        let exact = poisson_engine(ExecMode::Serial).with_kernel(KernelMode::Batch).sweep(&cs);
-        let fast = poisson_engine(ExecMode::Serial).with_kernel(KernelMode::BatchFast).sweep(&cs);
+        let exact =
+            poisson_engine(ExecMode::Serial).with_kernel(bevra_core::kernel::batch()).sweep(&cs);
+        let fast =
+            poisson_engine(ExecMode::Serial).with_kernel(bevra_core::kernel::fast()).sweep(&cs);
         for (e, f) in exact.iter().zip(&fast) {
             let tol = 1e-12 * e.best_effort.abs().max(1e-300);
             assert!(

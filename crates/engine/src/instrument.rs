@@ -48,6 +48,10 @@ pub struct SweepHealth {
     /// Human-readable cause of the first degradation or failure, in
     /// input order.
     pub first_failure: Option<String>,
+    /// Capability name of the kernel backend that evaluated the sweep
+    /// (`None` for ledgers not produced by an engine sweep, e.g. hand
+    /// built or gamma-only ledgers).
+    pub kernel: Option<String>,
 }
 
 impl SweepHealth {
@@ -102,8 +106,8 @@ impl SweepHealth {
         }
     }
 
-    /// Fold another ledger into this one (first failure wins by call
-    /// order).
+    /// Fold another ledger into this one (first failure and kernel stamp
+    /// win by call order).
     pub fn merge(&mut self, other: &SweepHealth) {
         self.ok += other.ok;
         self.degraded += other.degraded;
@@ -111,6 +115,9 @@ impl SweepHealth {
         self.non_finite += other.non_finite;
         if self.first_failure.is_none() {
             self.first_failure.clone_from(&other.first_failure);
+        }
+        if self.kernel.is_none() {
+            self.kernel.clone_from(&other.kernel);
         }
     }
 }
@@ -293,14 +300,19 @@ impl SweepReport {
                 || "null".to_string(),
                 |c| format!("\"{}\"", esc(c)),
             );
+            let kernel = h.kernel.as_ref().map_or_else(
+                || "null".to_string(),
+                |k| format!("\"{}\"", esc(k)),
+            );
             out.push_str(&format!(
-                "    {{\"name\": \"{}\", \"ok\": {}, \"degraded\": {}, \"failed\": {}, \"non_finite\": {}, \"first_failure\": {}}}{}\n",
+                "    {{\"name\": \"{}\", \"ok\": {}, \"degraded\": {}, \"failed\": {}, \"non_finite\": {}, \"first_failure\": {}, \"kernel\": {}}}{}\n",
                 esc(name),
                 h.ok,
                 h.degraded,
                 h.failed,
                 h.non_finite,
                 first,
+                kernel,
                 if i + 1 < self.health.len() { "," } else { "" }
             ));
         }
@@ -322,11 +334,11 @@ impl SweepReport {
             }
         }
         let mut out = String::from(
-            "kind,name,seconds,points,points_per_sec,hits,misses,hit_rate,ok,degraded,failed,non_finite,first_failure\n",
+            "kind,name,seconds,points,points_per_sec,hits,misses,hit_rate,ok,degraded,failed,non_finite,first_failure,kernel\n",
         );
         for s in &self.stages {
             out.push_str(&format!(
-                "stage,{},{},{},{},,,,,,,,\n",
+                "stage,{},{},{},{},,,,,,,,,\n",
                 s.name,
                 cnum(s.seconds),
                 s.points,
@@ -335,7 +347,7 @@ impl SweepReport {
         }
         for (name, st) in &self.caches {
             out.push_str(&format!(
-                "cache,{},,,,{},{},{},,,,,\n",
+                "cache,{},,,,{},{},{},,,,,,\n",
                 name,
                 st.hits,
                 st.misses,
@@ -346,9 +358,10 @@ impl SweepReport {
             let first = h.first_failure.as_deref().unwrap_or("");
             // CSV-quote the free-text cause (it may contain commas).
             let first = format!("\"{}\"", first.replace('"', "\"\""));
+            let kernel = h.kernel.as_deref().unwrap_or("");
             out.push_str(&format!(
-                "health,{},,,,,,,{},{},{},{},{}\n",
-                name, h.ok, h.degraded, h.failed, h.non_finite, first
+                "health,{},,,,,,,{},{},{},{},{},{}\n",
+                name, h.ok, h.degraded, h.failed, h.non_finite, first, kernel
             ));
         }
         out
@@ -442,6 +455,7 @@ mod tests {
         dirty.note_ok();
         dirty.note_degraded("bandwidth gap: \"no bracket\", giving up");
         dirty.non_finite = 1;
+        dirty.kernel = Some("batch".into());
         let report = SweepReport::new(vec![], vec![], 4)
             .with_health(vec![("fig2/sweep".into(), dirty), ("fig2/gamma".into(), SweepHealth::new())]);
         let json = report.to_json();
@@ -449,10 +463,30 @@ mod tests {
         assert!(json.contains("\"degraded\": 1"), "json: {json}");
         assert!(json.contains("\\\"no bracket\\\""), "cause is escaped: {json}");
         assert!(json.contains("\"first_failure\": null"), "clean ledger: {json}");
+        assert!(json.contains("\"kernel\": \"batch\""), "kernel stamp: {json}");
+        assert!(json.contains("\"kernel\": null"), "unstamped ledger: {json}");
         let csv = report.to_csv();
-        assert!(csv.lines().next().is_some_and(|h| h.ends_with("first_failure")));
+        assert!(csv.lines().next().is_some_and(|h| h.ends_with("kernel")));
         assert!(csv.contains("health,fig2/sweep,,,,,,,1,1,0,1,"), "csv: {csv}");
         assert!(csv.contains("\"\"no bracket\"\""), "csv-quoted cause: {csv}");
+        assert!(csv.contains(", giving up\",batch\n"), "kernel column: {csv}");
+    }
+
+    #[test]
+    fn merge_keeps_first_kernel_stamp() {
+        let mut a = SweepHealth::new();
+        a.note_ok();
+        let mut b = SweepHealth::new();
+        b.kernel = Some("fast".into());
+        b.note_ok();
+        a.merge(&b);
+        assert_eq!(a.kernel.as_deref(), Some("fast"), "absent stamp adopts other's");
+        let mut c = SweepHealth::new();
+        c.kernel = Some("scalar".into());
+        c.note_ok();
+        a.merge(&c);
+        assert_eq!(a.kernel.as_deref(), Some("fast"), "existing stamp wins");
+        assert_eq!(a.total(), 3);
     }
 
     #[test]

@@ -30,6 +30,23 @@
 //!   records per-point latency histograms and cache hit-rate metrics, and
 //!   figure binaries export chrome-trace JSON — see the `bevra-obs` docs.
 //!
+//! # Kernel backends
+//!
+//! Grid priming goes through a first-class [`bevra_core::Kernel`]
+//! backend, selected from the process-global [`registry`]. Each backend
+//! self-reports a [`bevra_core::KernelCapability`] record — name, parity
+//! class (`Bitwise` vs `Tolerance`), SIMD level, fault-site coverage,
+//! cache-key tag — that flows into the persistent-cache key
+//! ([`grid_key`]), the [`SweepHealth`] ledger, and the emitted perf
+//! artifacts. Four backends are built in: `scalar` (per-point reference,
+//! no priming), `batch` (loop-interchanged grids, bitwise, the default),
+//! `fast` (vectorized ULP-budgeted exp), and `deterministic-portable`
+//! (integer-scaled exp path with identical bits on every libm).
+//! `BEVRA_KERNEL=<name>` selects one; unknown names fall back to `scalar`
+//! with a warning. External backends register with
+//! [`registry::register`] and are picked up by the parity and chaos
+//! suites automatically.
+//!
 //! # Determinism
 //!
 //! Parallel output is **bitwise-identical** to serial output: each grid
@@ -37,12 +54,10 @@
 //! pool writes results by input index, and the caches memoize pure
 //! functions (racing threads compute identical bits). The workspace's
 //! `engine_parity` property test asserts this across all three load
-//! families. Grid sweeps are primed by the loop-interchanged batched
-//! kernels of `bevra_core::discrete_batch` ([`KernelMode::Batch`], the
-//! default), whose exact mode mirrors the scalar path op for op — so
-//! priming changes wall-clock, never bits; `BEVRA_KERNEL=scalar` disables
-//! priming and `BEVRA_KERNEL=fast` opts into the vectorized ULP-budgeted
-//! kernels.
+//! families. Bitwise-class backends mirror the scalar path op for op —
+//! priming changes wall-clock, never bits; tolerance-class backends are
+//! themselves deterministic (same bits for the same input on the same
+//! backend), only their distance to scalar is a tolerance.
 //!
 //! # Degradation
 //!
@@ -67,15 +82,19 @@
 //! assert!(points[0].bandwidth_gap > 0.0);
 //! ```
 
+#![deny(missing_docs)]
+
 pub mod cache;
 pub mod engine;
 pub mod instrument;
 pub mod persist;
 pub mod pool;
+pub mod registry;
 
+pub use bevra_core::{Kernel, KernelCapability, ParityClass, SimdLevel};
 pub use cache::{CacheStats, ShardedCache};
 pub use engine::{
-    Architecture, CheckedSweep, ExecMode, KernelMode, PointOutcome, SweepEngine, SweepPoint,
+    Architecture, CheckedSweep, ExecMode, PointOutcome, SweepEngine, SweepPoint,
 };
 pub use persist::{grid_key, CacheMode, GridRow, PersistentCache};
 pub use instrument::{

@@ -4,9 +4,11 @@
 //! run after run. This module persists those tables to disk, keyed by a
 //! **content hash** of everything the values depend on — the load table's
 //! digest, the utility (name plus probed values and knots), the mean load,
-//! any admission-cap override, the kernel mode, and the exact grid bit
-//! patterns — so a warm second run skips every table recomputation while
-//! any change to the model re-keys and recomputes from scratch.
+//! any admission-cap override, the result-affecting fields of the active
+//! backend's [`KernelCapability`], and the exact grid bit patterns — so a
+//! warm second run skips every table recomputation while any change to
+//! the model (or a switch to a backend in a different parity class)
+//! re-keys and recomputes from scratch.
 //!
 //! Design rules:
 //!
@@ -31,6 +33,7 @@
 //! `SweepEngine::cache_stats` under the name `"persistent"`.
 
 use crate::cache::CacheStats;
+use bevra_core::kernel::{KernelCapability, ParityClass};
 use bevra_faults::FaultKind;
 use bevra_obs::metrics;
 use bevra_utility::Utility;
@@ -92,16 +95,24 @@ impl Fnv {
     }
 }
 
-/// Content-hash key for one (model, kernel, grid) combination.
+/// Content-hash key for one (model, kernel capability, grid) combination.
 ///
 /// Hashes the load digest, mean load, utility fingerprint (name, probed
-/// values, knots), admission-cap override, a caller-supplied kernel tag
-/// (exact/fast results must never cross-pollute), and every grid
-/// capacity's bit pattern.
+/// values, knots), admission-cap override, the result-affecting slice of
+/// the backend's [`KernelCapability`], and every grid capacity's bit
+/// pattern.
+///
+/// Of the capability record only the fields that can change result *bits*
+/// enter the key: the `cache_tag`, the parity class (including a
+/// tolerance's bit pattern), and the `portable` flag. SIMD level and
+/// fault-site coverage are deliberately excluded — they describe *how* a
+/// backend computes, not *what* it computes, so two backends differing
+/// only there may legitimately share entries (the built-in `scalar` and
+/// `batch` backends do exactly this via a shared `cache_tag`).
 #[must_use]
 pub fn grid_key<U: Utility>(
     model: &bevra_core::DiscreteModel<U>,
-    kernel_tag: u8,
+    capability: &KernelCapability,
     capacities: &[f64],
 ) -> u64 {
     let mut h = Fnv::new();
@@ -123,7 +134,15 @@ pub fn grid_key<U: Utility>(
         }
         None => h.eat_u64(0),
     }
-    h.eat(&[kernel_tag]);
+    h.eat(&[capability.cache_tag]);
+    match capability.parity {
+        ParityClass::Bitwise => h.eat_u64(0),
+        ParityClass::Tolerance(t) => {
+            h.eat_u64(1);
+            h.eat_f64(t);
+        }
+    }
+    h.eat(&[u8::from(capability.portable)]);
     h.eat_u64(capacities.len() as u64);
     for &c in capacities {
         h.eat_f64(c);
@@ -412,13 +431,35 @@ mod tests {
         let m2 = DiscreteModel::new(load.clone(), Rigid::new(2.0));
         let m3 = DiscreteModel::new(load.clone(), AdaptiveExp::paper());
         let caps = [1.0, 2.0, 3.0];
-        let k1 = grid_key(&m1, 0, &caps);
-        assert_eq!(k1, grid_key(&m1, 0, &caps), "key is deterministic");
-        assert_ne!(k1, grid_key(&m2, 0, &caps), "utility params re-key");
-        assert_ne!(k1, grid_key(&m3, 0, &caps), "utility family re-keys");
-        assert_ne!(k1, grid_key(&m1, 1, &caps), "kernel tag re-keys");
-        assert_ne!(k1, grid_key(&m1, 0, &caps[..2]), "grid re-keys");
+        let batch = bevra_core::kernel::batch().capability();
+        let fast = bevra_core::kernel::fast().capability();
+        let k1 = grid_key(&m1, &batch, &caps);
+        assert_eq!(k1, grid_key(&m1, &batch, &caps), "key is deterministic");
+        assert_ne!(k1, grid_key(&m2, &batch, &caps), "utility params re-key");
+        assert_ne!(k1, grid_key(&m3, &batch, &caps), "utility family re-keys");
+        assert_ne!(k1, grid_key(&m1, &fast, &caps), "parity class re-keys");
+        assert_ne!(k1, grid_key(&m1, &batch, &caps[..2]), "grid re-keys");
         let capped = DiscreteModel::new(load, Rigid::unit()).with_admission_cap(5);
-        assert_ne!(k1, grid_key(&capped, 0, &caps), "admission cap re-keys");
+        assert_ne!(k1, grid_key(&capped, &batch, &caps), "admission cap re-keys");
+    }
+
+    #[test]
+    fn key_shares_entries_within_a_bitwise_equivalence_class() {
+        let load = Tabulated::from_model(&Poisson::new(20.0), 1e-12, 1 << 10);
+        let m = DiscreteModel::new(load, Rigid::unit());
+        let caps = [1.0, 2.0, 3.0];
+        // scalar and batch are bitwise-interchangeable by construction and
+        // share a cache_tag, so their entries must cross-serve.
+        let scalar = bevra_core::kernel::scalar().capability();
+        let batch = bevra_core::kernel::batch().capability();
+        assert_eq!(grid_key(&m, &scalar, &caps), grid_key(&m, &batch, &caps));
+        // The portable backend is a distinct class: never shared.
+        let portable = bevra_core::kernel::portable().capability();
+        assert_ne!(grid_key(&m, &batch, &caps), grid_key(&m, &portable, &caps));
+        assert_ne!(grid_key(&m, &fast_cap(), &caps), grid_key(&m, &portable, &caps));
+    }
+
+    fn fast_cap() -> KernelCapability {
+        bevra_core::kernel::fast().capability()
     }
 }

@@ -1,6 +1,7 @@
 //! Regenerate Figure 1 (the adaptive utility curve).
 
 fn main() -> std::io::Result<()> {
+    bevra_report::emit::announce_kernel();
     let fig = bevra_report::figures::fig1();
     bevra_report::emit::emit_figure(&fig, &bevra_report::emit::results_dir())
 }

@@ -2,6 +2,7 @@
 //! for the coarse preset.
 
 fn main() -> std::io::Result<()> {
+    bevra_report::emit::announce_kernel();
     let q = bevra_report::emit::cli_quality();
     let fig = bevra_report::figures::fig4(q);
     bevra_report::emit::emit_figure(&fig, &bevra_report::emit::results_dir())

@@ -76,6 +76,17 @@ impl Utility for AdaptiveExp {
         g * (-self.exponent(b)).exp()
     }
 
+    fn value_portable(&self, b: f64) -> f64 {
+        // Same branch structure as `value`, but the transcendental goes
+        // through the branch-free polynomial instead of libm `exp_m1`:
+        // within 8 ULPs of `value`, bit-identical on every platform.
+        if b <= 0.0 {
+            0.0
+        } else {
+            bevra_num::one_minus_exp_neg(self.exponent(b))
+        }
+    }
+
     fn value_slice_fast(&self, bs: &[f64], out: &mut [f64]) {
         // Fused dispatched kernel: clamp b to [0, ∞) so the exponent is
         // well defined (κ > 0 keeps the denominator positive), exponent

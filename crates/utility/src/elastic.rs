@@ -57,6 +57,16 @@ impl Utility for ExponentialElastic {
         }
     }
 
+    fn value_portable(&self, b: f64) -> f64 {
+        // Polynomial 1 − e^{−rate·b} (no libm): ≤ 8 ULPs from `value`,
+        // bit-identical on every platform.
+        if b <= 0.0 {
+            0.0
+        } else {
+            bevra_num::one_minus_exp_neg(self.rate * b)
+        }
+    }
+
     fn value_slice_fast(&self, bs: &[f64], out: &mut [f64]) {
         // Fused dispatched kernel: branch-free clamp + 1 − e^{−rate·b} on
         // one vector path; b = 0 gives x = 0 ⇒ π = 0 exactly, matching

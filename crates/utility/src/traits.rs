@@ -29,6 +29,25 @@ pub trait Utility: Send + Sync {
         Vec::new()
     }
 
+    /// Cross-platform deterministic `π(b)`: same input bits ⇒ same output
+    /// bits on **every** platform and libm.
+    ///
+    /// The default forwards to [`Utility::value`], which is already
+    /// portable for families built from pure `+ − × ÷` arithmetic (IEEE 754
+    /// basic operations are correctly rounded everywhere). Families that
+    /// call libm transcendentals (`exp_m1`, `powf`, …) override this with a
+    /// branch-free polynomial kernel (see `bevra_num::one_minus_exp_neg`)
+    /// whose result is within a few ULPs of `value` but bit-identical
+    /// across toolchains — this is what the engine's `deterministic-portable`
+    /// backend evaluates, retiring libm-ULP drift from pinned artifacts.
+    ///
+    /// Overrides must preserve the `value` contract (0 at 0, nondecreasing,
+    /// → 1) and stay within the engine's documented `Tolerance(1e-13)`
+    /// relative parity class of `value`.
+    fn value_portable(&self, b: f64) -> f64 {
+        self.value(b)
+    }
+
     /// Evaluate `π` over a bandwidth slice: `out[i] = value(bs[i])`.
     ///
     /// The default loops over [`Utility::value`]; overrides must stay
@@ -113,6 +132,9 @@ impl<U: Utility + ?Sized> Utility for &U {
     fn knots(&self) -> Vec<f64> {
         (**self).knots()
     }
+    fn value_portable(&self, b: f64) -> f64 {
+        (**self).value_portable(b)
+    }
     fn value_slice(&self, bs: &[f64], out: &mut [f64]) {
         (**self).value_slice(bs, out);
     }
@@ -136,6 +158,9 @@ impl<U: Utility + ?Sized> Utility for std::sync::Arc<U> {
     }
     fn knots(&self) -> Vec<f64> {
         (**self).knots()
+    }
+    fn value_portable(&self, b: f64) -> f64 {
+        (**self).value_portable(b)
     }
     fn value_slice(&self, bs: &[f64], out: &mut [f64]) {
         (**self).value_slice(bs, out);

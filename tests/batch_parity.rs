@@ -8,7 +8,8 @@
 //! `BEVRA_CHECK_REPLAY=<case seed>` replays one case.
 
 use bevra::analysis::{k_max_grid, sweep_grid, DiscreteModel, PiEval};
-use bevra::engine::{CacheMode, ExecMode, KernelMode, PersistentCache, SweepEngine};
+use bevra::analysis::kernel::{self, ParityClass};
+use bevra::engine::{CacheMode, ExecMode, PersistentCache, SweepEngine};
 use bevra::load::Tabulated;
 use bevra::utility::{Rigid, Utility};
 use bevra_check::{ensure, Checker, Scenario, ScenarioStrategy};
@@ -219,16 +220,16 @@ fn persistent_cache_round_trip_is_bitwise() {
 
                 let plain =
                     SweepEngine::with_mode(scenario_model(&table, &utility, sc), ExecMode::Serial)
-                        .with_kernel(KernelMode::Batch)
+                        .with_kernel(kernel::batch())
                         .sweep(&cs);
                 let cold =
                     SweepEngine::with_mode(scenario_model(&table, &utility, sc), ExecMode::Serial)
-                        .with_kernel(KernelMode::Batch)
+                        .with_kernel(kernel::batch())
                         .with_persistent_cache(PersistentCache::new(&dir, CacheMode::ReadWrite));
                 let cold_points = cold.sweep(&cs);
                 let warm =
                     SweepEngine::with_mode(scenario_model(&table, &utility, sc), ExecMode::Serial)
-                        .with_kernel(KernelMode::Batch)
+                        .with_kernel(kernel::batch())
                         .with_persistent_cache(PersistentCache::new(&dir, CacheMode::ReadWrite));
                 let warm_points = warm.sweep(&cs);
 
@@ -261,4 +262,102 @@ fn persistent_cache_round_trip_is_bitwise() {
             Ok(())
         },
     );
+}
+
+/// Every **registered** backend holds its self-reported parity contract
+/// against the scalar per-point reference, across randomized load ×
+/// utility scenarios. Backends are enumerated from the engine registry,
+/// so a newly registered backend (AVX-512, NEON, offload, …) is covered
+/// by this test with zero per-backend code.
+#[test]
+fn every_registered_backend_holds_its_parity_contract() {
+    let backends = bevra::engine::registry::backends();
+    assert!(backends.len() >= 4, "expected at least the four built-ins");
+    Checker::new("backend_parity_contract").scale_cases(4).run(
+        &ScenarioStrategy::default(),
+        |sc: &Scenario| {
+            let utility = sc.utility.as_dyn();
+            let cs = sorted_grid(sc);
+            for (li, load) in sc.loads.iter().enumerate() {
+                let table = Arc::new(load.tabulate()?);
+                let model = scenario_model(&table, &utility, sc);
+                let dyn_model = model.as_dyn();
+                for k in &backends {
+                    let cap = k.capability();
+                    let kms = k.k_max_grid(&dyn_model, &cs);
+                    let bs = k.best_effort_grid(&dyn_model, &cs);
+                    let rs = k.reservation_grid(&dyn_model, &cs, &kms, &bs);
+                    for (i, &c) in cs.iter().enumerate() {
+                        let cell = format!("{}: load[{li}]={load:?} C={c}", cap.name);
+                        let b_ref = model.best_effort(c);
+                        let r_ref = model.reservation(c);
+                        let km_ref = model.k_max(c);
+                        match cap.parity {
+                            ParityClass::Bitwise => {
+                                ensure(kms[i] == km_ref, || {
+                                    format!("{cell}: k_max {:?} != scalar {km_ref:?}", kms[i])
+                                })?;
+                                ensure(bs[i].to_bits() == b_ref.to_bits(), || {
+                                    format!("{cell}: B {:e} != scalar {b_ref:e}", bs[i])
+                                })?;
+                                ensure(rs[i].to_bits() == r_ref.to_bits(), || {
+                                    format!("{cell}: R {:e} != scalar {r_ref:e}", rs[i])
+                                })?;
+                            }
+                            ParityClass::Tolerance(t) => {
+                                // A tolerance-class backend may pick a
+                                // different argmax on an exact utility
+                                // plateau, but threshold existence must
+                                // agree.
+                                ensure(kms[i].is_some() == km_ref.is_some(), || {
+                                    format!(
+                                        "{cell}: k_max Someness {:?} vs scalar {km_ref:?}",
+                                        kms[i]
+                                    )
+                                })?;
+                                let tol_b = 10.0 * t * b_ref.abs().max(1e-12);
+                                ensure((bs[i] - b_ref).abs() <= tol_b, || {
+                                    format!(
+                                        "{cell}: B {:e} vs scalar {b_ref:e} (tol {tol_b:e})",
+                                        bs[i]
+                                    )
+                                })?;
+                                let tol_r = 10.0 * t * r_ref.abs().max(1e-12);
+                                ensure((rs[i] - r_ref).abs() <= tol_r, || {
+                                    format!(
+                                        "{cell}: R {:e} vs scalar {r_ref:e} (tol {tol_r:e})",
+                                        rs[i]
+                                    )
+                                })?;
+                            }
+                        }
+                    }
+                }
+            }
+            Ok(())
+        },
+    );
+}
+
+/// Capability records of the built-ins carry the contract the rest of
+/// the workspace depends on: distinct names, scalar/batch sharing one
+/// bitwise cache class, fast/portable in tolerance classes of their own.
+#[test]
+fn builtin_capability_records_are_coherent() {
+    let scalar = kernel::scalar().capability();
+    let batch = kernel::batch().capability();
+    let fast = kernel::fast().capability();
+    let portable = kernel::portable().capability();
+    assert_eq!(scalar.parity, ParityClass::Bitwise);
+    assert_eq!(batch.parity, ParityClass::Bitwise);
+    assert!(matches!(fast.parity, ParityClass::Tolerance(t) if t > 0.0));
+    assert!(matches!(portable.parity, ParityClass::Tolerance(t) if t > 0.0));
+    assert!(!scalar.grid_priming && batch.grid_priming);
+    assert!(portable.portable && !fast.portable);
+    assert_eq!(scalar.cache_tag, batch.cache_tag, "bitwise twins share entries");
+    assert_ne!(fast.cache_tag, batch.cache_tag);
+    assert_ne!(portable.cache_tag, fast.cache_tag);
+    for cap in [scalar, batch, fast, portable] {
+        assert!(!cap.fault_sites.is_empty(), "{}: no declared fault sites", cap.name);
+    }
 }

@@ -48,7 +48,7 @@ fn chaos_cases_replay_identically() {
 #[test]
 fn pinned_cache_fault_scenario_degrades_to_recompute() {
     use bevra::analysis::DiscreteModel;
-    use bevra::engine::{CacheMode, ExecMode, KernelMode, PersistentCache, SweepEngine};
+    use bevra::engine::{CacheMode, ExecMode, PersistentCache, SweepEngine};
     use bevra::load::{Poisson, Tabulated};
     use bevra::utility::AdaptiveExp;
     use bevra_faults::{install, FaultKind, FaultPlan, FaultRule};
@@ -60,7 +60,7 @@ fn pinned_cache_fault_scenario_degrades_to_recompute() {
             DiscreteModel::new(load.clone(), AdaptiveExp::paper()),
             ExecMode::Serial,
         )
-        .with_kernel(KernelMode::Batch)
+        .with_kernel(bevra::analysis::kernel::batch())
     };
     let baseline = mk().sweep(&cs);
 
