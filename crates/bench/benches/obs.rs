@@ -42,12 +42,17 @@ fn obs_overhead(c: &mut Criterion) {
         );
         black_box(engine.sweep(black_box(cs)))
     };
-    for (label, level) in [
-        ("obs_sweep_off", ObsLevel::Off),
-        ("obs_sweep_summary", ObsLevel::Summary),
-        ("obs_sweep_trace", ObsLevel::Trace),
+    // The recorder gate is independent of the obs level: the `_norec`
+    // case isolates what the flight recorder itself adds on top of the
+    // summary instrumentation (span ring writes + tracked counters).
+    for (label, level, recording) in [
+        ("obs_sweep_off", ObsLevel::Off, true),
+        ("obs_sweep_summary", ObsLevel::Summary, true),
+        ("obs_sweep_summary_norec", ObsLevel::Summary, false),
+        ("obs_sweep_trace", ObsLevel::Trace, true),
     ] {
         bevra_obs::set_level(level);
+        bevra_obs::recorder::set_recording(recording);
         drain_obs();
         c.bench_function(label, |b| {
             b.iter(|| {
@@ -59,6 +64,7 @@ fn obs_overhead(c: &mut Criterion) {
         drain_obs();
     }
     bevra_obs::set_level(ObsLevel::Off);
+    bevra_obs::recorder::set_recording(true);
 }
 
 criterion_group!(benches, obs_overhead);

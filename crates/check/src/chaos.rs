@@ -289,6 +289,17 @@ pub fn run_case(case_seed: u64) -> Result<ChaosStats, String> {
 
     let _guard = install(plan);
 
+    // Arm the flight recorder's black box for this case (callers install
+    // `silence_injected_panics` first, so the blackbox hook — chained
+    // later — still sees every injected panic). Each panic the sweep
+    // isolates drains the recorder's last events to
+    // `<tmp>/bevra-chaos-blackbox/chaos-<seed>-blackbox.jsonl`: a failing
+    // scenario always ships a post-mortem artifact.
+    bevra_obs::recorder::arm_blackbox(
+        &format!("chaos-{case_seed}"),
+        &std::env::temp_dir().join("bevra-chaos-blackbox"),
+    );
+
     // Invariants 1 + 2: the checked sweep completes under injected
     // panics and corruption, with exact accounting.
     let engine = SweepEngine::new(DiscreteModel::new(load.clone(), Arc::clone(&utility)));

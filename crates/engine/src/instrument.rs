@@ -17,7 +17,7 @@
 pub use bevra_obs::{drain_stages, span, Span, StageRecord};
 
 use crate::cache::CacheStats;
-use bevra_obs::{enabled, metrics, ObsLevel};
+use bevra_obs::{enabled, metrics, recorder, ObsLevel};
 use std::sync::{Mutex, PoisonError};
 
 static CACHES: Mutex<Vec<(String, CacheStats)>> = Mutex::new(Vec::new());
@@ -139,9 +139,17 @@ impl std::fmt::Display for SweepHealth {
 /// Publish one sweep stage's degradation ledger under `label` so the
 /// next [`drain_health`] (and through it the emitted perf artifacts)
 /// picks it up. Degraded/failed counts are mirrored into the metrics
-/// registry at [`ObsLevel::Summary`]. A poisoned registry drops the
+/// registry at [`ObsLevel::Summary`], and every ledger (clean or not)
+/// leaves a `health` event in the flight recorder so a post-mortem black
+/// box shows which stages had completed. A poisoned registry drops the
 /// record rather than propagating the panic.
 pub fn record_health(label: &str, health: SweepHealth) {
+    recorder::record(
+        recorder::EventKind::Health,
+        label,
+        health.degraded + health.failed,
+        health.non_finite,
+    );
     if enabled(ObsLevel::Summary) && !health.is_clean() {
         metrics::counter(&format!("health/{label}/degraded")).add(health.degraded);
         metrics::counter(&format!("health/{label}/failed")).add(health.failed);
@@ -171,8 +179,11 @@ pub fn drain_health() -> Vec<(String, SweepHealth)> {
 pub fn record_caches(prefix: &str, stats: Vec<(String, CacheStats)>) {
     if enabled(ObsLevel::Summary) {
         for (name, st) in &stats {
-            metrics::counter(&format!("cache/{prefix}/{name}/hits")).add(st.hits);
-            metrics::counter(&format!("cache/{prefix}/{name}/misses")).add(st.misses);
+            // Tracked counters also leave a counter-delta event in the
+            // flight recorder, so a black box shows cache activity leading
+            // up to a fault. These fire once per sweep, not per point.
+            metrics::tracked_counter(&format!("cache/{prefix}/{name}/hits")).add(st.hits);
+            metrics::tracked_counter(&format!("cache/{prefix}/{name}/misses")).add(st.misses);
             metrics::gauge(&format!("cache/{prefix}/{name}/hit_rate")).set(st.hit_rate());
         }
     }

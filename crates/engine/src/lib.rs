@@ -87,6 +87,7 @@
 pub mod cache;
 pub mod engine;
 pub mod instrument;
+pub mod ledger;
 pub mod persist;
 pub mod pool;
 pub mod registry;
@@ -96,7 +97,8 @@ pub use cache::{CacheStats, ShardedCache};
 pub use engine::{
     Architecture, CheckedSweep, ExecMode, PointOutcome, SweepEngine, SweepPoint,
 };
-pub use persist::{grid_key, CacheMode, GridRow, PersistentCache};
+pub use ledger::{LedgerRecord, LEDGER_FILE, LEDGER_SCHEMA};
+pub use persist::{append_line, grid_key, CacheMode, GridRow, PersistentCache};
 pub use instrument::{
     drain_caches, drain_health, drain_stages, record_caches, record_health, span, Span,
     StageRecord, SweepHealth, SweepReport,

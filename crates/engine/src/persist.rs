@@ -280,6 +280,79 @@ impl PersistentCache {
     }
 }
 
+/// Append one line to a shared JSONL file (the run ledger).
+///
+/// The file is opened in append mode (`O_APPEND` on POSIX) and the whole
+/// line — with a trailing newline added if missing — lands in a **single**
+/// `write_all`, so concurrent appenders from different threads or
+/// processes interleave at line granularity: each line is contiguous in
+/// the file short of a mid-write crash, which a per-line checksum (the
+/// ledger's `crc` field) lets readers skip as a torn line.
+///
+/// `site` is a fault-injection site consulted per attempt as `io/<site>`,
+/// like [`bevra_faults::atomic_write`]: transient faults are retried with
+/// the default bounded backoff (virtual-clock, sleep-free, whenever a
+/// fault plan is active), permanent ones surface as errors.
+///
+/// # Errors
+///
+/// The last I/O error once retries are exhausted, or the first
+/// non-transient error opening, creating the parent directory for, or
+/// writing the file.
+pub fn append_line(site: &str, path: &Path, line: &str) -> std::io::Result<()> {
+    use bevra_faults::io::{Clock, RetryPolicy, VirtualClock, WallClock};
+    use std::io::Write as _;
+
+    let mut buf = line.to_string();
+    if !buf.ends_with('\n') {
+        buf.push('\n');
+    }
+    if let Some(dir) = path.parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir)?;
+        }
+    }
+    let full_site = format!("io/{site}");
+    let policy = RetryPolicy::default();
+    let mut wall = WallClock::default();
+    let mut virt = VirtualClock::default();
+    let clock: &mut dyn Clock =
+        if bevra_faults::active() { &mut virt } else { &mut wall };
+    let mut attempt: u32 = 0;
+    loop {
+        let outcome = match bevra_faults::io_fault(&full_site, u64::from(attempt)) {
+            Some(bevra_faults::IoFault::Transient) => Err(std::io::Error::new(
+                std::io::ErrorKind::Interrupted,
+                format!("bevra-faults: injected transient I/O error at {full_site}"),
+            )),
+            Some(bevra_faults::IoFault::Permanent) => {
+                return Err(std::io::Error::other(format!(
+                    "bevra-faults: injected permanent I/O error at {full_site}"
+                )));
+            }
+            None => std::fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(path)
+                .and_then(|mut f| f.write_all(buf.as_bytes())),
+        };
+        match outcome {
+            Ok(()) => return Ok(()),
+            Err(e)
+                if attempt + 1 < policy.max_attempts.max(1)
+                    && matches!(
+                        e.kind(),
+                        std::io::ErrorKind::Interrupted | std::io::ErrorKind::WouldBlock
+                    ) =>
+            {
+                clock.sleep_ms(policy.backoff_ms(attempt));
+                attempt += 1;
+            }
+            Err(e) => return Err(e),
+        }
+    }
+}
+
 /// Default cache directory: `results/cache` under the workspace root (the
 /// same `results/` tree the report emitters use when run from the root).
 fn default_dir() -> PathBuf {
@@ -461,5 +534,44 @@ mod tests {
 
     fn fast_cap() -> KernelCapability {
         bevra_core::kernel::fast().capability()
+    }
+
+    #[test]
+    fn append_line_accumulates_newline_terminated_lines() {
+        let dir = tmp_dir("append");
+        let path = dir.join("ledger.jsonl");
+        append_line("test/ledger", &path, "{\"a\":1}").unwrap();
+        append_line("test/ledger", &path, "{\"b\":2}\n").unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(text, "{\"a\":1}\n{\"b\":2}\n");
+    }
+
+    #[test]
+    fn append_line_rides_out_transient_faults() {
+        use bevra_faults::{install, FaultKind, FaultPlan, FaultRule};
+        let dir = tmp_dir("append-tr");
+        let path = dir.join("ledger.jsonl");
+        let plan = FaultPlan::seeded(0)
+            .rule(FaultRule::always(FaultKind::IoTransient, "io/test/led-tr").with_n(2));
+        {
+            let _guard = install(plan);
+            append_line("test/led-tr", &path, "{\"ok\":true}").unwrap();
+        }
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "{\"ok\":true}\n");
+    }
+
+    #[test]
+    fn append_line_permanent_fault_errors_without_writing() {
+        use bevra_faults::{install, FaultKind, FaultPlan, FaultRule};
+        let dir = tmp_dir("append-perm");
+        let path = dir.join("ledger.jsonl");
+        let plan = FaultPlan::seeded(0)
+            .rule(FaultRule::always(FaultKind::IoPermanent, "io/test/led-perm"));
+        {
+            let _guard = install(plan);
+            let err = append_line("test/led-perm", &path, "{\"lost\":true}").unwrap_err();
+            assert!(err.to_string().contains("injected permanent"));
+        }
+        assert!(!path.exists(), "failed append must not create the file");
     }
 }

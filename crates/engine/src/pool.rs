@@ -90,6 +90,17 @@ impl std::fmt::Display for ItemError {
     }
 }
 
+/// Label this worker thread `engine-shard-<w>` for the chrome-trace
+/// export, so Perfetto tracks carry shard names instead of bare tids.
+/// Only does work at [`bevra_obs::ObsLevel::Trace`] — the label registry
+/// takes a short lock, which is noise per sweep but pointless when no
+/// trace will be exported.
+fn label_shard(w: usize) {
+    if bevra_obs::enabled(bevra_obs::ObsLevel::Trace) {
+        bevra_obs::set_thread_label(format!("engine-shard-{w}"));
+    }
+}
+
 /// Render a `catch_unwind` payload as text (panics carry `String` or
 /// `&str` in practice; anything else gets a placeholder).
 fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
@@ -124,8 +135,10 @@ where
     let next = AtomicUsize::new(0);
     let collected: Mutex<Vec<(usize, U)>> = Mutex::new(Vec::with_capacity(n));
     std::thread::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|| {
+        for w in 0..workers {
+            let (next, collected, f) = (&next, &collected, &f);
+            scope.spawn(move || {
+                label_shard(w);
                 let mut local: Vec<(usize, U)> = Vec::new();
                 loop {
                     let i = next.fetch_add(1, Ordering::Relaxed);
@@ -200,8 +213,10 @@ where
     let next = AtomicUsize::new(0);
     let collected: Mutex<Vec<(usize, Result<U, ItemError>)>> = Mutex::new(Vec::with_capacity(n));
     std::thread::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|| {
+        for w in 0..workers {
+            let (next, collected, isolated) = (&next, &collected, &isolated);
+            scope.spawn(move || {
+                label_shard(w);
                 let mut local: Vec<(usize, Result<U, ItemError>)> = Vec::new();
                 loop {
                     let i = next.fetch_add(1, Ordering::Relaxed);

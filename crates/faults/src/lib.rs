@@ -45,7 +45,7 @@ pub use io::{atomic_write, atomic_write_with, Clock, RetryPolicy, VirtualClock, 
 pub use plan::{FaultKind, FaultPlan, FaultRule};
 
 use std::sync::atomic::{AtomicU8, Ordering};
-use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock, PoisonError};
 
 /// Environment variable holding the fault plan (see [`plan`] for the
 /// grammar). Read once, on the first injection query.
@@ -149,16 +149,39 @@ pub fn install(plan: FaultPlan) -> InstallGuard {
 /// assertions can tell injected faults from genuine bugs.
 pub const PANIC_MARKER: &str = "bevra-faults: injected panic";
 
+/// Observer invoked synchronously (on the querying thread) every time a
+/// fault rule actually trips: `(kind, site, key)`. The flight recorder in
+/// `bevra-obs` installs one so blackboxes capture the exact injection
+/// sequence; with no observer registered the trip path pays one
+/// `OnceLock::get`. Never invoked on the no-fault fast path.
+pub type TripObserver = fn(FaultKind, &str, u64);
+
+static TRIP_OBSERVER: OnceLock<TripObserver> = OnceLock::new();
+
+/// Register the process-wide [`TripObserver`]. The first caller wins;
+/// later calls are ignored and return `false`. The observer must not
+/// panic and must not query fault sites (it runs inside them).
+pub fn set_trip_observer(observer: TripObserver) -> bool {
+    TRIP_OBSERVER.set(observer).is_ok()
+}
+
+#[cold]
+fn notify_trip(kind: FaultKind, site: &str, key: u64) {
+    if let Some(obs) = TRIP_OBSERVER.get() {
+        obs(kind, site, key);
+    }
+}
+
 /// Panic if a [`FaultKind::Panic`] rule trips at `(site, key)`. The
 /// message starts with [`PANIC_MARKER`].
 #[inline]
 pub fn panic_point(site: &str, key: u64) {
     if active() {
         if let Some(plan) = current_plan() {
-            assert!(
-                !plan.trips(FaultKind::Panic, site, key),
-                "{PANIC_MARKER} at {site}[{key}]",
-            );
+            if plan.trips(FaultKind::Panic, site, key) {
+                notify_trip(FaultKind::Panic, site, key);
+                panic!("{PANIC_MARKER} at {site}[{key}]");
+            }
         }
     }
 }
@@ -173,8 +196,14 @@ pub fn corrupt_f64(site: &str, key: u64, value: f64) -> f64 {
         return value;
     }
     match current_plan() {
-        Some(plan) if plan.trips(FaultKind::Nan, site, key) => f64::NAN,
-        Some(plan) if plan.trips(FaultKind::Inf, site, key) => f64::INFINITY,
+        Some(plan) if plan.trips(FaultKind::Nan, site, key) => {
+            notify_trip(FaultKind::Nan, site, key);
+            f64::NAN
+        }
+        Some(plan) if plan.trips(FaultKind::Inf, site, key) => {
+            notify_trip(FaultKind::Inf, site, key);
+            f64::INFINITY
+        }
         _ => value,
     }
 }
@@ -184,8 +213,12 @@ pub fn corrupt_f64(site: &str, key: u64, value: f64) -> f64 {
 #[inline]
 #[must_use]
 pub fn forced_numerr(site: &str, key: u64) -> bool {
-    active()
-        && current_plan().is_some_and(|p| p.trips(FaultKind::NumErr, site, key))
+    let tripped = active()
+        && current_plan().is_some_and(|p| p.trips(FaultKind::NumErr, site, key));
+    if tripped {
+        notify_trip(FaultKind::NumErr, site, key);
+    }
+    tripped
 }
 
 /// An injected I/O failure mode, consumed by [`io`].
@@ -211,11 +244,13 @@ pub fn io_fault(site: &str, attempt: u64) -> Option<IoFault> {
     }
     let plan = current_plan()?;
     if plan.trips(FaultKind::IoPermanent, site, attempt) {
+        notify_trip(FaultKind::IoPermanent, site, attempt);
         return Some(IoFault::Permanent);
     }
     if plan.trips(FaultKind::IoTransient, site, attempt) {
         let failing = plan.count_for(FaultKind::IoTransient, site).unwrap_or(1);
         if attempt < failing {
+            notify_trip(FaultKind::IoTransient, site, attempt);
             return Some(IoFault::Transient);
         }
     }

@@ -65,7 +65,10 @@ pub enum FaultKind {
 }
 
 impl FaultKind {
-    fn token(self) -> &'static str {
+    /// The grammar token naming this kind (`panic`, `nan`, `io-transient`,
+    /// …) — also the stable label used by the flight-recorder blackbox.
+    #[must_use]
+    pub fn token(self) -> &'static str {
         match self {
             FaultKind::Panic => "panic",
             FaultKind::Nan => "nan",

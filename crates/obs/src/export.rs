@@ -9,8 +9,9 @@
 //! [Trace Event Format]: https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU
 //!
 //! Figure binaries call [`export_run`], which consults [`crate::level`]:
-//! nothing happens at `Off`, the summary table is produced at `Summary`,
-//! and the trace/JSONL files are additionally written at `Trace`.
+//! nothing happens at `Off`, the summary table and Prometheus text
+//! exposition are produced at `Summary`, and the trace/JSONL files are
+//! additionally written at `Trace`.
 
 use crate::metrics::{self, MetricsSnapshot};
 use crate::span::{drain_trace, SpanEvent};
@@ -45,11 +46,15 @@ fn jnum(x: f64) -> String {
     }
 }
 
-/// Serialize span events as `chrome://tracing`-compatible trace JSON
-/// (complete `"X"` events plus thread-name metadata, one track per
-/// instrumented thread).
+/// Serialize span events as `chrome://tracing`-compatible trace JSON:
+/// complete `"X"` events plus `process_name`/`thread_name` metadata, one
+/// track per instrumented thread. Threads labeled via
+/// [`crate::set_thread_label`] (e.g. the engine pool's `engine-shard-N`
+/// workers) show their label in Perfetto; unlabeled threads fall back to
+/// `bevra-thread-<tid>`.
 #[must_use]
 pub fn trace_json(events: &[SpanEvent]) -> String {
+    let labels = crate::span::thread_labels();
     let mut out = String::from("{\n\"displayTimeUnit\": \"ms\",\n\"traceEvents\": [\n");
     let mut first = true;
     let mut push = |line: String, first: &mut bool| {
@@ -59,14 +64,25 @@ pub fn trace_json(events: &[SpanEvent]) -> String {
         *first = false;
         out.push_str(&line);
     };
+    push(
+        "{\"ph\": \"M\", \"pid\": 1, \"name\": \"process_name\", \
+         \"args\": {\"name\": \"bevra\"}}"
+            .to_string(),
+        &mut first,
+    );
     let mut tids: Vec<u64> = events.iter().map(|e| e.tid).collect();
     tids.sort_unstable();
     tids.dedup();
     for tid in tids {
+        let label = labels
+            .iter()
+            .find(|(t, _)| *t == tid)
+            .map_or_else(|| format!("bevra-thread-{tid}"), |(_, l)| l.clone());
         push(
             format!(
                 "{{\"ph\": \"M\", \"pid\": 1, \"tid\": {tid}, \"name\": \"thread_name\", \
-                 \"args\": {{\"name\": \"bevra-thread-{tid}\"}}}}"
+                 \"args\": {{\"name\": \"{}\"}}}}",
+                esc(&label),
             ),
             &mut first,
         );
@@ -97,7 +113,7 @@ pub fn trace_json(events: &[SpanEvent]) -> String {
 
 /// Serialize span events plus a metrics snapshot as a JSONL event log:
 /// one self-describing JSON object per line (`"type"` discriminates
-/// `span` / `counter` / `gauge` / `histogram`).
+/// `span` / `counter` / `gauge` / `histogram` / `windowed` / `rate`).
 #[must_use]
 pub fn jsonl(events: &[SpanEvent], snap: &MetricsSnapshot) -> String {
     let mut out = String::new();
@@ -141,6 +157,27 @@ pub fn jsonl(events: &[SpanEvent], snap: &MetricsSnapshot) -> String {
             jnum(h.p99),
         );
     }
+    for (name, h) in &snap.windowed {
+        let _ = writeln!(
+            out,
+            "{{\"type\": \"windowed\", \"name\": \"{}\", \"count\": {}, \"mean\": {}, \
+             \"p50\": {}, \"p90\": {}, \"p99\": {}}}",
+            esc(name),
+            h.count,
+            jnum(h.mean),
+            jnum(h.p50),
+            jnum(h.p90),
+            jnum(h.p99),
+        );
+    }
+    for (name, v) in &snap.rates {
+        let _ = writeln!(
+            out,
+            "{{\"type\": \"rate\", \"name\": \"{}\", \"per_sec\": {}}}",
+            esc(name),
+            jnum(*v)
+        );
+    }
     out
 }
 
@@ -174,6 +211,22 @@ pub fn summary_table(snap: &MetricsSnapshot) -> String {
             );
         }
     }
+    if !snap.windowed.is_empty() {
+        out.push_str("windowed histograms (count / mean / p50 / p90 / p99):\n");
+        for (name, h) in &snap.windowed {
+            let _ = writeln!(
+                out,
+                "  {name:<44} {:>10} {:>12.1} {:>12.1} {:>12.1} {:>12.1}",
+                h.count, h.mean, h.p50, h.p90, h.p99
+            );
+        }
+    }
+    if !snap.rates.is_empty() {
+        out.push_str("rates (events/sec):\n");
+        for (name, v) in &snap.rates {
+            let _ = writeln!(out, "  {name:<44} {v:>14.3}");
+        }
+    }
     out
 }
 
@@ -184,6 +237,8 @@ pub struct RunExport {
     pub trace_path: Option<PathBuf>,
     /// Path of the JSONL event log, when written (`Trace` level).
     pub jsonl_path: Option<PathBuf>,
+    /// Path of the Prometheus text exposition, when written (`Summary`+).
+    pub prom_path: Option<PathBuf>,
     /// Rendered summary table, when collection was on (`Summary`+) and
     /// metrics exist.
     pub summary: Option<String>,
@@ -191,8 +246,10 @@ pub struct RunExport {
 
 /// Export everything collected for run `id` into `dir` according to the
 /// current [`crate::level`]: at `Off` this is a no-op; at `Summary` the
-/// metrics summary table is rendered; at `Trace` the buffered span events
-/// are drained and written as `<id>-trace.json` + `<id>-obs.jsonl`.
+/// metrics summary table is rendered and the registry is written as a
+/// Prometheus text exposition (`<id>-metrics.prom`); at `Trace` the
+/// buffered span events are additionally drained and written as
+/// `<id>-trace.json` + `<id>-obs.jsonl`.
 ///
 /// # Errors
 ///
@@ -204,8 +261,14 @@ pub fn export_run(id: &str, dir: &Path) -> std::io::Result<RunExport> {
         return Ok(out);
     }
     let snap = metrics::snapshot();
+    std::fs::create_dir_all(dir)?;
+    let prom = metrics::prometheus_text();
+    if !prom.is_empty() {
+        let prom_path = dir.join(format!("{id}-metrics.prom"));
+        bevra_faults::atomic_write("obs/prom", &prom_path, prom.as_bytes())?;
+        out.prom_path = Some(prom_path);
+    }
     if level >= ObsLevel::Trace {
-        std::fs::create_dir_all(dir)?;
         let events = drain_trace();
         // Atomic writes (temp + rename): an interrupted export leaves the
         // previous trace/log complete instead of a truncated JSON file.
@@ -260,6 +323,8 @@ mod tests {
         assert!(json.contains("\"parent\": \"sweep/points\""));
         assert!(json.contains("\"tid\": 2"));
         assert!(json.contains("thread_name"));
+        assert!(json.contains("process_name"));
+        assert!(json.contains("\"name\": \"bevra\""));
         // Balanced braces/brackets — cheap structural sanity (the report
         // crate parses this output with its real JSON parser).
         assert_eq!(json.matches('{').count(), json.matches('}').count());
@@ -268,8 +333,11 @@ mod tests {
 
     #[test]
     fn trace_json_empty_is_valid() {
+        // Even with no span events the process_name metadata line remains.
         let json = trace_json(&[]);
-        assert!(json.contains("\"traceEvents\": [\n\n]"));
+        assert!(json.contains("process_name"));
+        assert!(!json.contains("\"ph\": \"X\""));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
     }
 
     #[test]
@@ -281,26 +349,38 @@ mod tests {
                 "sim/occupancy".into(),
                 HistogramSummary { count: 5, mean: 2.0, p50: 1.5, p90: 3.0, p99: 3.0 },
             )],
+            windowed: vec![(
+                "serve/latency".into(),
+                HistogramSummary { count: 2, mean: 4.0, p50: 3.0, p90: 6.0, p99: 6.0 },
+            )],
+            rates: vec![("serve/arrivals".into(), 1.25)],
         };
         let log = jsonl(&sample_events(), &snap);
         let lines: Vec<&str> = log.lines().collect();
-        assert_eq!(lines.len(), 5, "2 spans + 1 counter + 1 gauge + 1 histogram");
+        assert_eq!(
+            lines.len(),
+            7,
+            "2 spans + 1 counter + 1 gauge + 1 histogram + 1 windowed + 1 rate"
+        );
         for line in &lines {
             assert!(line.starts_with('{') && line.ends_with('}'), "line {line}");
         }
         assert!(log.contains("\"type\": \"histogram\""));
+        assert!(log.contains("\"type\": \"windowed\""));
+        assert!(log.contains("\"type\": \"rate\""));
     }
 
     #[test]
     fn summary_table_renders_sections() {
         let snap = MetricsSnapshot {
             counters: vec![("net/admitted".into(), 3)],
-            gauges: vec![],
-            histograms: vec![],
+            rates: vec![("net/arrivals".into(), 0.5)],
+            ..MetricsSnapshot::default()
         };
         let table = summary_table(&snap);
         assert!(table.contains("observability summary"));
         assert!(table.contains("net/admitted"));
+        assert!(table.contains("rates (events/sec):"));
         assert!(!table.contains("gauges:"), "empty sections omitted");
         assert!(summary_table(&MetricsSnapshot::default()).is_empty());
     }

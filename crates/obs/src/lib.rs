@@ -14,10 +14,17 @@
 //!   [`metrics::Gauge`]s, and log-bucketed [`metrics::Histogram`]s
 //!   (p50/p90/p99 summaries), all plain atomics so recording never
 //!   allocates;
-//! * [`export`] — three exporters over the collected data: a JSONL event
+//! * [`export`] — exporters over the collected data: a JSONL event
 //!   log, a `chrome://tracing`-compatible trace JSON (open it in
-//!   [Perfetto](https://ui.perfetto.dev)), and a plain-text summary table
-//!   printed by the figure binaries.
+//!   [Perfetto](https://ui.perfetto.dev)), a Prometheus-style text
+//!   exposition of the metrics registry, and a plain-text summary table
+//!   printed by the figure binaries;
+//! * [`recorder`] — the always-on flight recorder: bounded per-thread
+//!   seqlock rings of structured events (span boundaries, counter deltas,
+//!   fault trips, health records, ordered by a logical sequence counter)
+//!   drained to a `results/<id>-blackbox.jsonl` black box by a chained
+//!   panic hook or at the end of a faulted run. Gated independently by
+//!   `BEVRA_RECORDER` (default on; the off path is one relaxed load).
 //!
 //! # The `BEVRA_OBS` gate
 //!
@@ -63,9 +70,10 @@
 
 pub mod export;
 pub mod metrics;
+pub mod recorder;
 pub mod span;
 
-pub use span::{drain_stages, drain_trace, span, Span, SpanEvent, StageRecord};
+pub use span::{drain_stages, drain_trace, set_thread_label, span, Span, SpanEvent, StageRecord};
 
 use std::sync::atomic::{AtomicU8, Ordering};
 

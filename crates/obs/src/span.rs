@@ -26,6 +26,7 @@
 //! the drain functions recover whatever survived via
 //! [`std::sync::PoisonError::into_inner`].
 
+use crate::recorder::{self, EventKind};
 use crate::{enabled, ObsLevel};
 use std::cell::RefCell;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -102,6 +103,12 @@ static SINKS: Mutex<Vec<Arc<ThreadSink>>> = Mutex::new(Vec::new());
 
 static NEXT_TID: AtomicU64 = AtomicU64::new(1);
 
+/// Human-readable labels for observability thread ids, set via
+/// [`set_thread_label`] and rendered by the chrome-trace exporter as
+/// `thread_name` metadata (so Perfetto shows `engine-shard-3` instead of
+/// a bare tid).
+static LABELS: Mutex<Vec<(u64, String)>> = Mutex::new(Vec::new());
+
 struct ThreadState {
     sink: Arc<ThreadSink>,
     tid: u64,
@@ -171,6 +178,7 @@ impl Drop for Span {
             seconds,
             points: self.points,
         };
+        recorder::record(EventKind::SpanExit, &record.name, self.points, 0);
         // A poisoned sink drops the record: never panic in Drop (a panic
         // while unwinding aborts the process).
         if let Ok(mut data) = self.sink.data.lock() {
@@ -196,17 +204,10 @@ impl Drop for Span {
 pub fn span(name: impl Into<String>) -> Span {
     let name = name.into();
     let ep = epoch();
+    recorder::record(EventKind::SpanEnter, &name, 0, 0);
     STATE.with(|cell| {
         let mut borrow = cell.borrow_mut();
-        let st = borrow.get_or_insert_with(|| {
-            let sink = Arc::new(ThreadSink::default());
-            recover(SINKS.lock()).push(Arc::clone(&sink));
-            ThreadState {
-                sink,
-                tid: NEXT_TID.fetch_add(1, Ordering::Relaxed),
-                stack: Vec::new(),
-            }
-        });
+        let st = borrow.get_or_insert_with(new_thread_state);
         let depth = st.stack.len() as u32;
         let parent = st.stack.last().cloned();
         st.stack.push(name.clone());
@@ -222,6 +223,44 @@ pub fn span(name: impl Into<String>) -> Span {
             sink: Arc::clone(&st.sink),
         }
     })
+}
+
+fn new_thread_state() -> ThreadState {
+    let sink = Arc::new(ThreadSink::default());
+    recover(SINKS.lock()).push(Arc::clone(&sink));
+    ThreadState {
+        sink,
+        tid: NEXT_TID.fetch_add(1, Ordering::Relaxed),
+        stack: Vec::new(),
+    }
+}
+
+/// Label the current thread's observability track (e.g.
+/// `engine-shard-3`); the chrome-trace exporter emits it as `thread_name`
+/// metadata. Registers the thread (assigning its tid) if it has no spans
+/// yet; relabeling overwrites.
+pub fn set_thread_label(label: impl Into<String>) {
+    let label = label.into();
+    let Ok(tid) = STATE.try_with(|cell| {
+        let mut borrow = cell.borrow_mut();
+        borrow.get_or_insert_with(new_thread_state).tid
+    }) else {
+        return;
+    };
+    let mut labels = recover(LABELS.lock());
+    if let Some(entry) = labels.iter_mut().find(|(t, _)| *t == tid) {
+        entry.1 = label;
+    } else {
+        labels.push((tid, label));
+    }
+}
+
+/// All `(tid, label)` pairs registered via [`set_thread_label`], in
+/// registration order. Labels persist across drains (a relabeled tid keeps
+/// its latest label).
+#[must_use]
+pub fn thread_labels() -> Vec<(u64, String)> {
+    recover(LABELS.lock()).clone()
 }
 
 /// Remove and return every completed stage recorded since the last drain,

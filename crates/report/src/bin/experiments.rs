@@ -53,6 +53,7 @@ fn gamma_of<U: Utility>(load: &Arc<Tabulated>, u: U, p: f64, grid: usize) -> f64
 #[allow(clippy::too_many_lines)]
 fn main() -> std::io::Result<()> {
     bevra_report::emit::announce_kernel();
+    bevra_report::emit::arm_run("experiments");
     let fast = std::env::args().any(|a| a == "--fast");
     let cap = if fast { 1 << 16 } else { 1 << 20 };
     let grid = if fast { 300 } else { 800 };

@@ -2,6 +2,7 @@
 
 fn main() -> std::io::Result<()> {
     bevra_report::emit::announce_kernel();
+    bevra_report::emit::arm_run("fig1");
     let fig = bevra_report::figures::fig1();
     bevra_report::emit::emit_figure(&fig, &bevra_report::emit::results_dir())
 }

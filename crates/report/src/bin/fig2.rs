@@ -3,6 +3,7 @@
 
 fn main() -> std::io::Result<()> {
     bevra_report::emit::announce_kernel();
+    bevra_report::emit::arm_run("fig2");
     let q = bevra_report::emit::cli_quality();
     let fig = bevra_report::figures::fig2(q);
     bevra_report::emit::emit_figure(&fig, &bevra_report::emit::results_dir())

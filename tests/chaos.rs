@@ -99,6 +99,49 @@ fn pinned_cache_fault_scenario_degrades_to_recompute() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+/// Every failing pinned-corpus scenario ships a parseable black box: the
+/// flight recorder's panic hook drains the last events on each injected
+/// panic (even though the sweep isolates it), and the final synthetic
+/// `panic` event names the tripped fault site — `engine/point`, the only
+/// site the random chaos plans inject panics at.
+#[test]
+fn failing_corpus_cases_ship_a_blackbox() {
+    use bevra_report::json::JsonValue;
+    silence_injected_panics();
+    let dir = std::env::temp_dir().join("bevra-chaos-blackbox");
+    let mut checked = 0u64;
+    for seed in CORPUS_BASE..CORPUS_BASE + 8 {
+        let stats = run_case(seed).unwrap_or_else(|e| panic!("{e}"));
+        if stats.failed == 0 {
+            continue; // no injected panic landed: no black box owed
+        }
+        checked += 1;
+        let path = dir.join(format!("chaos-{seed}-blackbox.jsonl"));
+        let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+            panic!("seed {seed}: failing case left no blackbox at {}: {e}", path.display())
+        });
+        let lines: Vec<&str> = text.lines().collect();
+        assert!(!lines.is_empty(), "seed {seed}: empty blackbox");
+        for line in &lines {
+            JsonValue::parse(line).unwrap_or_else(|e| {
+                panic!("seed {seed}: unparseable blackbox line `{line}`: {e}")
+            });
+        }
+        let last = JsonValue::parse(lines[lines.len() - 1]).expect("parsed above");
+        assert_eq!(
+            last.get("kind").and_then(JsonValue::as_str),
+            Some("panic"),
+            "seed {seed}: final event is the synthetic panic record"
+        );
+        assert_eq!(
+            last.get("site").and_then(JsonValue::as_str),
+            Some("engine/point"),
+            "seed {seed}: final event names the tripped fault site"
+        );
+    }
+    assert!(checked > 0, "corpus produced no failing case to check");
+}
+
 /// The corpus actually exercises the fault machinery: across the pinned
 /// seeds, some points fail, some degrade, some saves fail — the suite is
 /// not vacuously green.
