@@ -1,11 +1,79 @@
 //! Bench: simulator throughput and the event-queue ablation.
+//!
+//! The `sim_million_flow_*` rows are the acceptance bench for the
+//! timer-wheel/SoA event-loop rearchitecture (DESIGN.md § "The event loop
+//! at scale"): one million flow arrivals at k̄ = 2000, measured through
+//! the legacy heap loop (the pre-refactor implementation preserved in
+//! `bevra_sim::legacy`), the new loop on both queue backends, and the
+//! sharded fleet. The wheel+SoA row must beat the legacy row by ≥10× —
+//! CI's sim-scale job gates on these rows via `scripts/perf_smoke.py`.
 
+use bevra_sim::fleet::{Fleet, FleetConfig};
 use bevra_sim::queue::{BinaryHeapQueue, EventQueue, SortedVecQueue};
-use bevra_sim::{Discipline, HoldingDist, MixedPoisson, SimConfig, Simulation};
+use bevra_sim::wheel::TimerWheelQueue;
+use bevra_sim::{legacy, Discipline, HoldingDist, MixedPoisson, QueueKind, SimConfig, Simulation};
 use bevra_utility::AdaptiveExp;
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 use std::sync::Arc;
+
+/// One million flow arrivals: k̄ = 5000 concurrent flows for 200 time
+/// units. High occupancy is the regime that separates the architectures —
+/// the legacy loop pays an O(active) max-population scan per departure
+/// and a heap reorder per event, the new loop pays O(1) for both.
+fn million_flow_cfg() -> SimConfig {
+    SimConfig {
+        capacity: 6250.0,
+        discipline: Discipline::BestEffort,
+        arrivals: MixedPoisson::fixed(5000.0),
+        holding: HoldingDist::Exponential { mean: 1.0 },
+        utility: Arc::new(AdaptiveExp::paper()),
+        warmup: 10.0,
+        horizon: 210.0,
+        seed: 0x1_000_000,
+        max_events: None,
+    }
+}
+
+fn million_flow_benches(c: &mut Criterion) {
+    let cfg = million_flow_cfg();
+    // Events per iteration, so ns_per_point in the artifact is ns/event
+    // and events/s = 1e9 / ns_per_point.
+    let events = Simulation::new(cfg.clone()).run_on(QueueKind::Wheel).events as usize;
+
+    c.bench_function("sim_million_flow_legacy_heap", |b| {
+        b.points(events);
+        b.iter(|| black_box(legacy::run(&cfg)));
+    });
+    c.bench_function("sim_million_flow_heap_soa", |b| {
+        b.points(events);
+        b.iter(|| black_box(Simulation::new(cfg.clone()).run_on(QueueKind::Heap)));
+    });
+    c.bench_function("sim_million_flow_wheel_soa", |b| {
+        b.points(events);
+        b.iter(|| black_box(Simulation::new(cfg.clone()).run_on(QueueKind::Wheel)));
+    });
+
+    // The ROADMAP-item-2 scale target: ten million flows in one run,
+    // through the sharded fleet (4 lanes of k̄ = 1250 for 2000 time
+    // units) at the ambient shard count.
+    let fleet = Fleet::new(FleetConfig {
+        base: SimConfig {
+            arrivals: MixedPoisson::fixed(1250.0),
+            capacity: 1562.5,
+            horizon: 2010.0,
+            ..cfg
+        },
+        lanes: 4,
+    });
+    let fleet_events = fleet.run_on(bevra_sim::fleet::shard_count(), QueueKind::Wheel).merged.events;
+    c.bench_function("sim_ten_million_flow_fleet", |b| {
+        b.points(fleet_events as usize);
+        b.iter(|| {
+            black_box(fleet.run_on(bevra_sim::fleet::shard_count(), QueueKind::Wheel))
+        });
+    });
+}
 
 fn sim_benches(c: &mut Criterion) {
     let cfg = SimConfig {
@@ -49,7 +117,10 @@ fn sim_benches(c: &mut Criterion) {
     c.bench_function("ablate_eventq_sorted_vec", |b| {
         b.iter(|| black_box(churn(&mut SortedVecQueue::new(), 4_096)));
     });
+    c.bench_function("ablate_eventq_timer_wheel", |b| {
+        b.iter(|| black_box(churn(&mut TimerWheelQueue::with_granularity(1.0 / 4096.0), 4_096)));
+    });
 }
 
-criterion_group!(benches, sim_benches);
+criterion_group!(benches, sim_benches, million_flow_benches);
 criterion_main!(benches);

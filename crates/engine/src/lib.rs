@@ -104,6 +104,6 @@ pub use instrument::{
     StageRecord, SweepHealth, SweepReport,
 };
 pub use pool::{
-    default_thread_count, parallel_map, parallel_map_isolated, parallel_map_with,
+    chunk_ranges, default_thread_count, parallel_map, parallel_map_isolated, parallel_map_with,
     parse_thread_count, thread_count, ItemError, MAX_THREADS, THREADS_ENV,
 };

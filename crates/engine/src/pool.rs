@@ -236,6 +236,30 @@ where
     slots.into_iter().map(|s| s.unwrap_or(Err(ItemError::Missing))).collect()
 }
 
+/// Split `0..n` into `chunks` contiguous, balanced, non-empty ranges
+/// (fewer than `chunks` when `n < chunks`; the first `n % chunks` ranges
+/// are one longer). The partition depends only on `(n, chunks)` — callers
+/// that merge chunk results in range order therefore get an output
+/// independent of how many workers actually executed the chunks, which is
+/// what the simulator fleet's shard-count-invariant digests rest on.
+#[must_use]
+pub fn chunk_ranges(n: usize, chunks: usize) -> Vec<std::ops::Range<usize>> {
+    if n == 0 || chunks == 0 {
+        return Vec::new();
+    }
+    let chunks = chunks.min(n);
+    let base = n / chunks;
+    let extra = n % chunks;
+    let mut out = Vec::with_capacity(chunks);
+    let mut lo = 0;
+    for c in 0..chunks {
+        let len = base + usize::from(c < extra);
+        out.push(lo..lo + len);
+        lo += len;
+    }
+    out
+}
+
 /// [`parallel_map_with`] at the ambient [`thread_count`].
 pub fn parallel_map<T, U, F>(items: &[T], f: F) -> Vec<U>
 where
@@ -337,6 +361,25 @@ mod tests {
             let b = b.as_ref().expect("no faults injected");
             assert_eq!(a.to_bits(), b.to_bits());
         }
+    }
+
+    #[test]
+    fn chunk_ranges_partition_exactly() {
+        for (n, chunks) in [(10, 3), (7, 7), (3, 8), (1, 1), (1_000_000, 16), (5, 2)] {
+            let ranges = chunk_ranges(n, chunks);
+            assert_eq!(ranges.len(), chunks.min(n));
+            assert_eq!(ranges.first().map(|r| r.start), Some(0));
+            assert_eq!(ranges.last().map(|r| r.end), Some(n));
+            for w in ranges.windows(2) {
+                assert_eq!(w[0].end, w[1].start, "contiguous");
+            }
+            let lens: Vec<usize> = ranges.iter().map(ExactSizeIterator::len).collect();
+            let (min, max) = (lens.iter().min().copied(), lens.iter().max().copied());
+            assert!(max.zip(min).is_some_and(|(hi, lo)| hi - lo <= 1), "balanced: {lens:?}");
+            assert!(lens.iter().all(|&l| l > 0), "non-empty");
+        }
+        assert!(chunk_ranges(0, 4).is_empty());
+        assert!(chunk_ranges(4, 0).is_empty());
     }
 
     #[test]

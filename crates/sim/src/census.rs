@@ -86,6 +86,27 @@ impl Census {
         Tabulated::from_weights(self.seen_at.iter().map(|&c| c as f64).collect())
     }
 
+    /// Absorb another census by element-wise addition.
+    ///
+    /// Like [`Welford::merge`](crate::stats::Welford::merge) the result is
+    /// order-sensitive in its float sums, so deterministic aggregation
+    /// must fix the merge order (the fleet merges by lane index).
+    pub fn merge(&mut self, other: &Self) {
+        if other.time_at.len() > self.time_at.len() {
+            self.time_at.resize(other.time_at.len(), 0.0);
+        }
+        for (k, &t) in other.time_at.iter().enumerate() {
+            self.time_at[k] += t;
+        }
+        if other.seen_at.len() > self.seen_at.len() {
+            self.seen_at.resize(other.seen_at.len(), 0);
+        }
+        for (k, &c) in other.seen_at.iter().enumerate() {
+            self.seen_at[k] += c;
+        }
+        self.total_time += other.total_time;
+    }
+
     /// Fold the census's exact state — every dwell time's bit pattern,
     /// every arrival count, the total time — into an FNV-1a accumulator.
     /// Used by `SimReport::digest` for bitwise determinism checks.

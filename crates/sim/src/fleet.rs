@@ -1,0 +1,351 @@
+//! Sharded multi-lane simulation — the ≥10M-flow execution layer.
+//!
+//! A *fleet* runs `lanes` independent virtual event loops of one base
+//! configuration, each lane seeded by
+//! [`rand::derive_seed`]`(base.seed, lane)`, and merges their
+//! reports into a single pooled [`SimReport`]. Lanes are the **semantic**
+//! unit: the fleet's result is defined as "lane 0's report merged with
+//! lane 1's, merged with lane 2's, …" — a fold in strict lane order.
+//!
+//! *Shards* are the **execution** unit: `BEVRA_SIM_SHARDS` (default: the
+//! worker-thread count) groups lanes into contiguous chunks via
+//! [`bevra_engine::chunk_ranges`], and each shard runs its lanes serially
+//! on one pool worker. Because the chunking is contiguous and results are
+//! concatenated in shard order, the merge visits lanes in index order *no
+//! matter how many shards or threads executed them* — which is what makes
+//! [`FleetReport::merged`]'s digest bitwise-invariant under
+//! `BEVRA_SIM_SHARDS` and `BEVRA_THREADS` (pinned by
+//! `tests/determinism.rs` and `tests/sim_scale.rs`).
+//!
+//! # Failure isolation
+//!
+//! Each shard runs under the engine pool's panic isolation
+//! ([`bevra_engine::parallel_map_isolated`]) and passes through the
+//! `panic:sim/shard` fault site keyed by shard index, so chaos runs can
+//! trip exactly one shard. A failed shard degrades to a
+//! [`ShardFailure`] entry in [`FleetHealth`]; surviving shards' lanes
+//! merge exactly as they would have otherwise (their per-lane digests are
+//! unchanged — the chaos suite pins this). Budget exhaustion inside a
+//! lane (the `sim/budget` watchdog) is *not* a failure: the lane's
+//! partial report merges and the lane is counted in
+//! [`FleetHealth::truncated_lanes`], keeping the watchdog per-shard
+//! deterministic.
+
+use crate::runner::{QueueKind, SimConfig, SimError, SimReport, Simulation};
+use bevra_obs::metrics;
+use rand::derive_seed;
+
+/// Environment variable setting how many shards (contiguous lane chunks)
+/// a fleet run is split into. Purely an execution knob: any value yields
+/// the identical merged report. Defaults to the engine worker count.
+pub const SHARDS_ENV: &str = "BEVRA_SIM_SHARDS";
+
+/// Upper bound on an explicitly requested shard count (mirrors the
+/// engine's [`MAX_THREADS`](bevra_engine::MAX_THREADS) policy).
+pub const MAX_SHARDS: usize = 512;
+
+/// Number of shards a fleet run will use: `BEVRA_SIM_SHARDS` if it parses
+/// as an integer in `1..=`[`MAX_SHARDS`], else the engine worker count.
+#[must_use]
+pub fn shard_count() -> usize {
+    bevra_num::env::env_count(SHARDS_ENV, MAX_SHARDS, bevra_engine::thread_count())
+}
+
+/// Configuration of a fleet run: one base [`SimConfig`] replicated across
+/// independently-seeded lanes.
+#[derive(Clone)]
+pub struct FleetConfig {
+    /// Per-lane simulation parameters. `base.seed` is the fleet's master
+    /// seed; lane `i` runs with `derive_seed(base.seed, i)`.
+    pub base: SimConfig,
+    /// Number of independent virtual event loops. Fixed per config —
+    /// changing it changes the result; changing shards/threads does not.
+    pub lanes: u32,
+}
+
+/// One failed shard, for the health ledger.
+#[derive(Debug, Clone)]
+pub struct ShardFailure {
+    /// Shard index (into the run's contiguous lane chunking).
+    pub shard: u32,
+    /// Lanes the shard covered, all of which produced no report.
+    pub lanes: std::ops::Range<u32>,
+    /// The failure, rendered as text (panic payload or missing slot).
+    pub error: String,
+}
+
+/// `SweepHealth`-style accounting of a fleet run.
+#[derive(Debug, Clone, Default)]
+pub struct FleetHealth {
+    /// Lanes whose reports merged into the pooled result.
+    pub ok_lanes: u32,
+    /// Of the ok lanes, how many were truncated by the `sim/budget`
+    /// watchdog (their partial reports still merged).
+    pub truncated_lanes: u32,
+    /// Shards that panicked (twice — the pool retries once) or whose
+    /// result slot was never filled.
+    pub failed: Vec<ShardFailure>,
+}
+
+impl FleetHealth {
+    /// True when every lane merged.
+    #[must_use]
+    pub fn all_ok(&self) -> bool {
+        self.failed.is_empty()
+    }
+
+    /// Lanes lost to failed shards.
+    #[must_use]
+    pub fn failed_lanes(&self) -> u32 {
+        self.failed.iter().map(|f| f.lanes.end - f.lanes.start).sum()
+    }
+}
+
+/// Result of a fleet run.
+#[derive(Debug, Clone)]
+pub struct FleetReport {
+    /// All surviving lanes' reports, folded in strict lane order.
+    /// `merged.digest()` is the fleet's canonical digest — invariant
+    /// under `BEVRA_SIM_SHARDS`, `BEVRA_THREADS`, and `BEVRA_SIM_QUEUE`.
+    pub merged: SimReport,
+    /// Per-lane digests (`None` for lanes lost to a failed shard) — the
+    /// accounting granularity the chaos suite checks.
+    pub lane_digests: Vec<Option<u64>>,
+    /// Failure/truncation accounting.
+    pub health: FleetHealth,
+    /// Wall-clock seconds the fleet spent executing shards.
+    pub seconds: f64,
+}
+
+impl FleetReport {
+    /// Events per wall-clock second across all surviving lanes — the
+    /// headline throughput figure (also exported as the
+    /// `sim/fleet/events_per_sec` gauge).
+    #[must_use]
+    pub fn events_per_sec(&self) -> f64 {
+        if self.seconds > 0.0 {
+            self.merged.events as f64 / self.seconds
+        } else {
+            0.0
+        }
+    }
+}
+
+/// A fleet instance. Create with [`Fleet::new`], run with [`Fleet::run`].
+pub struct Fleet {
+    cfg: FleetConfig,
+}
+
+impl Fleet {
+    /// New fleet from a config.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `lanes == 0` or the base config is invalid (see
+    /// [`Simulation::new`]).
+    #[must_use]
+    pub fn new(cfg: FleetConfig) -> Self {
+        assert!(cfg.lanes > 0, "a fleet needs at least one lane");
+        assert!(cfg.base.capacity > 0.0, "capacity must be positive");
+        assert!(cfg.base.horizon > 0.0, "horizon must be positive");
+        Self { cfg }
+    }
+
+    /// The [`SimConfig`] lane `lane` runs: the base with its derived seed.
+    #[must_use]
+    pub fn lane_config(&self, lane: u32) -> SimConfig {
+        let mut cfg = self.cfg.base.clone();
+        cfg.seed = derive_seed(self.cfg.base.seed, u64::from(lane));
+        cfg
+    }
+
+    /// Run the fleet at the ambient shard count ([`shard_count`]) and
+    /// queue kind (`BEVRA_SIM_QUEUE`).
+    #[must_use]
+    pub fn run(&self) -> FleetReport {
+        self.run_on(shard_count(), QueueKind::from_env())
+    }
+
+    /// Run the fleet with an explicit shard count and queue kind — the
+    /// determinism suite calls this with several shard counts and asserts
+    /// one digest.
+    #[must_use]
+    pub fn run_on(&self, shards: usize, queue: QueueKind) -> FleetReport {
+        let lanes = self.cfg.lanes as usize;
+        let mut sp = bevra_obs::span("sim/fleet");
+        sp.add_points(lanes as u64);
+        let ranges = bevra_engine::chunk_ranges(lanes, shards.max(1));
+        let started = std::time::Instant::now();
+
+        // One pool item per shard; each shard runs its lanes serially.
+        // Shard results carry (lane, report, truncated) tuples in lane
+        // order, so concatenating shard outputs in shard order visits
+        // lanes strictly in index order.
+        let shard_results = bevra_engine::parallel_map_isolated(
+            &ranges,
+            bevra_engine::thread_count().min(ranges.len()),
+            |range| {
+                // `shard` is this chunk's index in the fixed partition —
+                // derivable from the range itself, so the fault key is
+                // stable for a given (lanes, shards) pair.
+                let shard = ranges.iter().position(|r| r == range).unwrap_or(0) as u64;
+                bevra_faults::panic_point("sim/shard", shard);
+                let mut sh = bevra_obs::span("sim/fleet/shard");
+                sh.add_points(range.len() as u64);
+                let mut out = Vec::with_capacity(range.len());
+                for lane in range.clone() {
+                    let cfg = self.lane_config(lane as u32);
+                    let (report, truncated) =
+                        match Simulation::new(cfg).run_checked_on(queue) {
+                            Ok(r) => (r, false),
+                            Err(SimError::BudgetExhausted { partial, .. }) => (*partial, true),
+                        };
+                    out.push((lane as u32, report, truncated));
+                }
+                out
+            },
+        );
+
+        let seconds = started.elapsed().as_secs_f64();
+        let mut merged = SimReport::empty();
+        let mut lane_digests: Vec<Option<u64>> = vec![None; lanes];
+        let mut health = FleetHealth::default();
+        for (shard, result) in shard_results.into_iter().enumerate() {
+            match result {
+                Ok(lane_reports) => {
+                    for (lane, report, truncated) in lane_reports {
+                        lane_digests[lane as usize] = Some(report.digest());
+                        merge_into(&mut merged, &report);
+                        health.ok_lanes += 1;
+                        health.truncated_lanes += u32::from(truncated);
+                    }
+                }
+                Err(e) => {
+                    let r = &ranges[shard];
+                    health.failed.push(ShardFailure {
+                        shard: shard as u32,
+                        lanes: r.start as u32..r.end as u32,
+                        error: e.to_string(),
+                    });
+                }
+            }
+        }
+
+        metrics::counter("sim/fleet/lanes_ok").add(u64::from(health.ok_lanes));
+        metrics::counter("sim/fleet/lanes_failed").add(u64::from(health.failed_lanes()));
+        let report = FleetReport { merged, lane_digests, health, seconds };
+        metrics::gauge("sim/fleet/events_per_sec").set(report.events_per_sec());
+        report
+    }
+}
+
+/// Fold `lane` into `acc` (strict-order merge: counters add, Welfords
+/// combine via Chan's formula, censuses add element-wise).
+fn merge_into(acc: &mut SimReport, lane: &SimReport) {
+    acc.completed += lane.completed;
+    acc.lost += lane.lost;
+    acc.blocked_attempts += lane.blocked_attempts;
+    acc.attempts += lane.attempts;
+    acc.retries += lane.retries;
+    acc.events += lane.events;
+    acc.utility_at_admission.merge(&lane.utility_at_admission);
+    acc.utility_time_avg.merge(&lane.utility_time_avg);
+    acc.utility_worst.merge(&lane.utility_worst);
+    acc.census.merge(&lane.census);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arrivals::MixedPoisson;
+    use crate::holding::HoldingDist;
+    use crate::link::Discipline;
+    use bevra_utility::AdaptiveExp;
+    use std::sync::Arc;
+
+    fn fleet_cfg(lanes: u32) -> FleetConfig {
+        FleetConfig {
+            base: SimConfig {
+                capacity: 25.0,
+                discipline: Discipline::BestEffort,
+                arrivals: MixedPoisson::fixed(20.0),
+                holding: HoldingDist::Exponential { mean: 1.0 },
+                utility: Arc::new(AdaptiveExp::paper()),
+                warmup: 20.0,
+                horizon: 300.0,
+                seed: 7,
+                max_events: None,
+            },
+            lanes,
+        }
+    }
+
+    #[test]
+    fn digest_invariant_across_shard_counts() {
+        let fleet = Fleet::new(fleet_cfg(10));
+        let reference = fleet.run_on(1, QueueKind::Wheel);
+        assert!(reference.health.all_ok());
+        assert_eq!(reference.health.ok_lanes, 10);
+        for shards in [2, 3, 7, 10, 64] {
+            let r = fleet.run_on(shards, QueueKind::Wheel);
+            assert_eq!(
+                r.merged.digest(),
+                reference.merged.digest(),
+                "digest drifted at {shards} shards"
+            );
+            assert_eq!(r.lane_digests, reference.lane_digests);
+        }
+        // Queue choice is invisible too.
+        let heap = fleet.run_on(3, QueueKind::Heap);
+        assert_eq!(heap.merged.digest(), reference.merged.digest());
+    }
+
+    #[test]
+    fn single_lane_merge_is_identity() {
+        let fleet = Fleet::new(fleet_cfg(1));
+        let r = fleet.run_on(1, QueueKind::Wheel);
+        let solo = Simulation::new(fleet.lane_config(0)).run();
+        assert_eq!(r.merged.digest(), solo.digest());
+        assert_eq!(r.merged.events, solo.events);
+    }
+
+    #[test]
+    fn merged_counters_equal_lane_sums() {
+        let fleet = Fleet::new(fleet_cfg(4));
+        let r = fleet.run_on(2, QueueKind::Wheel);
+        let mut completed = 0;
+        let mut events = 0;
+        let mut utility_n = 0;
+        for lane in 0..4 {
+            let solo = Simulation::new(fleet.lane_config(lane)).run();
+            completed += solo.completed;
+            events += solo.events;
+            utility_n += solo.utility_time_avg.count();
+        }
+        assert_eq!(r.merged.completed, completed);
+        assert_eq!(r.merged.events, events);
+        assert_eq!(r.merged.utility_time_avg.count(), utility_n);
+        assert!(r.seconds > 0.0);
+        assert!(r.events_per_sec() > 0.0);
+    }
+
+    #[test]
+    fn lanes_decorrelate_via_derived_seeds() {
+        let fleet = Fleet::new(fleet_cfg(3));
+        let r = fleet.run_on(1, QueueKind::Wheel);
+        let digests: Vec<_> = r.lane_digests.iter().flatten().copied().collect();
+        assert_eq!(digests.len(), 3);
+        assert!(digests.windows(2).all(|w| w[0] != w[1]), "lane seeds must differ");
+    }
+
+    #[test]
+    fn lane_budget_truncation_is_accounted_not_fatal() {
+        let mut cfg = fleet_cfg(3);
+        cfg.base.max_events = Some(2_000);
+        let r = Fleet::new(cfg).run_on(2, QueueKind::Wheel);
+        assert!(r.health.all_ok(), "budget exhaustion is not a shard failure");
+        assert_eq!(r.health.ok_lanes, 3);
+        assert_eq!(r.health.truncated_lanes, 3);
+        assert_eq!(r.merged.events, 6_000, "each lane stops at exactly its budget");
+    }
+}

@@ -1,0 +1,338 @@
+//! The pre-refactor event loop, preserved as a differential oracle.
+//!
+//! This is the original `runner.rs` implementation — `BinaryHeapQueue`
+//! pending set, array-of-structs `FlowSlot` storage, and the `O(active)`
+//! per-admission `max_pop` scan — kept bit-for-bit so the rearchitected
+//! loop ([`Simulation::run_checked`](crate::runner::Simulation::run_checked))
+//! can be proven equivalent rather than trusted: `tests/sim_scale.rs`
+//! asserts `SimReport::digest` parity between this oracle and the
+//! SoA/timer-wheel loop across the pinned corpus, and the scale bench
+//! measures the speedup against it honestly.
+//!
+//! Differences from the production loop, all observational:
+//! no metrics/span recording (so differential runs don't double-count
+//! obs counters), and no choice of queue (always the heap). Everything
+//! that feeds the digest — RNG call order, arithmetic, census clipping,
+//! the budget watchdog — is untouched.
+
+use crate::events::{Entry, EventKind};
+use crate::queue::{BinaryHeapQueue, EventQueue};
+use crate::runner::{SimConfig, SimError, SimReport};
+use crate::Census;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+struct FlowSlot {
+    admit_time: f64,
+    integral_at_admit: f64,
+    max_pop: u64,
+    retries: u32,
+    util_at_admission: f64,
+    /// Position in the active list (for O(1) swap-removal).
+    active_pos: usize,
+}
+
+/// Run `cfg` on the legacy loop, degrading to the partial report on
+/// budget exhaustion (mirror of `Simulation::run`).
+#[must_use]
+pub fn run(cfg: &SimConfig) -> SimReport {
+    match run_checked(cfg) {
+        Ok(report) => report,
+        Err(SimError::BudgetExhausted { partial, .. }) => *partial,
+    }
+}
+
+/// Run `cfg` on the legacy loop (mirror of `Simulation::run_checked`).
+///
+/// # Errors
+///
+/// [`SimError::BudgetExhausted`] when the watchdog fires.
+///
+/// # Panics
+///
+/// Panics on nonpositive capacity or horizon, like `Simulation::new`.
+#[allow(clippy::too_many_lines)]
+pub fn run_checked(cfg: &SimConfig) -> Result<SimReport, SimError> {
+    assert!(cfg.capacity > 0.0, "capacity must be positive");
+    assert!(cfg.horizon > 0.0, "horizon must be positive");
+    assert!(cfg.warmup >= 0.0, "warmup must be nonnegative");
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut arrivals = cfg.arrivals.clone();
+    let mut queue = BinaryHeapQueue::new();
+    let mut seq: u64 = 0;
+    let end = cfg.warmup + cfg.horizon;
+
+    // Flow storage: slab + free list + active index list.
+    let mut slots: Vec<FlowSlot> = Vec::new();
+    let mut free: Vec<u32> = Vec::new();
+    let mut active: Vec<u32> = Vec::new();
+
+    // Running state.
+    let mut t = 0.0f64;
+    let mut n: u64 = 0; // current population
+    let mut integral = 0.0f64; // ∫ π(C/n(s)) ds (0 when n = 0)
+    let mut census = Census::new();
+    // Sequence number of the one live pending Arrival event: a modulation
+    // switch replaces it, and the superseded event (still in the queue) is
+    // discarded when popped.
+    let mut live_arrival_seq: u64;
+    // Load estimate for measurement-based admission (EWMA over the
+    // population seen at arrival instants).
+    let mut load_estimate = 0.0f64;
+
+    let mut report = SimReport::empty();
+
+    let push = |q: &mut BinaryHeapQueue, time: f64, kind: EventKind, seq: &mut u64| {
+        q.push(Entry { time, seq: *seq, kind });
+        *seq += 1;
+    };
+
+    // Seed the initial arrival and (if modulated) the first switch.
+    arrivals.switch(&mut rng);
+    live_arrival_seq = seq;
+    push(&mut queue, arrivals.next_interarrival(&mut rng), EventKind::Arrival, &mut seq);
+    let first_sojourn = arrivals.next_sojourn(&mut rng);
+    if first_sojourn.is_finite() {
+        push(&mut queue, first_sojourn, EventKind::ModulationSwitch, &mut seq);
+    }
+
+    let pi = |pop: u64| -> f64 {
+        if pop == 0 {
+            0.0
+        } else {
+            cfg.utility.value(cfg.capacity / pop as f64)
+        }
+    };
+
+    // Watchdog: the injected override (chaos runs) takes precedence over
+    // the configured ceiling. Checked before each event so a budget of N
+    // processes exactly N events.
+    let budget = bevra_faults::budget_override("sim/budget").or(cfg.max_events);
+    let mut events: u64 = 0;
+
+    while let Some(ev) = queue.pop() {
+        if ev.time > end {
+            break;
+        }
+        if budget.is_some_and(|b| events >= b) {
+            report.census = census;
+            report.events = events;
+            return Err(SimError::BudgetExhausted { events, partial: Box::new(report) });
+        }
+        events += 1;
+        // Advance clocks: accumulate the utility integral and the census
+        // dwell (clipped to the measured window).
+        let dt = ev.time - t;
+        if dt > 0.0 {
+            integral += pi(n) * dt;
+            let meas_lo = t.max(cfg.warmup);
+            let meas_hi = ev.time.min(end);
+            if meas_hi > meas_lo {
+                census.dwell(n, meas_hi - meas_lo);
+            }
+            t = ev.time;
+        }
+
+        match ev.kind {
+            EventKind::ModulationSwitch => {
+                arrivals.switch(&mut rng);
+                // Redraw the pending arrival at the new rate (valid by
+                // memorylessness of the exponential); the superseded
+                // arrival event is dropped when popped.
+                let ia = arrivals.next_interarrival(&mut rng);
+                if ia.is_finite() {
+                    live_arrival_seq = seq;
+                    push(&mut queue, t + ia, EventKind::Arrival, &mut seq);
+                }
+                let so = arrivals.next_sojourn(&mut rng);
+                if so.is_finite() {
+                    push(&mut queue, t + so, EventKind::ModulationSwitch, &mut seq);
+                }
+            }
+            EventKind::Arrival => {
+                if ev.seq != live_arrival_seq {
+                    // Superseded by a modulation switch: skip.
+                    continue;
+                }
+                let measured = t >= cfg.warmup;
+                if measured {
+                    census.arrival_saw(n);
+                }
+                if let Some(w) = cfg.discipline.ewma_weight() {
+                    load_estimate = (1.0 - w) * load_estimate + w * n as f64;
+                }
+                handle_admission_attempt(
+                    cfg,
+                    t,
+                    0,
+                    None,
+                    measured,
+                    load_estimate,
+                    &mut rng,
+                    &mut slots,
+                    &mut free,
+                    &mut active,
+                    &mut n,
+                    integral,
+                    &mut queue,
+                    &mut seq,
+                    &mut report,
+                );
+                // Next arrival of the live stream.
+                let ia = arrivals.next_interarrival(&mut rng);
+                if ia.is_finite() {
+                    live_arrival_seq = seq;
+                    push(&mut queue, t + ia, EventKind::Arrival, &mut seq);
+                }
+            }
+            EventKind::Retry { attempt, holding, first_arrival } => {
+                let measured = first_arrival >= cfg.warmup;
+                report.retries += 1;
+                handle_admission_attempt(
+                    cfg,
+                    t,
+                    attempt,
+                    Some(holding),
+                    measured,
+                    load_estimate,
+                    &mut rng,
+                    &mut slots,
+                    &mut free,
+                    &mut active,
+                    &mut n,
+                    integral,
+                    &mut queue,
+                    &mut seq,
+                    &mut report,
+                );
+            }
+            EventKind::Departure { slot } => {
+                let s = &slots[slot as usize];
+                let duration = t - s.admit_time;
+                let penalty = cfg
+                    .discipline
+                    .retry_policy()
+                    .map_or(0.0, |rp| rp.penalty * f64::from(s.retries));
+                let measured = s.admit_time >= cfg.warmup && t <= end;
+                if measured {
+                    let time_avg = if duration > 0.0 {
+                        (integral - s.integral_at_admit) / duration
+                    } else {
+                        s.util_at_admission
+                    };
+                    report.completed += 1;
+                    report.utility_at_admission.add(s.util_at_admission - penalty);
+                    report.utility_time_avg.add(time_avg - penalty);
+                    report.utility_worst.add(pi(s.max_pop) - penalty);
+                }
+                // Remove from the active list by swap.
+                let pos = s.active_pos;
+                let Some(&last) = active.last() else {
+                    unreachable!("departure event with empty active list")
+                };
+                active.swap_remove(pos);
+                if pos < active.len() {
+                    slots[last as usize].active_pos = pos;
+                }
+                free.push(slot);
+                n -= 1;
+            }
+        }
+    }
+
+    report.census = census;
+    report.events = events;
+    Ok(report)
+}
+
+/// Shared admission logic for fresh arrivals and retries.
+#[allow(clippy::too_many_arguments)]
+fn handle_admission_attempt(
+    cfg: &SimConfig,
+    t: f64,
+    attempt: u32,
+    holding_carryover: Option<f64>,
+    measured: bool,
+    load_estimate: f64,
+    rng: &mut StdRng,
+    slots: &mut Vec<FlowSlot>,
+    free: &mut Vec<u32>,
+    active: &mut Vec<u32>,
+    n: &mut u64,
+    integral: f64,
+    queue: &mut BinaryHeapQueue,
+    seq: &mut u64,
+    report: &mut SimReport,
+) {
+    if measured {
+        report.attempts += 1;
+    }
+    if cfg.discipline.admits(*n, load_estimate, cfg.capacity) {
+        *n += 1;
+        let pop = *n;
+        let util = cfg.utility.value(cfg.capacity / pop as f64);
+        let holding = holding_carryover.unwrap_or_else(|| cfg.holding.sample(rng));
+        let slot_id = free.pop().unwrap_or_else(|| {
+            slots.push(FlowSlot {
+                admit_time: 0.0,
+                integral_at_admit: 0.0,
+                max_pop: 0,
+                retries: 0,
+                util_at_admission: 0.0,
+                active_pos: 0,
+            });
+            (slots.len() - 1) as u32
+        });
+        let s = &mut slots[slot_id as usize];
+        s.admit_time = t;
+        s.integral_at_admit = integral;
+        s.max_pop = pop;
+        s.retries = attempt;
+        s.util_at_admission = util;
+        s.active_pos = active.len();
+        active.push(slot_id);
+        // The newcomer raises everyone's worst-case population.
+        for &a in active.iter() {
+            let m = &mut slots[a as usize].max_pop;
+            if pop > *m {
+                *m = pop;
+            }
+        }
+        queue.push(Entry {
+            time: t + holding,
+            seq: *seq,
+            kind: EventKind::Departure { slot: slot_id },
+        });
+        *seq += 1;
+    } else {
+        if measured {
+            report.blocked_attempts += 1;
+        }
+        match cfg.discipline.retry_policy() {
+            Some(rp) if attempt < rp.max_retries => {
+                let backoff = bevra_load::ExpSampler::new(1.0 / rp.backoff_mean).sample(rng);
+                let holding = holding_carryover.unwrap_or_else(|| cfg.holding.sample(rng));
+                queue.push(Entry {
+                    time: t + backoff,
+                    seq: *seq,
+                    kind: EventKind::Retry { attempt: attempt + 1, holding, first_arrival: t },
+                });
+                *seq += 1;
+            }
+            _ => {
+                // Permanently lost: utility 0 minus accumulated retry
+                // penalties.
+                if measured {
+                    let penalty = cfg
+                        .discipline
+                        .retry_policy()
+                        .map_or(0.0, |rp| rp.penalty * f64::from(attempt));
+                    report.lost += 1;
+                    report.utility_at_admission.add(-penalty);
+                    report.utility_time_avg.add(-penalty);
+                    report.utility_worst.add(-penalty);
+                }
+            }
+        }
+    }
+}

@@ -35,15 +35,21 @@
 pub mod arrivals;
 pub mod census;
 pub mod events;
+pub mod fleet;
+pub mod flows;
 pub mod holding;
+pub mod legacy;
 pub mod link;
 pub mod queue;
 pub mod runner;
 pub mod stats;
+pub mod wheel;
 
 pub use arrivals::{MixedPoisson, RateMixing};
 pub use census::Census;
+pub use fleet::{Fleet, FleetConfig, FleetHealth, FleetReport, ShardFailure};
 pub use holding::HoldingDist;
 pub use link::{Discipline, RetryPolicy};
-pub use runner::{SimConfig, SimError, SimReport, Simulation};
+pub use runner::{QueueKind, SimConfig, SimError, SimReport, Simulation};
 pub use stats::Welford;
+pub use wheel::TimerWheelQueue;

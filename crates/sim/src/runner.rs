@@ -1,19 +1,64 @@
 //! The event loop: wiring arrivals, holding times, the link discipline, and
 //! measurement into one deterministic simulation.
+//!
+//! # Architecture (post million-flow refactor)
+//!
+//! The loop is generic over its pending-event set ([`EventQueue`]) and
+//! keeps flow state in struct-of-arrays form ([`FlowTable`]) with the
+//! per-admission `max_pop` scan replaced by a monotone suffix-max stack
+//! ([`PeakTracker`]) — see `crates/sim/src/flows.rs` for the equivalence
+//! argument. Two queue implementations are selectable at run time via
+//! [`QueueKind`] / `BEVRA_SIM_QUEUE`: the hierarchical timer wheel
+//! (default, amortized O(1) per event) and the original binary heap.
+//! Both produce **bitwise-identical** [`SimReport::digest`]s — the
+//! differential suite (`tests/timer_wheel.rs`, `tests/sim_scale.rs`)
+//! pins that, along with digest parity against the frozen pre-refactor
+//! loop preserved in [`crate::legacy`].
 
 use crate::arrivals::MixedPoisson;
 use crate::census::Census;
 use crate::events::{Entry, EventKind};
+use crate::flows::{FlowTable, PeakTracker};
 use crate::holding::HoldingDist;
 use crate::link::Discipline;
 use crate::queue::{BinaryHeapQueue, EventQueue};
 use crate::stats::Welford;
+use crate::wheel::{TimerWheelQueue, DEFAULT_GRANULARITY, WHEEL_GRANULARITY_ENV};
 use bevra_load::Tabulated;
 use bevra_obs::{enabled, metrics, ObsLevel};
 use bevra_utility::Utility;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::sync::Arc;
+
+/// Environment variable selecting the pending-event set implementation:
+/// `wheel` (default) or `heap`. Purely an execution knob — both values
+/// produce bitwise-identical reports.
+pub const QUEUE_ENV: &str = "BEVRA_SIM_QUEUE";
+
+/// Which [`EventQueue`] implementation the run uses. The choice never
+/// affects results (the determinism suite asserts digest equality), only
+/// speed: the wheel is amortized O(1) per event, the heap O(log n).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QueueKind {
+    /// Hierarchical timer wheel ([`TimerWheelQueue`]) — the default.
+    Wheel,
+    /// Binary heap ([`BinaryHeapQueue`]) — the original implementation,
+    /// kept selectable for ablations and differential tests.
+    Heap,
+}
+
+impl QueueKind {
+    /// Resolve from `BEVRA_SIM_QUEUE` (`heap` selects the heap; anything
+    /// else, including unset, selects the wheel).
+    #[must_use]
+    pub fn from_env() -> Self {
+        match std::env::var(QUEUE_ENV) {
+            Ok(v) if v.trim().eq_ignore_ascii_case("heap") => Self::Heap,
+            _ => Self::Wheel,
+        }
+    }
+}
 
 /// Metric handles for one run, resolved once up front so the event loop
 /// itself never touches the registry: with `BEVRA_OBS=off` (the default)
@@ -115,6 +160,11 @@ pub struct SimReport {
     pub attempts: u64,
     /// Total retry events.
     pub retries: u64,
+    /// Events the loop processed — the throughput denominator for
+    /// events/s figures. **Excluded from [`SimReport::digest`]**: it is
+    /// an execution statistic, not a simulated quantity, and the digest's
+    /// contract (and its committed golden pins) predate the field.
+    pub events: u64,
     /// Utility evaluated at the admission instant (`π(C/k)` with `k` the
     /// population including the new flow — the basic model's view via
     /// PASTA); blocked flows count 0, retry penalties subtracted.
@@ -129,6 +179,22 @@ pub struct SimReport {
 }
 
 impl SimReport {
+    /// All-zero report, ready to accumulate into.
+    pub(crate) fn empty() -> Self {
+        Self {
+            completed: 0,
+            lost: 0,
+            blocked_attempts: 0,
+            attempts: 0,
+            retries: 0,
+            events: 0,
+            utility_at_admission: Welford::new(),
+            utility_time_avg: Welford::new(),
+            utility_worst: Welford::new(),
+            census: Census::new(),
+        }
+    }
+
     /// Per-attempt blocking probability.
     #[must_use]
     pub fn blocking_rate(&self) -> f64 {
@@ -150,12 +216,14 @@ impl SimReport {
     }
 
     /// FNV-1a digest of the report's *exact* state: every counter and the
-    /// bit patterns of every accumulated float, census included.
+    /// bit patterns of every accumulated float, census included. (The
+    /// [`events`](SimReport::events) execution statistic is deliberately
+    /// left out — see its field docs.)
     ///
     /// Two runs of the same configuration and seed must produce equal
-    /// digests — regardless of `BEVRA_THREADS`, because batching only
-    /// distributes whole runs across workers and each run's event loop is
-    /// single-threaded. The determinism tests assert exactly that.
+    /// digests — regardless of `BEVRA_THREADS`, `BEVRA_SIM_QUEUE`, or
+    /// (for fleets) `BEVRA_SIM_SHARDS`. The determinism tests assert
+    /// exactly that.
     #[must_use]
     pub fn digest(&self) -> u64 {
         let mut hash = 0xcbf2_9ce4_8422_2325u64;
@@ -169,16 +237,6 @@ impl SimReport {
         self.census.digest_into(&mut hash);
         hash
     }
-}
-
-struct FlowSlot {
-    admit_time: f64,
-    integral_at_admit: f64,
-    max_pop: u64,
-    retries: u32,
-    util_at_admission: f64,
-    /// Position in the active list (for O(1) swap-removal).
-    active_pos: usize,
 }
 
 /// One simulation instance. Create with [`Simulation::new`], run with
@@ -236,94 +294,152 @@ impl Simulation {
     /// events (or an injected `sim/budget` override) before reaching the
     /// horizon.
     ///
+    /// The pending-event set is chosen by `BEVRA_SIM_QUEUE` (wheel by
+    /// default); use [`Simulation::run_checked_on`] to pin it.
+    ///
     /// # Errors
     ///
     /// [`SimError::BudgetExhausted`] when the watchdog fires.
-    #[allow(clippy::too_many_lines)]
     pub fn run_checked(&self) -> Result<SimReport, SimError> {
-        let cfg = &self.cfg;
+        self.run_checked_on(QueueKind::from_env())
+    }
+
+    /// [`Simulation::run`] on an explicitly chosen queue implementation.
+    #[must_use]
+    pub fn run_on(&self, kind: QueueKind) -> SimReport {
+        match self.run_checked_on(kind) {
+            Ok(report) => report,
+            Err(SimError::BudgetExhausted { partial, .. }) => *partial,
+        }
+    }
+
+    /// [`Simulation::run_checked`] on an explicitly chosen queue
+    /// implementation — the differential suite runs both kinds and
+    /// asserts digest equality.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::BudgetExhausted`] when the watchdog fires.
+    pub fn run_checked_on(&self, kind: QueueKind) -> Result<SimReport, SimError> {
+        match kind {
+            QueueKind::Heap => EventLoop::new(&self.cfg, BinaryHeapQueue::new()).run(),
+            QueueKind::Wheel => {
+                // ~1 pending event per level-0 bucket is the calendar-queue
+                // sweet spot; total event rate is ≈ 2·λ (each flow arrives
+                // and departs). Only a performance knob — any granularity
+                // gives the identical dequeue order.
+                let auto = (0.5 / self.cfg.arrivals.mean_rate()).clamp(1e-9, DEFAULT_GRANULARITY);
+                let g = bevra_num::env::env_positive_f64(WHEEL_GRANULARITY_ENV, 1e12, auto);
+                EventLoop::new(&self.cfg, TimerWheelQueue::with_granularity(g)).run()
+            }
+        }
+    }
+}
+
+/// All mutable state of one run, generic over the pending-event set.
+struct EventLoop<'a, Q: EventQueue> {
+    cfg: &'a SimConfig,
+    queue: Q,
+    rng: StdRng,
+    seq: u64,
+    end: f64,
+    flows: FlowTable,
+    peaks: PeakTracker,
+    /// Simulation clock.
+    t: f64,
+    /// Current population.
+    n: u64,
+    /// ∫ π(C/n(s)) ds (0 when n = 0).
+    integral: f64,
+    census: Census,
+    /// Load estimate for measurement-based admission (EWMA over the
+    /// population seen at arrival instants).
+    load_estimate: f64,
+    report: SimReport,
+    obs: Option<SimObs>,
+}
+
+impl<'a, Q: EventQueue> EventLoop<'a, Q> {
+    fn new(cfg: &'a SimConfig, queue: Q) -> Self {
+        Self {
+            cfg,
+            queue,
+            rng: StdRng::seed_from_u64(cfg.seed),
+            seq: 0,
+            end: cfg.warmup + cfg.horizon,
+            flows: FlowTable::new(),
+            peaks: PeakTracker::new(),
+            t: 0.0,
+            n: 0,
+            integral: 0.0,
+            census: Census::new(),
+            load_estimate: 0.0,
+            report: SimReport::empty(),
+            obs: None,
+        }
+    }
+
+    fn push(&mut self, time: f64, kind: EventKind) {
+        self.queue.push(Entry { time, seq: self.seq, kind });
+        self.seq += 1;
+    }
+
+    fn pi(&self, pop: u64) -> f64 {
+        if pop == 0 {
+            0.0
+        } else {
+            self.cfg.utility.value(self.cfg.capacity / pop as f64)
+        }
+    }
+
+    #[allow(clippy::too_many_lines)]
+    fn run(mut self) -> Result<SimReport, SimError> {
         // Event-loop observability: a span per run (nests under
         // `sim/run_batch` when batched on the same thread) plus, at
         // `BEVRA_OBS=summary` and above, per-event counters and the
         // occupancy histogram.
         let mut run_span = bevra_obs::span("sim/run");
-        let obs = enabled(ObsLevel::Summary).then(SimObs::new);
-        let mut rng = StdRng::seed_from_u64(cfg.seed);
-        let mut arrivals = cfg.arrivals.clone();
-        let mut queue = BinaryHeapQueue::new();
-        let mut seq: u64 = 0;
-        let end = cfg.warmup + cfg.horizon;
+        self.obs = enabled(ObsLevel::Summary).then(SimObs::new);
+        let mut arrivals = self.cfg.arrivals.clone();
+        let warmup = self.cfg.warmup;
 
-        // Flow storage: slab + free list + active index list.
-        let mut slots: Vec<FlowSlot> = Vec::new();
-        let mut free: Vec<u32> = Vec::new();
-        let mut active: Vec<u32> = Vec::new();
-
-        // Running state.
-        let mut t = 0.0f64;
-        let mut n: u64 = 0; // current population
-        let mut integral = 0.0f64; // ∫ π(C/n(s)) ds (0 when n = 0)
-        let mut census = Census::new();
         // Sequence number of the one live pending Arrival event: a
         // modulation switch replaces it, and the superseded event (still in
         // the queue) is discarded when popped.
         let mut live_arrival_seq: u64;
-        // Load estimate for measurement-based admission (EWMA over the
-        // population seen at arrival instants).
-        let mut load_estimate = 0.0f64;
-
-        let mut report = SimReport {
-            completed: 0,
-            lost: 0,
-            blocked_attempts: 0,
-            attempts: 0,
-            retries: 0,
-            utility_at_admission: Welford::new(),
-            utility_time_avg: Welford::new(),
-            utility_worst: Welford::new(),
-            census: Census::new(),
-        };
-
-        let push = |q: &mut BinaryHeapQueue, time: f64, kind: EventKind, seq: &mut u64| {
-            q.push(Entry { time, seq: *seq, kind });
-            *seq += 1;
-        };
 
         // Seed the initial arrival and (if modulated) the first switch.
-        arrivals.switch(&mut rng);
-        live_arrival_seq = seq;
-        push(&mut queue, arrivals.next_interarrival(&mut rng), EventKind::Arrival, &mut seq);
-        let first_sojourn = arrivals.next_sojourn(&mut rng);
+        arrivals.switch(&mut self.rng);
+        live_arrival_seq = self.seq;
+        let first_arrival = arrivals.next_interarrival(&mut self.rng);
+        self.push(first_arrival, EventKind::Arrival);
+        let first_sojourn = arrivals.next_sojourn(&mut self.rng);
         if first_sojourn.is_finite() {
-            push(&mut queue, first_sojourn, EventKind::ModulationSwitch, &mut seq);
+            self.push(first_sojourn, EventKind::ModulationSwitch);
         }
-
-        let pi = |pop: u64| -> f64 {
-            if pop == 0 {
-                0.0
-            } else {
-                cfg.utility.value(cfg.capacity / pop as f64)
-            }
-        };
 
         // Watchdog: the injected override (chaos runs) takes precedence
         // over the configured ceiling. Checked before each event so a
         // budget of N processes exactly N events.
-        let budget = bevra_faults::budget_override("sim/budget").or(cfg.max_events);
+        let budget = bevra_faults::budget_override("sim/budget").or(self.cfg.max_events);
         let mut events: u64 = 0;
 
-        while let Some(ev) = queue.pop() {
-            if ev.time > end {
+        while let Some(ev) = self.queue.pop() {
+            if ev.time > self.end {
                 break;
             }
             if budget.is_some_and(|b| events >= b) {
-                report.census = census;
-                return Err(SimError::BudgetExhausted { events, partial: Box::new(report) });
+                self.report.census = self.census;
+                self.report.events = events;
+                return Err(SimError::BudgetExhausted {
+                    events,
+                    partial: Box::new(self.report),
+                });
             }
             events += 1;
             run_span.add_points(1);
-            if let Some(o) = &obs {
-                o.occupancy.record(n);
+            if let Some(o) = &self.obs {
+                o.occupancy.record(self.n);
                 match ev.kind {
                     EventKind::ModulationSwitch => o.switches.inc(),
                     EventKind::Arrival => o.arrivals.inc(),
@@ -333,31 +449,31 @@ impl Simulation {
             }
             // Advance clocks: accumulate the utility integral and the
             // census dwell (clipped to the measured window).
-            let dt = ev.time - t;
+            let dt = ev.time - self.t;
             if dt > 0.0 {
-                integral += pi(n) * dt;
-                let meas_lo = t.max(cfg.warmup);
-                let meas_hi = ev.time.min(end);
+                self.integral += self.pi(self.n) * dt;
+                let meas_lo = self.t.max(warmup);
+                let meas_hi = ev.time.min(self.end);
                 if meas_hi > meas_lo {
-                    census.dwell(n, meas_hi - meas_lo);
+                    self.census.dwell(self.n, meas_hi - meas_lo);
                 }
-                t = ev.time;
+                self.t = ev.time;
             }
 
             match ev.kind {
                 EventKind::ModulationSwitch => {
-                    arrivals.switch(&mut rng);
+                    arrivals.switch(&mut self.rng);
                     // Redraw the pending arrival at the new rate (valid by
                     // memorylessness of the exponential); the superseded
                     // arrival event is dropped when popped.
-                    let ia = arrivals.next_interarrival(&mut rng);
+                    let ia = arrivals.next_interarrival(&mut self.rng);
                     if ia.is_finite() {
-                        live_arrival_seq = seq;
-                        push(&mut queue, t + ia, EventKind::Arrival, &mut seq);
+                        live_arrival_seq = self.seq;
+                        self.push(self.t + ia, EventKind::Arrival);
                     }
-                    let so = arrivals.next_sojourn(&mut rng);
+                    let so = arrivals.next_sojourn(&mut self.rng);
                     if so.is_finite() {
-                        push(&mut queue, t + so, EventKind::ModulationSwitch, &mut seq);
+                        self.push(self.t + so, EventKind::ModulationSwitch);
                     }
                 }
                 EventKind::Arrival => {
@@ -365,184 +481,101 @@ impl Simulation {
                         // Superseded by a modulation switch: skip.
                         continue;
                     }
-                    let measured = t >= cfg.warmup;
+                    let measured = self.t >= warmup;
                     if measured {
-                        census.arrival_saw(n);
+                        self.census.arrival_saw(self.n);
                     }
-                    if let Some(w) = cfg.discipline.ewma_weight() {
-                        load_estimate = (1.0 - w) * load_estimate + w * n as f64;
+                    if let Some(w) = self.cfg.discipline.ewma_weight() {
+                        self.load_estimate = (1.0 - w) * self.load_estimate + w * self.n as f64;
                     }
-                    self.handle_admission_attempt(
-                        t,
-                        0,
-                        None,
-                        measured,
-                        load_estimate,
-                        obs.as_ref(),
-                        &mut rng,
-                        &mut slots,
-                        &mut free,
-                        &mut active,
-                        &mut n,
-                        integral,
-                        &mut queue,
-                        &mut seq,
-                        &mut report,
-                    );
+                    self.handle_admission_attempt(0, None, measured);
                     // Next arrival of the live stream.
-                    let ia = arrivals.next_interarrival(&mut rng);
+                    let ia = arrivals.next_interarrival(&mut self.rng);
                     if ia.is_finite() {
-                        live_arrival_seq = seq;
-                        push(&mut queue, t + ia, EventKind::Arrival, &mut seq);
+                        live_arrival_seq = self.seq;
+                        self.push(self.t + ia, EventKind::Arrival);
                     }
                 }
                 EventKind::Retry { attempt, holding, first_arrival } => {
-                    let measured = first_arrival >= cfg.warmup;
-                    report.retries += 1;
-                    self.handle_admission_attempt(
-                        t,
-                        attempt,
-                        Some(holding),
-                        measured,
-                        load_estimate,
-                        obs.as_ref(),
-                        &mut rng,
-                        &mut slots,
-                        &mut free,
-                        &mut active,
-                        &mut n,
-                        integral,
-                        &mut queue,
-                        &mut seq,
-                        &mut report,
-                    );
+                    let measured = first_arrival >= warmup;
+                    self.report.retries += 1;
+                    self.handle_admission_attempt(attempt, Some(holding), measured);
                 }
                 EventKind::Departure { slot } => {
-                    let s = &slots[slot as usize];
-                    let duration = t - s.admit_time;
+                    let (admit_time, integral_at_admit, util_at_admission, admit_index, retries) =
+                        self.flows.fields(slot);
+                    let duration = self.t - admit_time;
                     let penalty = self
                         .cfg
                         .discipline
                         .retry_policy()
-                        .map_or(0.0, |rp| rp.penalty * f64::from(s.retries));
-                    let measured = s.admit_time >= cfg.warmup && t <= end;
+                        .map_or(0.0, |rp| rp.penalty * f64::from(retries));
+                    let measured = admit_time >= warmup && self.t <= self.end;
                     if measured {
                         let time_avg = if duration > 0.0 {
-                            (integral - s.integral_at_admit) / duration
+                            (self.integral - integral_at_admit) / duration
                         } else {
-                            s.util_at_admission
+                            util_at_admission
                         };
-                        report.completed += 1;
-                        report.utility_at_admission.add(s.util_at_admission - penalty);
-                        report.utility_time_avg.add(time_avg - penalty);
-                        report.utility_worst.add(pi(s.max_pop) - penalty);
+                        let max_pop = self.peaks.peak_since(admit_index);
+                        self.report.completed += 1;
+                        self.report.utility_at_admission.add(util_at_admission - penalty);
+                        self.report.utility_time_avg.add(time_avg - penalty);
+                        self.report.utility_worst.add(self.pi(max_pop) - penalty);
                     }
-                    // Remove from the active list by swap.
-                    let pos = s.active_pos;
-                    let Some(&last) = active.last() else {
-                        unreachable!("departure event with empty active list")
-                    };
-                    active.swap_remove(pos);
-                    if pos < active.len() {
-                        slots[last as usize].active_pos = pos;
-                    }
-                    free.push(slot);
-                    n -= 1;
+                    self.flows.depart(slot);
+                    self.n -= 1;
                 }
             }
         }
 
-        report.census = census;
-        Ok(report)
+        self.report.census = self.census;
+        self.report.events = events;
+        Ok(self.report)
     }
 
     /// Shared admission logic for fresh arrivals and retries.
-    #[allow(clippy::too_many_arguments)]
     fn handle_admission_attempt(
-        &self,
-        t: f64,
+        &mut self,
         attempt: u32,
         holding_carryover: Option<f64>,
         measured: bool,
-        load_estimate: f64,
-        obs: Option<&SimObs>,
-        rng: &mut StdRng,
-        slots: &mut Vec<FlowSlot>,
-        free: &mut Vec<u32>,
-        active: &mut Vec<u32>,
-        n: &mut u64,
-        integral: f64,
-        queue: &mut BinaryHeapQueue,
-        seq: &mut u64,
-        report: &mut SimReport,
     ) {
-        let cfg = &self.cfg;
+        let cfg = self.cfg;
         if measured {
-            report.attempts += 1;
+            self.report.attempts += 1;
         }
-        if cfg.discipline.admits(*n, load_estimate, cfg.capacity) {
-            if let Some(o) = obs {
+        if cfg.discipline.admits(self.n, self.load_estimate, cfg.capacity) {
+            if let Some(o) = &self.obs {
                 o.admitted.inc();
             }
-            *n += 1;
-            let pop = *n;
+            self.n += 1;
+            let pop = self.n;
             let util = cfg.utility.value(cfg.capacity / pop as f64);
-            let holding = holding_carryover.unwrap_or_else(|| cfg.holding.sample(rng));
-            let slot_id = free.pop().unwrap_or_else(|| {
-                slots.push(FlowSlot {
-                    admit_time: 0.0,
-                    integral_at_admit: 0.0,
-                    max_pop: 0,
-                    retries: 0,
-                    util_at_admission: 0.0,
-                    active_pos: 0,
-                });
-                (slots.len() - 1) as u32
-            });
-            let s = &mut slots[slot_id as usize];
-            s.admit_time = t;
-            s.integral_at_admit = integral;
-            s.max_pop = pop;
-            s.retries = attempt;
-            s.util_at_admission = util;
-            s.active_pos = active.len();
-            active.push(slot_id);
-            // The newcomer raises everyone's worst-case population.
-            for &a in active.iter() {
-                let m = &mut slots[a as usize].max_pop;
-                if pop > *m {
-                    *m = pop;
-                }
-            }
-            queue.push(Entry {
-                time: t + holding,
-                seq: *seq,
-                kind: EventKind::Departure { slot: slot_id },
-            });
-            *seq += 1;
+            let holding = holding_carryover.unwrap_or_else(|| cfg.holding.sample(&mut self.rng));
+            // The newcomer raises everyone's worst-case population — the
+            // tracker folds that in lazily instead of scanning the active
+            // list (see flows.rs for the equivalence argument).
+            let admit_index = self.peaks.on_admission(pop);
+            let slot_id = self.flows.admit(self.t, self.integral, util, admit_index, attempt);
+            self.push(self.t + holding, EventKind::Departure { slot: slot_id });
         } else {
-            if let Some(o) = obs {
+            if let Some(o) = &self.obs {
                 o.blocked.inc();
             }
             if measured {
-                report.blocked_attempts += 1;
+                self.report.blocked_attempts += 1;
             }
             match cfg.discipline.retry_policy() {
                 Some(rp) if attempt < rp.max_retries => {
                     let backoff =
-                        bevra_load::ExpSampler::new(1.0 / rp.backoff_mean).sample(rng);
+                        bevra_load::ExpSampler::new(1.0 / rp.backoff_mean).sample(&mut self.rng);
                     let holding =
-                        holding_carryover.unwrap_or_else(|| cfg.holding.sample(rng));
-                    queue.push(Entry {
-                        time: t + backoff,
-                        seq: *seq,
-                        kind: EventKind::Retry {
-                            attempt: attempt + 1,
-                            holding,
-                            first_arrival: t,
-                        },
-                    });
-                    *seq += 1;
+                        holding_carryover.unwrap_or_else(|| cfg.holding.sample(&mut self.rng));
+                    self.push(
+                        self.t + backoff,
+                        EventKind::Retry { attempt: attempt + 1, holding, first_arrival: self.t },
+                    );
                 }
                 _ => {
                     // Permanently lost: utility 0 minus accumulated retry
@@ -552,10 +585,10 @@ impl Simulation {
                             .discipline
                             .retry_policy()
                             .map_or(0.0, |rp| rp.penalty * f64::from(attempt));
-                        report.lost += 1;
-                        report.utility_at_admission.add(-penalty);
-                        report.utility_time_avg.add(-penalty);
-                        report.utility_worst.add(-penalty);
+                        self.report.lost += 1;
+                        self.report.utility_at_admission.add(-penalty);
+                        self.report.utility_time_avg.add(-penalty);
+                        self.report.utility_worst.add(-penalty);
                     }
                 }
             }
@@ -628,6 +661,36 @@ mod tests {
         cfg3.seed = 43;
         let r3 = Simulation::new(cfg3).run();
         assert_ne!(r1.completed, r3.completed);
+    }
+
+    #[test]
+    fn heap_and_wheel_agree_bitwise() {
+        for (cap, d) in [
+            (25.0, Discipline::BestEffort),
+            (15.0, Discipline::Reservation { k_max: 15, retry: None }),
+            (
+                15.0,
+                Discipline::Reservation {
+                    k_max: 15,
+                    retry: Some(RetryPolicy::new(6, 2.0, 0.05)),
+                },
+            ),
+        ] {
+            let sim = Simulation::new(base_cfg(cap, d));
+            let heap = sim.run_on(QueueKind::Heap);
+            let wheel = sim.run_on(QueueKind::Wheel);
+            assert_eq!(heap.digest(), wheel.digest(), "cap {cap}");
+            assert_eq!(heap.events, wheel.events, "cap {cap}");
+        }
+    }
+
+    #[test]
+    fn matches_legacy_loop_bitwise() {
+        let cfg = base_cfg(25.0, Discipline::BestEffort);
+        let new = Simulation::new(cfg.clone()).run();
+        let old = crate::legacy::run(&cfg);
+        assert_eq!(new.digest(), old.digest());
+        assert_eq!(new.events, old.events);
     }
 
     #[test]
@@ -748,6 +811,7 @@ mod tests {
         let err = Simulation::new(cfg.clone()).run_checked().expect_err("budget must fire");
         let SimError::BudgetExhausted { events, partial } = err;
         assert_eq!(events, 5_000, "a budget of N processes exactly N events");
+        assert_eq!(partial.events, 5_000, "partial report carries the event count");
         assert!(format!("{}", SimError::BudgetExhausted {
             events,
             partial: partial.clone()
@@ -768,6 +832,18 @@ mod tests {
         // same digest.
         let again = Simulation::new(cfg).run();
         assert_eq!(again.digest(), degraded.digest());
+    }
+
+    #[test]
+    fn budget_truncation_matches_across_queues() {
+        // The watchdog counts *processed* events, which both queues pop in
+        // the same order — so even truncated runs are bit-identical.
+        let mut cfg = base_cfg(40.0, Discipline::BestEffort);
+        cfg.max_events = Some(5_000);
+        let sim = Simulation::new(cfg);
+        let heap = sim.run_on(QueueKind::Heap);
+        let wheel = sim.run_on(QueueKind::Wheel);
+        assert_eq!(heap.digest(), wheel.digest());
     }
 
     #[test]

@@ -75,6 +75,29 @@ impl Welford {
         1.96 * self.std_error()
     }
 
+    /// Absorb another accumulator (Chan et al.'s parallel combination).
+    ///
+    /// The result depends on the *order* of merges — floating-point
+    /// addition is not associative — so deterministic pipelines must merge
+    /// in a fixed order (the fleet merges strictly by lane index, which is
+    /// what makes `SimReport::digest` shard-count-invariant).
+    pub fn merge(&mut self, other: &Self) {
+        if other.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            *self = *other;
+            return;
+        }
+        let n1 = self.n as f64;
+        let n2 = other.n as f64;
+        let total = n1 + n2;
+        let delta = other.mean - self.mean;
+        self.mean += delta * (n2 / total);
+        self.m2 += other.m2 + delta * delta * (n1 * n2 / total);
+        self.n += other.n;
+    }
+
     /// Fold the accumulator's exact state (count and the bit patterns of
     /// mean and M₂) into an FNV-1a digest accumulator.
     pub fn digest_into(&self, hash: &mut u64) {

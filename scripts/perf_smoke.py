@@ -11,7 +11,17 @@ recorded the baseline, so the gate only catches order-of-magnitude
 regressions (a kernel silently falling off its vectorized path, the
 persistent cache no longer hitting), not percent-level noise.
 
+`--require NAME` (repeatable) replaces the default required-row set, so a
+job that only ran one bench target (e.g. the sim-scale job running
+`--bench sim`) can gate on its own rows without demanding the kernel
+rows. `--min-speedup FAST:SLOW:RATIO` (repeatable) additionally asserts
+an *absolute* architecture claim within the fresh run: bench FAST must be
+at least RATIO× faster (by median ns) than bench SLOW — used by the
+sim-scale job to hold the timer-wheel/SoA loop to its ≥10× events/s
+improvement over the legacy heap loop.
+
 Usage: perf_smoke.py [fresh] [baseline] [--threshold X]
+                     [--require NAME ...] [--min-speedup FAST:SLOW:RATIO ...]
 Defaults: BENCH_sweep.json BENCH_baseline.json --threshold 3.0
 """
 
@@ -46,14 +56,37 @@ def main():
     ap.add_argument("fresh", nargs="?", default="BENCH_sweep.json")
     ap.add_argument("baseline", nargs="?", default="BENCH_baseline.json")
     ap.add_argument("--threshold", type=float, default=3.0)
+    ap.add_argument("--require", action="append", default=None, metavar="NAME")
+    ap.add_argument(
+        "--min-speedup", action="append", default=[], metavar="FAST:SLOW:RATIO"
+    )
     args = ap.parse_args()
 
     fresh = load(args.fresh)
     base = load(args.baseline)
 
-    missing = [name for name in REQUIRED if name not in fresh]
+    required = tuple(args.require) if args.require else REQUIRED
+    missing = [name for name in required if name not in fresh]
     if missing:
         sys.exit(f"{args.fresh}: missing required benches: {', '.join(missing)}")
+
+    for spec in args.min_speedup:
+        try:
+            fast_name, slow_name, ratio_s = spec.split(":")
+            want = float(ratio_s)
+        except ValueError:
+            sys.exit(f"bad --min-speedup spec {spec!r}, expected FAST:SLOW:RATIO")
+        for name in (fast_name, slow_name):
+            if name not in fresh:
+                sys.exit(f"--min-speedup: {name} not in {args.fresh}")
+        got = fresh[slow_name]["median_ns"] / max(fresh[fast_name]["median_ns"], 1e-9)
+        status = "ok" if got >= want else "FAILED"
+        print(f"speedup {fast_name} vs {slow_name}: {got:.1f}x (need {want:.1f}x) {status}")
+        if got < want:
+            sys.exit(
+                f"perf smoke FAILED: {fast_name} is only {got:.1f}x faster than "
+                f"{slow_name}, need {want:.1f}x"
+            )
 
     shared = sorted(set(fresh) & set(base))
     if not shared:

@@ -142,6 +142,101 @@ fn failing_corpus_cases_ship_a_blackbox() {
     assert!(checked > 0, "corpus produced no failing case to check");
 }
 
+/// Pinned sharded-simulator scenario: a panic injected into exactly one
+/// shard of a [`bevra::sim::Fleet`] run (`panic:sim/shard@at=1`) must
+/// degrade, not abort — the failed shard and its lane range accounted in
+/// [`bevra::sim::FleetHealth`], every *surviving* lane's digest
+/// bit-identical to a clean run (one shard dying cannot perturb its
+/// neighbours' census), and the armed flight-recorder black box shipped
+/// with a final synthetic `panic` event naming the `sim/shard` site.
+#[test]
+fn pinned_shard_panic_is_accounted_and_isolated() {
+    use bevra::prelude::*;
+    use bevra::sim::{Fleet, FleetConfig, QueueKind};
+    use bevra_faults::{install, FaultKind, FaultPlan, FaultRule};
+    use bevra_report::json::JsonValue;
+    use std::sync::Arc;
+
+    silence_injected_panics();
+    let fleet = Fleet::new(FleetConfig {
+        base: SimConfig {
+            capacity: 25.0,
+            discipline: Discipline::BestEffort,
+            arrivals: MixedPoisson::new(20.0, RateMixing::Fixed, 40.0),
+            holding: HoldingDist::Exponential { mean: 1.0 },
+            utility: Arc::new(AdaptiveExp::paper()),
+            warmup: 10.0,
+            horizon: 150.0,
+            seed: 0x5A4D,
+            max_events: None,
+        },
+        lanes: 6,
+    });
+    // Clean reference first, outside the fault plan's install lock.
+    let clean = fleet.run_on(3, QueueKind::Wheel);
+    assert!(clean.health.all_ok(), "reference run must be healthy");
+
+    // One rule, keyed to shard 1 only: `chunk_ranges(6, 3)` puts lanes
+    // 2..4 there. The injection is deterministic (`at`, not `prob`), so
+    // the pool's one serial retry trips it again — a *persistently* dead
+    // shard, the case the health ledger exists for.
+    let dir = std::env::temp_dir().join("bevra-sim-shard-blackbox");
+    let _ = std::fs::remove_dir_all(&dir);
+    let id = format!("sim-shard-{}", std::process::id());
+    let faulted = {
+        let _guard = install(
+            FaultPlan::seeded(0x51AD).rule(FaultRule::at_key(FaultKind::Panic, "sim/shard", 1)),
+        );
+        bevra::obs::recorder::arm_blackbox(&id, &dir);
+        fleet.run_on(3, QueueKind::Wheel)
+    };
+
+    // Exact accounting: shard 1 (lanes 2..4) failed, nothing else did.
+    assert_eq!(faulted.health.ok_lanes, 4, "health: {:?}", faulted.health);
+    assert_eq!(faulted.health.failed_lanes(), 2, "health: {:?}", faulted.health);
+    assert_eq!(faulted.health.failed.len(), 1);
+    let failure = &faulted.health.failed[0];
+    assert_eq!(failure.shard, 1);
+    assert_eq!(failure.lanes, 2..4);
+    assert!(
+        failure.error.contains("injected"),
+        "failure must carry the injected-panic message: {}",
+        failure.error
+    );
+
+    // Isolation: surviving lanes reproduce the clean run bit for bit; the
+    // dead shard's lanes are absent, not fabricated.
+    for lane in [0usize, 1, 4, 5] {
+        assert_eq!(
+            faulted.lane_digests[lane], clean.lane_digests[lane],
+            "surviving lane {lane} diverged from the clean run"
+        );
+        assert!(faulted.lane_digests[lane].is_some());
+    }
+    assert_eq!(faulted.lane_digests[2], None);
+    assert_eq!(faulted.lane_digests[3], None);
+    assert!(
+        faulted.merged.completed < clean.merged.completed,
+        "merged report must reflect the missing lanes"
+    );
+
+    // The black box shipped: parseable JSONL whose final synthetic event
+    // names the tripped site.
+    let path = dir.join(format!("{id}-blackbox.jsonl"));
+    let text = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("no blackbox at {}: {e}", path.display()));
+    let lines: Vec<&str> = text.lines().collect();
+    assert!(!lines.is_empty(), "empty blackbox");
+    for line in &lines {
+        JsonValue::parse(line)
+            .unwrap_or_else(|e| panic!("unparseable blackbox line `{line}`: {e}"));
+    }
+    let last = JsonValue::parse(lines[lines.len() - 1]).expect("parsed above");
+    assert_eq!(last.get("kind").and_then(JsonValue::as_str), Some("panic"));
+    assert_eq!(last.get("site").and_then(JsonValue::as_str), Some("sim/shard"));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 /// The corpus actually exercises the fault machinery: across the pinned
 /// seeds, some points fail, some degrade, some saves fail — the suite is
 /// not vacuously green.

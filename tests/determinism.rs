@@ -87,4 +87,83 @@ fn run_batch_is_bitwise_deterministic_across_thread_counts() {
     unique.sort_unstable();
     unique.dedup();
     assert_eq!(unique.len(), cfgs.len(), "digests must differ across configs: {serial_a:?}");
+
+    fleet_digest_is_shard_count_invariant_at_scale();
+}
+
+/// Sharded-fleet half of the determinism wall (called from the single
+/// `#[test]` above — it also mutates `BEVRA_THREADS`): a ~1M-flow fleet
+/// must produce the *same* merged digest, the same per-lane digests, and
+/// the same drained obs counters for every shard count and queue backend,
+/// and repeat runs must replay bitwise. The config deliberately spans four
+/// lanes so shard counts {1, 2, 5, 16} exercise lanes-per-shard ratios
+/// above, at, and below one (16 shards > 4 lanes degrades to one lane per
+/// shard plus idle capacity — `chunk_ranges` never emits empty shards).
+fn fleet_digest_is_shard_count_invariant_at_scale() {
+    use bevra::sim::{Fleet, FleetConfig, QueueKind};
+
+    // Four lanes × (rate 2500 × horizon 100) ≈ 1M flow arrivals ≈ 2.1M
+    // events per fleet run — big enough that a lost event or a reordered
+    // merge cannot hide, small enough for a debug-build tier-1 budget.
+    let fleet = Fleet::new(FleetConfig {
+        base: SimConfig {
+            capacity: 3000.0,
+            discipline: Discipline::BestEffort,
+            arrivals: MixedPoisson::new(2500.0, RateMixing::Fixed, 5000.0),
+            holding: HoldingDist::Exponential { mean: 1.0 },
+            utility: Arc::new(AdaptiveExp::paper()),
+            warmup: 5.0,
+            horizon: 100.0,
+            seed: 0xF1EE7,
+            max_events: None,
+        },
+        lanes: 4,
+    });
+    let run = |shards: usize, queue: QueueKind| {
+        bevra::obs::metrics::reset_all();
+        let report = fleet.run_on(shards, queue);
+        let mut counters = bevra::obs::metrics::snapshot().counters;
+        bevra::obs::metrics::reset_all();
+        // Gauges (events/sec) are timing-dependent by design; counters are
+        // the deterministic slice of the obs stream.
+        counters.sort();
+        (report, counters)
+    };
+
+    std::env::set_var("BEVRA_THREADS", "3");
+    let (reference, reference_counters) = run(1, QueueKind::Wheel);
+    assert!(reference.health.all_ok(), "clean fleet run must be healthy");
+    assert!(reference.merged.events > 2_000_000, "scale floor: {} events", reference.merged.events);
+    assert_eq!(reference.lane_digests.len(), 4);
+    // Committed pin (CI's sim-scale job runs this at scale in release):
+    // the merged million-flow digest is a constant of the codebase, not
+    // merely self-consistent across shardings.
+    assert_eq!(
+        reference.merged.digest(),
+        0xBE25_1F1D_BB9E_A0D0,
+        "million-flow merged digest drifted from the committed pin"
+    );
+    for (shards, queue) in
+        [(1, QueueKind::Heap), (2, QueueKind::Wheel), (5, QueueKind::Wheel), (16, QueueKind::Wheel)]
+    {
+        let (report, counters) = run(shards, queue);
+        assert_eq!(
+            report.merged.digest(),
+            reference.merged.digest(),
+            "merged digest changed at {shards} shard(s) on {queue:?}"
+        );
+        assert_eq!(
+            report.lane_digests, reference.lane_digests,
+            "per-lane digests changed at {shards} shard(s) on {queue:?}"
+        );
+        assert_eq!(
+            counters, reference_counters,
+            "obs counters changed at {shards} shard(s) on {queue:?}"
+        );
+    }
+    // Repeat at a mid shard count: bitwise replay, not merely agreement.
+    let (again, again_counters) = run(5, QueueKind::Wheel);
+    assert_eq!(again.merged.digest(), reference.merged.digest(), "5-shard repeat did not replay");
+    assert_eq!(again_counters, reference_counters, "5-shard repeat drained different counters");
+    std::env::set_var("BEVRA_THREADS", "1");
 }
