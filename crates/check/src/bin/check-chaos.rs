@@ -18,7 +18,7 @@
 //!     [--cases N] [--seconds S] [--seed BASE]
 //! ```
 
-use bevra_check::chaos::{run_case, silence_injected_panics, ChaosStats};
+use bevra_check::chaos::{run_case, run_recovery_case, silence_injected_panics, ChaosStats};
 use std::time::{Duration, Instant};
 
 fn usage() -> ! {
@@ -64,6 +64,20 @@ fn main() {
         ran += 1;
     }
 
+    // Recovery corpus: the resilience-runtime invariants (transient
+    // faults rescued bitwise, permanent faults degrade with breaker
+    // accounting, kill/resume digest-equal) over a smaller fixed prefix —
+    // each case runs several whole fleets, so a quarter of the sweep
+    // corpus keeps the job time comparable.
+    let recovery_cases = cases.div_ceil(4).max(1);
+    for seed in base..base + recovery_cases {
+        match run_recovery_case(seed) {
+            Ok(s) => stats += s,
+            Err(e) => fail(seed, e),
+        }
+        ran += 1;
+    }
+
     // Randomized tail: clock-derived seeds, printed on failure.
     let deadline = Instant::now() + Duration::from_secs(seconds);
     let mut seed = std::time::SystemTime::now()
@@ -83,9 +97,11 @@ fn main() {
     println!(
         "check-chaos: {ran} case(s), {} point(s) ({} failed, {} degraded — all accounted), \
          {} sim event(s) bounded by watchdog, {}/{} artifact save(s) failed atomically, \
-         {} cached sweep(s) bit-transparent ({} cache I/O fault(s) absorbed); \
-         no invariant violated",
+         {} cached sweep(s) bit-transparent ({} cache I/O fault(s) absorbed), \
+         {} lane(s) rescued bitwise via {} restart(s) ({} breaker trip(s), \
+         {} lane(s) correctly dead); no invariant violated",
         stats.points, stats.failed, stats.degraded, stats.sim_events, stats.save_failures,
-        stats.saves, stats.cache_sweeps, stats.cache_io_errors,
+        stats.saves, stats.cache_sweeps, stats.cache_io_errors, stats.rescued_lanes,
+        stats.lane_restarts, stats.fleet_breaker_trips, stats.dead_lanes,
     );
 }

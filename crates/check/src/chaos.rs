@@ -45,7 +45,10 @@ use bevra_engine::{CacheMode, CheckedSweep, PersistentCache, PointOutcome, Sweep
 use bevra_faults::{install, FaultKind, FaultPlan, FaultRule, PANIC_MARKER};
 use bevra_report::persist::{load_figure, save_figure};
 use bevra_report::series::{Figure, Panel, Series};
-use bevra_sim::{Discipline, HoldingDist, MixedPoisson, SimConfig, SimError, Simulation};
+use bevra_sim::{
+    ckpt::FleetCheckpoint, Discipline, Fleet, FleetConfig, HoldingDist, MixedPoisson,
+    QueueKind, SimConfig, SimError, Simulation,
+};
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 use std::sync::Arc;
@@ -136,6 +139,14 @@ pub struct ChaosStats {
     /// Persistent-cache load/store attempts absorbed as I/O failures
     /// (each degraded to a recompute or a skipped store).
     pub cache_io_errors: u64,
+    /// Fleet lane re-executions performed by recovery supervisors.
+    pub lane_restarts: u64,
+    /// Recovery-breaker trips across fleet cases.
+    pub fleet_breaker_trips: u64,
+    /// Lanes rescued to bitwise-identical reports after transient faults.
+    pub rescued_lanes: u64,
+    /// Lanes correctly declared dead under permanent faults.
+    pub dead_lanes: u64,
 }
 
 /// Non-finite fields of one evaluated point (the four derived quantities;
@@ -386,6 +397,9 @@ pub fn run_case(case_seed: u64) -> Result<ChaosStats, String> {
     };
     match Simulation::new(sim_cfg).run_checked() {
         Ok(_) => return Err(fail("simulator outran an injected 10k-event budget".into())),
+        Err(SimError::DeadlineExpired { .. }) => {
+            return Err(fail("deadline expired with no deadline armed".into()))
+        }
         Err(SimError::BudgetExhausted { events, partial }) => {
             if events >= 10_000 {
                 return Err(fail(format!("watchdog fired late: {events} events")));
@@ -448,6 +462,182 @@ pub fn run_case(case_seed: u64) -> Result<ChaosStats, String> {
     Ok(stats)
 }
 
+/// Run one *recovery* chaos case: the resilience-runtime invariants over
+/// a randomly shaped fleet. Three phases, all derived from `case_seed`:
+///
+/// 1. **transient faults are rescued bitwise** — a plan of `n`-bounded
+///    lane panics (plus optional shard panics, which per-lane recovery
+///    always bypasses) must yield a merged digest bitwise-equal to the
+///    fault-free run, with every restart ledgered in `FleetHealth`;
+/// 2. **permanent faults degrade, never abort** — permanently dead lanes
+///    are declared dead one by one, every surviving lane's digest is
+///    untouched, and sustained death is visible in the breaker ledger;
+/// 3. **kill/resume is bitwise** — a run killed at the `sim/fleet-ckpt`
+///    site resumes from its checkpoint to the exact fault-free digest.
+///
+/// Callers install [`silence_injected_panics`] first.
+///
+/// # Errors
+///
+/// The first violated invariant, naming the case seed.
+#[allow(clippy::too_many_lines)]
+pub fn run_recovery_case(case_seed: u64) -> Result<ChaosStats, String> {
+    let mut rng = StdRng::seed_from_u64(case_seed);
+    let fail = |msg: String| format!("recovery case {case_seed}: {msg}");
+    let lanes = 4 + rng.random_range(0..5u64) as u32; // 4..=8
+    let shards = 1 + rng.random_range(0..u64::from(lanes)) as usize;
+    let cfg = FleetConfig {
+        base: SimConfig {
+            capacity: 20.0 + 10.0 * rng.random::<f64>(),
+            discipline: Discipline::BestEffort,
+            arrivals: MixedPoisson::fixed(15.0 + 10.0 * rng.random::<f64>()),
+            holding: HoldingDist::Exponential { mean: 1.0 },
+            utility: Arc::new(bevra_utility::AdaptiveExp::paper()),
+            warmup: 10.0,
+            horizon: 120.0,
+            seed: case_seed,
+            max_events: None,
+        },
+        lanes,
+    };
+    let mut stats = ChaosStats::default();
+    let fleet = Fleet::new(cfg.clone());
+    let reference = fleet.run_on(shards, QueueKind::Wheel);
+    if !reference.health.all_ok() {
+        return Err(fail("fault-free reference run was not clean".into()));
+    }
+
+    // Phase 1: transient-only plan. Every targeted lane panics on its
+    // first `n` attempts and must be restarted to its exact bits.
+    let targets = 1 + rng.random_range(0..3u64) as usize;
+    let mut plan = FaultPlan::seeded(rng.random::<u64>());
+    for _ in 0..targets {
+        let lane = rng.random_range(0..u64::from(lanes));
+        let n = 1 + rng.random_range(0..2u64); // within the default retry budget
+        plan = plan.rule(FaultRule::at_key(FaultKind::Panic, "sim/lane", lane).with_n(n));
+    }
+    if rng.random::<f64>() < 0.5 {
+        // Shard-site panics are always rescuable: recovery re-runs lanes
+        // individually and never crosses `sim/shard`.
+        plan = plan.rule(FaultRule::with_prob(
+            FaultKind::Panic,
+            "sim/shard",
+            0.2 + 0.5 * rng.random::<f64>(),
+        ));
+    }
+    let rescued = {
+        let _guard = install(plan);
+        fleet.run_on(shards, QueueKind::Wheel)
+    };
+    if !rescued.health.all_ok() {
+        return Err(fail(format!(
+            "transient-only plan was not fully rescued: {:?}",
+            rescued.health.failed
+        )));
+    }
+    if rescued.merged.digest() != reference.merged.digest() {
+        return Err(fail("rescued fleet digest diverged from the fault-free run".into()));
+    }
+    if rescued.health.restarts == 0 {
+        return Err(fail("transient lane faults fired but no restart was ledgered".into()));
+    }
+    stats.lane_restarts += rescued.health.restarts;
+    stats.fleet_breaker_trips += rescued.health.breaker_trips;
+    stats.rescued_lanes += u64::from(rescued.health.ok_lanes);
+
+    // Phase 2: permanent lane deaths. The targeted lanes stay dead;
+    // everyone else is bitwise-untouched; nothing aborts.
+    let dead_count = 1 + rng.random_range(0..u64::from(lanes) - 1) as u32;
+    let mut dead: Vec<u32> = Vec::new();
+    let mut plan = FaultPlan::seeded(rng.random::<u64>());
+    while (dead.len() as u32) < dead_count {
+        let lane = rng.random_range(0..u64::from(lanes)) as u32;
+        if !dead.contains(&lane) {
+            dead.push(lane);
+            plan =
+                plan.rule(FaultRule::at_key(FaultKind::Panic, "sim/lane", u64::from(lane)));
+        }
+    }
+    let degraded = {
+        let _guard = install(plan);
+        fleet.run_on(shards, QueueKind::Wheel)
+    };
+    if degraded.health.failed_lanes() < dead.len() as u32 {
+        return Err(fail(format!(
+            "{} permanently faulted lane(s) but health says only {} failed",
+            dead.len(),
+            degraded.health.failed_lanes()
+        )));
+    }
+    for lane in 0..lanes as usize {
+        if dead.contains(&(lane as u32)) {
+            if degraded.lane_digests[lane].is_some() {
+                return Err(fail(format!(
+                    "lane {lane} is permanently faulted but still produced a report"
+                )));
+            }
+        } else if let Some(digest) = degraded.lane_digests[lane] {
+            if Some(digest) != reference.lane_digests[lane] {
+                return Err(fail(format!(
+                    "surviving lane {lane} digest diverged from the fault-free run"
+                )));
+            }
+        } else {
+            // A healthy lane with no report must have been shed by the
+            // open breaker (fail-fast after sustained death), and the
+            // failure entry must say so — never a silent drop.
+            let shed = degraded.health.failed.iter().any(|f| {
+                f.lanes.contains(&(lane as u32)) && f.error.contains("breaker open")
+            });
+            if !shed {
+                return Err(fail(format!(
+                    "healthy lane {lane} went missing without a breaker-open record"
+                )));
+            }
+        }
+    }
+    if degraded.health.restarts == 0 {
+        return Err(fail("permanent deaths recorded no restart attempts".into()));
+    }
+    stats.lane_restarts += degraded.health.restarts;
+    stats.fleet_breaker_trips += degraded.health.breaker_trips;
+    stats.dead_lanes += u64::from(degraded.health.failed_lanes());
+
+    // Phase 3: kill mid-run at the checkpoint site, resume, compare
+    // digests. Group 0's checkpoint always lands before the kill fires.
+    let ckpt_dir =
+        std::env::temp_dir().join(format!("bevra-chaos-recovery-{case_seed}"));
+    let _ = std::fs::remove_dir_all(&ckpt_dir);
+    let plan = FaultPlan::seeded(0)
+        .rule(FaultRule::at_key(FaultKind::Panic, "sim/fleet-ckpt", 0));
+    let killed = {
+        let _guard = install(plan);
+        let doomed = Fleet::new(cfg.clone())
+            .with_checkpoint(FleetCheckpoint::new(&ckpt_dir, CacheMode::ReadWrite));
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            doomed.run_on(shards, QueueKind::Wheel)
+        }))
+    };
+    if killed.is_ok() {
+        return Err(fail("the fleet-ckpt kill site did not abort the run".into()));
+    }
+    let resumed_fleet = Fleet::new(cfg)
+        .with_checkpoint(FleetCheckpoint::new(&ckpt_dir, CacheMode::ReadWrite));
+    let resumed = resumed_fleet.run_on(shards, QueueKind::Wheel);
+    let restored = resumed_fleet
+        .checkpoint_store()
+        .map_or(0, bevra_sim::ckpt::FleetCheckpoint::restored_lanes);
+    if restored == 0 {
+        return Err(fail("resume restored nothing from the checkpoint".into()));
+    }
+    if resumed.merged.digest() != reference.merged.digest() {
+        return Err(fail("resumed fleet digest diverged from the uninterrupted run".into()));
+    }
+    let _ = std::fs::remove_dir_all(&ckpt_dir);
+    stats.rescued_lanes += restored;
+    Ok(stats)
+}
+
 /// Merge per-case counters.
 impl std::ops::AddAssign for ChaosStats {
     fn add_assign(&mut self, o: Self) {
@@ -459,6 +649,10 @@ impl std::ops::AddAssign for ChaosStats {
         self.save_failures += o.save_failures;
         self.cache_sweeps += o.cache_sweeps;
         self.cache_io_errors += o.cache_io_errors;
+        self.lane_restarts += o.lane_restarts;
+        self.fleet_breaker_trips += o.fleet_breaker_trips;
+        self.rescued_lanes += o.rescued_lanes;
+        self.dead_lanes += o.dead_lanes;
     }
 }
 

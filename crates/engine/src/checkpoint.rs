@@ -1,0 +1,361 @@
+//! Crash-safe sweep checkpoints.
+//!
+//! A long sweep that dies mid-run (crash, kill, injected panic) loses
+//! every grid point it had already evaluated. This module persists
+//! completed points to disk incrementally, keyed by the same content hash
+//! the persistent cache uses ([`crate::persist::grid_key`]: load digest,
+//! utility fingerprint, kernel parity class, exact grid bits), so a
+//! resumed run restores them bitwise and re-evaluates only what is
+//! missing — the resumed artifacts are bitwise-identical to an
+//! uninterrupted run's.
+//!
+//! Design rules (shared with [`crate::persist`]):
+//!
+//! * **Never wrong, never fatal.** Entries carry the key, the grid
+//!   length, and an FNV checksum; a missing, truncated, corrupt, or
+//!   mismatched file restores nothing (full recompute), never a wrong
+//!   bit. Store failures are counted and swallowed.
+//! * **Atomic writes.** Entries go through [`bevra_faults::atomic_write`]
+//!   (write-temp-then-rename), so a crash mid-checkpoint leaves the
+//!   previous complete checkpoint behind, not a torn file. The store is
+//!   fault site `io/ckpt/store`, the load `io/ckpt/load`.
+//! * **Only clean points.** A checkpoint row is written only for a point
+//!   that evaluated fully finite with no solver degradation; degraded
+//!   points are re-evaluated on resume (deterministically, to the same
+//!   bits and causes), so restoring can never change a health ledger.
+//!
+//! Gating: [`CheckpointStore::from_env`] reads `BEVRA_CHECKPOINT`
+//! (`off`/unset, `rw`, `ro` — anything else warns once and is ignored)
+//! and `BEVRA_CHECKPOINT_DIR` (default `<repo>/results/checkpoints`).
+
+use crate::engine::SweepPoint;
+use crate::persist::CacheMode;
+use bevra_num::env::warn_malformed_env;
+use bevra_obs::metrics;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Environment variable selecting the checkpoint mode (`rw`, `ro`, `off`).
+pub const CHECKPOINT_ENV: &str = "BEVRA_CHECKPOINT";
+
+/// Environment variable overriding the checkpoint directory.
+pub const CHECKPOINT_DIR_ENV: &str = "BEVRA_CHECKPOINT_DIR";
+
+/// Format tag; bump when the entry layout changes (old entries then
+/// restore nothing).
+const FORMAT: &str = "bevra-ckpt v1";
+
+/// Grid points per checkpoint batch: `SweepEngine::sweep_checked`
+/// persists completed points and crosses the `engine/ckpt-batch` kill
+/// site once per this many points.
+pub const BATCH_POINTS: usize = 32;
+
+/// An on-disk sweep checkpoint store (see module docs).
+#[derive(Debug)]
+pub struct CheckpointStore {
+    dir: PathBuf,
+    mode: CacheMode,
+    restored: AtomicU64,
+    stores: AtomicU64,
+    io_errors: AtomicU64,
+}
+
+/// FNV-1a over a byte stream (the workspace content hash).
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+impl CheckpointStore {
+    /// Store rooted at `dir` with an explicit mode. The directory is
+    /// created lazily on the first store.
+    #[must_use]
+    pub fn new(dir: impl Into<PathBuf>, mode: CacheMode) -> Self {
+        Self {
+            dir: dir.into(),
+            mode,
+            restored: AtomicU64::new(0),
+            stores: AtomicU64::new(0),
+            io_errors: AtomicU64::new(0),
+        }
+    }
+
+    /// Store configured from the environment: `BEVRA_CHECKPOINT` = `rw`
+    /// or `ro` enables it, unset/`off` disables it, and anything else
+    /// warns once (attributed to `component`) and disables it — the same
+    /// contract as `BEVRA_FAULTS`. `BEVRA_CHECKPOINT_DIR` overrides the
+    /// default `<repo>/results/checkpoints` location.
+    #[must_use]
+    pub fn from_env(component: &str) -> Option<Self> {
+        let raw = std::env::var(CHECKPOINT_ENV).ok()?;
+        let mode = match raw.trim() {
+            "rw" => CacheMode::ReadWrite,
+            "ro" => CacheMode::ReadOnly,
+            "off" | "" => return None,
+            other => {
+                warn_malformed_env(
+                    component,
+                    CHECKPOINT_ENV,
+                    &format!("unknown mode {other:?} (expected rw, ro, or off)"),
+                );
+                return None;
+            }
+        };
+        let dir = std::env::var_os(CHECKPOINT_DIR_ENV).map_or_else(default_dir, PathBuf::from);
+        Some(Self::new(dir, mode))
+    }
+
+    /// The store's root directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Grid points restored from disk so far.
+    pub fn restored_points(&self) -> u64 {
+        self.restored.load(Ordering::Relaxed)
+    }
+
+    /// Successful checkpoint writes.
+    pub fn stores(&self) -> u64 {
+        self.stores.load(Ordering::Relaxed)
+    }
+
+    /// Load/store attempts absorbed as I/O failures (injected or real);
+    /// every one degraded to a recompute or a skipped write.
+    pub fn io_errors(&self) -> u64 {
+        self.io_errors.load(Ordering::Relaxed)
+    }
+
+    fn entry_path(&self, key: u64) -> PathBuf {
+        self.dir.join(format!("{key:016x}.bvk"))
+    }
+
+    /// Restore the completed points recorded under `key` for a grid of
+    /// `n` points: one slot per grid index, `None` where nothing was
+    /// checkpointed. Any problem — injected I/O fault, missing or
+    /// unreadable file, format/key/length/checksum mismatch — restores
+    /// nothing.
+    pub fn load(&self, key: u64, n: usize) -> Vec<Option<SweepPoint>> {
+        let mut out = vec![None; n];
+        if bevra_faults::io_fault("io/ckpt/load", key).is_some() {
+            self.io_errors.fetch_add(1, Ordering::Relaxed);
+            metrics::counter("engine/ckpt/io_error").inc();
+            return out;
+        }
+        let Ok(text) = std::fs::read_to_string(self.entry_path(key)) else {
+            return out;
+        };
+        if let Some(rows) = parse_entry(&text, key, n) {
+            let restored = rows.len() as u64;
+            for (i, pt) in rows {
+                out[i] = Some(pt);
+            }
+            self.restored.fetch_add(restored, Ordering::Relaxed);
+            metrics::counter("engine/ckpt/restored").add(restored);
+        }
+        out
+    }
+
+    /// Persist the completed `points` (grid index, point) of an
+    /// `n`-point sweep under `key`, replacing any previous checkpoint
+    /// (no-op in [`CacheMode::ReadOnly`]). Failures are counted and
+    /// swallowed: a sweep that can't checkpoint still completes.
+    pub fn store(&self, key: u64, n: usize, points: &[(usize, SweepPoint)]) {
+        if self.mode == CacheMode::ReadOnly {
+            return;
+        }
+        let bytes = serialize_entry(key, n, points);
+        match bevra_faults::atomic_write("ckpt/store", &self.entry_path(key), &bytes) {
+            Ok(_) => {
+                self.stores.fetch_add(1, Ordering::Relaxed);
+                metrics::counter("engine/ckpt/store").inc();
+            }
+            Err(_) => {
+                self.io_errors.fetch_add(1, Ordering::Relaxed);
+                metrics::counter("engine/ckpt/io_error").inc();
+            }
+        }
+    }
+
+    /// Remove the checkpoint stored under `key` — called after a sweep
+    /// completes so a finished run leaves no stale state behind (no-op in
+    /// read-only mode or when no entry exists).
+    pub fn clear(&self, key: u64) {
+        if self.mode == CacheMode::ReadOnly {
+            return;
+        }
+        let _ = std::fs::remove_file(self.entry_path(key));
+    }
+}
+
+/// Default checkpoint directory: `results/checkpoints` under the
+/// workspace root.
+fn default_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .map_or_else(|| PathBuf::from("results"), Path::to_path_buf)
+        .join("results")
+        .join("checkpoints")
+}
+
+fn serialize_entry(key: u64, n: usize, points: &[(usize, SweepPoint)]) -> Vec<u8> {
+    use std::fmt::Write as _;
+    let mut sorted: Vec<&(usize, SweepPoint)> = points.iter().collect();
+    sorted.sort_by_key(|(i, _)| *i);
+    let mut body = String::new();
+    let _ = writeln!(body, "{FORMAT}");
+    let _ = writeln!(body, "key {key:016x}");
+    let _ = writeln!(body, "n {n}");
+    for (i, p) in sorted {
+        let _ = writeln!(
+            body,
+            "{i:08x} {:016x} {:016x} {:016x} {:016x} {:016x}",
+            p.capacity.to_bits(),
+            p.best_effort.to_bits(),
+            p.reservation.to_bits(),
+            p.performance_gap.to_bits(),
+            p.bandwidth_gap.to_bits(),
+        );
+    }
+    let _ = writeln!(body, "crc {:016x}", fnv1a(body.as_bytes()));
+    body.into_bytes()
+}
+
+/// Parse and fully validate one entry; `None` on any mismatch.
+fn parse_entry(text: &str, key: u64, n: usize) -> Option<Vec<(usize, SweepPoint)>> {
+    let crc_at = text.rfind("crc ")?;
+    let (body, crc_line) = text.split_at(crc_at);
+    let recorded = u64::from_str_radix(crc_line.strip_prefix("crc ")?.trim(), 16).ok()?;
+    if fnv1a(body.as_bytes()) != recorded {
+        return None;
+    }
+    let mut lines = body.lines();
+    if lines.next()? != FORMAT {
+        return None;
+    }
+    let stored_key = u64::from_str_radix(lines.next()?.strip_prefix("key ")?, 16).ok()?;
+    if stored_key != key {
+        return None;
+    }
+    let stored_n: usize = lines.next()?.strip_prefix("n ")?.parse().ok()?;
+    if stored_n != n {
+        return None;
+    }
+    let mut rows = Vec::new();
+    for line in lines {
+        let mut fields = line.split_ascii_whitespace();
+        let i: usize = usize::from_str_radix(fields.next()?, 16).ok()?;
+        if i >= n {
+            return None;
+        }
+        let mut next_f64 =
+            || -> Option<f64> { Some(f64::from_bits(u64::from_str_radix(fields.next()?, 16).ok()?)) };
+        let pt = SweepPoint {
+            capacity: next_f64()?,
+            best_effort: next_f64()?,
+            reservation: next_f64()?,
+            performance_gap: next_f64()?,
+            bandwidth_gap: next_f64()?,
+        };
+        if fields.next().is_some() {
+            return None;
+        }
+        rows.push((i, pt));
+    }
+    Some(rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("bevra-ckpt-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        d
+    }
+
+    fn point(c: f64) -> SweepPoint {
+        SweepPoint {
+            capacity: c,
+            best_effort: c * 0.5,
+            reservation: c * 0.75,
+            performance_gap: c * 0.25,
+            bandwidth_gap: c * 0.125,
+        }
+    }
+
+    #[test]
+    fn partial_round_trip_is_bitwise() {
+        let cs = CheckpointStore::new(tmp_dir("rt"), CacheMode::ReadWrite);
+        let key = 0xFEED_u64;
+        assert!(cs.load(key, 5).iter().all(Option::is_none), "cold restore is empty");
+        let done = vec![(0usize, point(1.0)), (3, point(40.0))];
+        cs.store(key, 5, &done);
+        let got = cs.load(key, 5);
+        assert_eq!(got.len(), 5);
+        assert!(got[1].is_none() && got[2].is_none() && got[4].is_none());
+        for (i, want) in &done {
+            let g = got[*i].expect("restored");
+            assert_eq!(g.best_effort.to_bits(), want.best_effort.to_bits());
+            assert_eq!(g.bandwidth_gap.to_bits(), want.bandwidth_gap.to_bits());
+        }
+        assert_eq!(cs.restored_points(), 2);
+        assert_eq!(cs.stores(), 1);
+    }
+
+    #[test]
+    fn mismatch_and_corruption_restore_nothing() {
+        let cs = CheckpointStore::new(tmp_dir("bad"), CacheMode::ReadWrite);
+        let key = 9;
+        cs.store(key, 4, &[(1, point(2.0))]);
+        // Different grid length under the same key: nothing restored.
+        assert!(cs.load(key, 5).iter().all(Option::is_none));
+        // Different key: nothing restored.
+        assert!(cs.load(key + 1, 4).iter().all(Option::is_none));
+        // Flip one byte: the checksum rejects the entry.
+        let path = cs.entry_path(key);
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] = bytes[mid].wrapping_add(1);
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(cs.load(key, 4).iter().all(Option::is_none));
+        // Truncation too.
+        std::fs::write(&path, &bytes[..mid]).unwrap();
+        assert!(cs.load(key, 4).iter().all(Option::is_none));
+        assert_eq!(cs.restored_points(), 0);
+    }
+
+    #[test]
+    fn read_only_never_writes_and_clear_removes() {
+        let dir = tmp_dir("ro");
+        let ro = CheckpointStore::new(dir.clone(), CacheMode::ReadOnly);
+        ro.store(3, 2, &[(0, point(1.0))]);
+        assert!(!dir.exists(), "read-only mode must not create the dir");
+        let rw = CheckpointStore::new(dir.clone(), CacheMode::ReadWrite);
+        rw.store(3, 2, &[(0, point(1.0))]);
+        assert!(rw.load(3, 2)[0].is_some());
+        rw.clear(3);
+        assert!(rw.load(3, 2).iter().all(Option::is_none), "cleared entry restores nothing");
+    }
+
+    #[test]
+    fn store_absorbs_injected_permanent_io_faults() {
+        use bevra_faults::{install, FaultKind, FaultPlan, FaultRule};
+        let cs = CheckpointStore::new(tmp_dir("io"), CacheMode::ReadWrite);
+        let plan =
+            FaultPlan::seeded(0).rule(FaultRule::always(FaultKind::IoPermanent, "io/ckpt/store"));
+        {
+            let _guard = install(plan);
+            cs.store(11, 1, &[(0, point(1.0))]);
+        }
+        assert_eq!(cs.stores(), 0);
+        assert_eq!(cs.io_errors(), 1);
+        assert!(cs.load(11, 1)[0].is_none(), "failed store left nothing behind");
+    }
+}

@@ -2,13 +2,17 @@
 //! capacity and price sweeps.
 
 use crate::cache::{f64_key, CacheStats, ShardedCache};
+use crate::checkpoint::{CheckpointStore, BATCH_POINTS};
 use crate::instrument::{span, SweepHealth};
 use crate::persist::{grid_key, GridRow, PersistentCache};
-use crate::pool::{parallel_map_isolated, parallel_map_with, thread_count, ItemError};
+use crate::pool::{
+    compute_retry_policy, parallel_map_supervised, parallel_map_with, thread_count, ItemError,
+};
 use bevra_core::welfare::SampledValue;
 use bevra_core::{equalizing_price_ratio, DiscreteModel, Kernel};
 use bevra_num::{brent, expand_bracket_up, NumError, NumResult};
 use bevra_obs::{enabled, metrics, ObsLevel};
+use bevra_resilience::Deadline;
 use bevra_utility::Utility;
 use std::time::Instant;
 
@@ -81,14 +85,23 @@ pub struct SweepPoint {
     pub bandwidth_gap: f64,
 }
 
+/// What one attempt at a grid point produced, before outcome mapping.
+enum PointEval {
+    /// The point evaluated; the optional string is a gap-solver cause.
+    Done(SweepPoint, Option<String>),
+    /// The ambient deadline expired before this point was evaluated.
+    DeadlineSkipped,
+}
+
 /// What one grid point of a checked sweep produced.
 #[derive(Debug, Clone, PartialEq)]
 pub enum PointOutcome {
     /// The point evaluated (possibly with non-finite fields, which the
     /// sweep's [`SweepHealth`] counts as degraded).
     Ok(SweepPoint),
-    /// The point produced no value: its worker panicked twice (initial
-    /// try plus the bounded serial retry) or its result slot was lost.
+    /// The point produced no value: its worker panicked on every attempt
+    /// the retry policy permitted, its result slot was lost, or the
+    /// ambient deadline expired before it could be evaluated.
     Failed {
         /// The capacity that failed.
         capacity: f64,
@@ -167,6 +180,7 @@ pub struct SweepEngine<U: Utility> {
     mode: ExecMode,
     kernel: &'static dyn Kernel,
     persist: Option<PersistentCache>,
+    ckpt: Option<CheckpointStore>,
     kmax: ShardedCache<Option<u64>>,
     b: ShardedCache<f64>,
     r: ShardedCache<f64>,
@@ -188,9 +202,11 @@ impl<U: Utility> SweepEngine<U> {
     }
 
     /// Engine with an explicit execution mode. The kernel backend comes
-    /// from `BEVRA_KERNEL` via the registry and the persistent cache from
+    /// from `BEVRA_KERNEL` via the registry, the persistent cache from
     /// `BEVRA_CACHE` (see [`crate::registry::from_env`] and
-    /// [`PersistentCache::from_env`]); both can be overridden with the
+    /// [`PersistentCache::from_env`]), and the crash-safe sweep
+    /// checkpoint store from `BEVRA_CHECKPOINT`
+    /// ([`CheckpointStore::from_env`]); all can be overridden with the
     /// builder methods.
     #[must_use]
     pub fn with_mode(model: DiscreteModel<U>, mode: ExecMode) -> Self {
@@ -199,6 +215,7 @@ impl<U: Utility> SweepEngine<U> {
             mode,
             kernel: crate::registry::from_env(),
             persist: PersistentCache::from_env(),
+            ckpt: CheckpointStore::from_env("bevra-engine"),
             kmax: ShardedCache::new(),
             b: ShardedCache::new(),
             r: ShardedCache::new(),
@@ -220,6 +237,20 @@ impl<U: Utility> SweepEngine<U> {
     pub fn with_persistent_cache(mut self, cache: PersistentCache) -> Self {
         self.persist = Some(cache);
         self
+    }
+
+    /// Attach an explicit crash-safe checkpoint store (builder style),
+    /// replacing whatever `BEVRA_CHECKPOINT` configured.
+    #[must_use]
+    pub fn with_checkpoints(mut self, store: CheckpointStore) -> Self {
+        self.ckpt = Some(store);
+        self
+    }
+
+    /// The attached checkpoint store, if any (for inspecting its
+    /// restored/store counters after a sweep).
+    pub fn checkpoint_store(&self) -> Option<&CheckpointStore> {
+        self.ckpt.as_ref()
     }
 
     /// The wrapped model.
@@ -403,10 +434,10 @@ impl<U: Utility> SweepEngine<U> {
     /// parallel per [`Self::mode`]. Failed gap solves surface as NaN.
     ///
     /// Legacy all-or-nothing wrapper over [`Self::sweep_checked`]: a
-    /// point whose evaluation panics (twice — see the bounded retry in
-    /// [`crate::pool::parallel_map_isolated`]) panics here too, after
-    /// every other point has been evaluated. Use `sweep_checked` to get
-    /// structured per-point outcomes instead.
+    /// point whose evaluation panics on every attempt its retry policy
+    /// permits (see [`crate::pool::parallel_map_supervised`]) panics here
+    /// too, after every other point has been evaluated. Use
+    /// `sweep_checked` to get structured per-point outcomes instead.
     pub fn sweep(&self, capacities: &[f64]) -> Vec<SweepPoint> {
         self.sweep_checked(capacities).expect_points()
     }
@@ -416,6 +447,23 @@ impl<U: Utility> SweepEngine<U> {
     /// order), and the returned [`SweepHealth`] counts clean, degraded
     /// (non-finite or failed gap solve) and failed (panicked) points —
     /// one bad point no longer aborts the sweep.
+    ///
+    /// Resilience wiring:
+    ///
+    /// * **retry** — per-point panics are retried under the ambient
+    ///   compute policy ([`compute_retry_policy`]: one immediate serial
+    ///   retry, `BEVRA_RETRY` overrides); retries spent land in
+    ///   `health.retries`.
+    /// * **deadline** — the ambient `BEVRA_DEADLINE_MS` deadline is
+    ///   checked at sweep-point granularity; points skipped after expiry
+    ///   degrade to [`PointOutcome::Failed`] with a deadline cause.
+    /// * **checkpointing** — with a [`CheckpointStore`] attached
+    ///   (`BEVRA_CHECKPOINT=rw`), completed clean points are persisted
+    ///   every [`BATCH_POINTS`] grid points and restored bitwise on the
+    ///   next run over the same key, so a killed sweep resumes instead of
+    ///   recomputing; a fully clean sweep clears its checkpoint. The
+    ///   `engine/ckpt-batch` fault site between batches is the chaos
+    ///   suite's kill point.
     ///
     /// With no fault plan active and a panic-free evaluation, the `Ok`
     /// points are bitwise-identical to the legacy [`Self::sweep`] under
@@ -428,9 +476,16 @@ impl<U: Utility> SweepEngine<U> {
         self.prime(capacities);
         let timing = enabled(ObsLevel::Summary);
         let lat = metrics::histogram("engine/sweep_point_ns");
+        let deadline = Deadline::from_env("bevra-engine");
+        let policy = compute_retry_policy();
+        let threads = self.mode.threads();
         let indexed: Vec<(usize, f64)> = capacities.iter().copied().enumerate().collect();
-        let raw = parallel_map_isolated(&indexed, self.mode.threads(), |&(i, c)| {
-            bevra_faults::panic_point("engine/point", i as u64);
+        let n = indexed.len();
+        let eval = |&(i, c): &(usize, f64), attempt: u32| -> PointEval {
+            if deadline.expired() {
+                return PointEval::DeadlineSkipped;
+            }
+            bevra_faults::panic_point_attempt("engine/point", i as u64, u64::from(attempt));
             timed_point(timing, &lat, || {
                 let best_effort = self.best_effort(c);
                 let reservation = self.reservation(c);
@@ -439,7 +494,7 @@ impl<U: Utility> SweepEngine<U> {
                     Ok(g) => (g, None),
                     Err(e) => (f64::NAN, Some(format!("bandwidth gap at C = {c}: {e}"))),
                 };
-                (
+                PointEval::Done(
                     SweepPoint {
                         capacity: c,
                         best_effort,
@@ -450,14 +505,71 @@ impl<U: Utility> SweepEngine<U> {
                     gap_cause,
                 )
             })
-        });
+        };
+
+        let mut slots: Vec<Option<Result<PointEval, ItemError>>> = (0..n).map(|_| None).collect();
+        let mut retries_total = 0u64;
+        if let Some(cs) = &self.ckpt {
+            let key = grid_key(&self.model, &self.kernel.capability(), capacities);
+            for (i, pt) in cs.load(key, n).into_iter().enumerate() {
+                if let Some(pt) = pt {
+                    slots[i] = Some(Ok(PointEval::Done(pt, None)));
+                }
+            }
+            let is_clean = |pt: &SweepPoint| {
+                [pt.best_effort, pt.reservation, pt.performance_gap, pt.bandwidth_gap]
+                    .iter()
+                    .all(|v| v.is_finite())
+            };
+            let mut clean: Vec<(usize, SweepPoint)> = slots
+                .iter()
+                .enumerate()
+                .filter_map(|(i, s)| match s {
+                    Some(Ok(PointEval::Done(pt, None))) if is_clean(pt) => Some((i, *pt)),
+                    _ => None,
+                })
+                .collect();
+            for (batch_idx, batch) in indexed.chunks(BATCH_POINTS).enumerate() {
+                let todo: Vec<(usize, f64)> =
+                    batch.iter().filter(|(i, _)| slots[*i].is_none()).copied().collect();
+                if !todo.is_empty() {
+                    let (results, retries) =
+                        parallel_map_supervised(&todo, threads, &policy, eval);
+                    retries_total += retries;
+                    for ((i, _), r) in todo.iter().zip(results) {
+                        if let Ok(PointEval::Done(pt, None)) = &r {
+                            if is_clean(pt) {
+                                clean.push((*i, *pt));
+                            }
+                        }
+                        slots[*i] = Some(r);
+                    }
+                    cs.store(key, n, &clean);
+                }
+                // Kill site: a `panic:engine/ckpt-batch` rule crashes the
+                // sweep *between* batches — everything evaluated so far is
+                // already on disk, so the next run resumes from here.
+                bevra_faults::panic_point("engine/ckpt-batch", batch_idx as u64);
+            }
+            if clean.len() == n {
+                cs.clear(key);
+            }
+        } else {
+            let (results, retries) = parallel_map_supervised(&indexed, threads, &policy, eval);
+            retries_total += retries;
+            for (slot, r) in slots.iter_mut().zip(results) {
+                *slot = Some(r);
+            }
+        }
+
         let mut health = SweepHealth::new();
         health.kernel = Some(self.kernel.capability().name.to_string());
-        let outcomes = raw
+        health.retries = retries_total;
+        let outcomes = slots
             .into_iter()
             .zip(&indexed)
-            .map(|(r, &(index, capacity))| match r {
-                Ok((pt, gap_cause)) => {
+            .map(|(r, &(index, capacity))| match r.unwrap_or(Err(ItemError::Missing)) {
+                Ok(PointEval::Done(pt, gap_cause)) => {
                     let mut non_finite_fields = 0u64;
                     for v in
                         [pt.best_effort, pt.reservation, pt.performance_gap, pt.bandwidth_gap]
@@ -476,6 +588,11 @@ impl<U: Utility> SweepEngine<U> {
                         health.note_ok();
                     }
                     PointOutcome::Ok(pt)
+                }
+                Ok(PointEval::DeadlineSkipped) => {
+                    let cause = format!("deadline expired before evaluating C = {capacity}");
+                    health.note_failed(&cause);
+                    PointOutcome::Failed { capacity, index, cause }
                 }
                 Err(e @ (ItemError::Panic { .. } | ItemError::Missing)) => {
                     let cause = e.to_string();
@@ -621,6 +738,27 @@ mod tests {
         (1..=24).map(|i| f64::from(i) * 9.0).collect()
     }
 
+    /// Keep injected-panic backtrace spam out of the test output without
+    /// racing other tests on the global hook (installed once, filters by
+    /// the fault marker, delegates everything else).
+    fn silence_injected_panics() {
+        static ONCE: std::sync::Once = std::sync::Once::new();
+        ONCE.call_once(|| {
+            let prev = std::panic::take_hook();
+            std::panic::set_hook(Box::new(move |info| {
+                let msg = info
+                    .payload()
+                    .downcast_ref::<String>()
+                    .map(String::as_str)
+                    .or_else(|| info.payload().downcast_ref::<&str>().copied())
+                    .unwrap_or("");
+                if !msg.contains("bevra-faults: injected panic") {
+                    prev(info);
+                }
+            }));
+        });
+    }
+
     #[test]
     fn parallel_sweep_bitwise_matches_serial() {
         let cs = grid();
@@ -745,6 +883,72 @@ mod tests {
             assert_eq!(a.bandwidth_gap.to_bits(), b.bandwidth_gap.to_bits());
         }
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn checkpointed_sweep_resumes_bitwise_after_kill() {
+        use crate::checkpoint::CheckpointStore;
+        use crate::persist::CacheMode;
+        use bevra_faults::{install, FaultKind, FaultPlan, FaultRule};
+        let dir = std::env::temp_dir()
+            .join(format!("bevra-engine-ckpt-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        // 40 points → two checkpoint batches of 32 + 8.
+        let cs: Vec<f64> = (1..=40).map(|i| f64::from(i) * 7.0).collect();
+        let reference = poisson_engine(ExecMode::Serial).sweep(&cs);
+
+        // Interrupted run: the kill site fires after batch 0 is stored.
+        let killed_engine = poisson_engine(ExecMode::Serial)
+            .with_checkpoints(CheckpointStore::new(&dir, CacheMode::ReadWrite));
+        let plan = FaultPlan::seeded(0)
+            .rule(FaultRule::at_key(FaultKind::Panic, "engine/ckpt-batch", 0));
+        {
+            silence_injected_panics();
+            let _guard = install(plan);
+            let killed = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                killed_engine.sweep_checked(&cs)
+            }));
+            assert!(killed.is_err(), "the ckpt-batch kill site must fire");
+        }
+        assert!(
+            killed_engine.checkpoint_store().is_some_and(|s| s.stores() >= 1),
+            "batch 0 was checkpointed before the kill"
+        );
+
+        // Resumed run: restores batch 0 bitwise and completes the rest.
+        let resumed_engine = poisson_engine(ExecMode::Serial)
+            .with_checkpoints(CheckpointStore::new(&dir, CacheMode::ReadWrite));
+        let resumed = resumed_engine.sweep_checked(&cs);
+        let store = resumed_engine.checkpoint_store().expect("store attached");
+        assert_eq!(store.restored_points(), 32, "first batch restored from disk");
+        assert!(resumed.health.is_clean(), "resume is clean: {}", resumed.health);
+        for (a, b) in reference.iter().zip(resumed.points()) {
+            assert_eq!(a.best_effort.to_bits(), b.best_effort.to_bits());
+            assert_eq!(a.reservation.to_bits(), b.reservation.to_bits());
+            assert_eq!(a.performance_gap.to_bits(), b.performance_gap.to_bits());
+            assert_eq!(a.bandwidth_gap.to_bits(), b.bandwidth_gap.to_bits());
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn transient_point_panic_is_rescued_and_ledgered() {
+        use bevra_faults::{install, FaultKind, FaultPlan, FaultRule};
+        let cs = grid();
+        let reference = poisson_engine(ExecMode::Serial).sweep(&cs);
+        let plan = FaultPlan::seeded(0)
+            .rule(FaultRule::at_key(FaultKind::Panic, "engine/point", 3).with_n(1));
+        let checked = {
+            silence_injected_panics();
+            let _guard = install(plan);
+            poisson_engine(ExecMode::Serial).sweep_checked(&cs)
+        };
+        assert_eq!(checked.health.failed, 0, "transient fault was rescued");
+        assert_eq!(checked.health.retries, 1, "the rescue is ledgered");
+        for (a, b) in reference.iter().zip(checked.points()) {
+            assert_eq!(a.best_effort.to_bits(), b.best_effort.to_bits());
+            assert_eq!(a.bandwidth_gap.to_bits(), b.bandwidth_gap.to_bits());
+        }
     }
 
     #[test]

@@ -75,6 +75,13 @@ pub struct LedgerRecord {
     pub failed: u64,
     /// Non-finite fields across all degraded points.
     pub non_finite: u64,
+    /// Point-evaluation retries performed by the resilience runtime
+    /// (summed over health ledgers).
+    pub retries: u64,
+    /// Circuit-breaker trips during the run.
+    pub breaker_trips: u64,
+    /// Worker/lane restarts performed by supervisors during the run.
+    pub restarts: u64,
     /// Digest of the run's numeric results. Two runs with equal
     /// fingerprints and kernels must produce equal digests — a mismatch
     /// is a determinism regression `obs-report` flags.
@@ -108,6 +115,7 @@ impl LedgerRecord {
              \"points\":{},\"seconds\":{},\"ns_per_point\":{},\
              \"cache_hits\":{},\"cache_misses\":{},\
              \"ok\":{},\"degraded\":{},\"failed\":{},\"non_finite\":{},\
+             \"retries\":{},\"breaker_trips\":{},\"restarts\":{},\
              \"digest\":\"{:016x}\"",
             esc(&self.id),
             self.unix_ms,
@@ -123,6 +131,9 @@ impl LedgerRecord {
             self.degraded,
             self.failed,
             self.non_finite,
+            self.retries,
+            self.breaker_trips,
+            self.restarts,
             self.digest,
         );
         let crc = fnv1a(prefix.as_bytes());
@@ -161,6 +172,9 @@ mod tests {
             degraded: 1,
             failed: 1,
             non_finite: 2,
+            retries: 3,
+            breaker_trips: 1,
+            restarts: 2,
             digest: 0x0123_4567_89AB_CDEF,
         }
     }

@@ -290,9 +290,12 @@ impl PersistentCache {
 /// ledger's `crc` field) lets readers skip as a torn line.
 ///
 /// `site` is a fault-injection site consulted per attempt as `io/<site>`,
-/// like [`bevra_faults::atomic_write`]: transient faults are retried with
-/// the default bounded backoff (virtual-clock, sleep-free, whenever a
-/// fault plan is active), permanent ones surface as errors.
+/// like [`bevra_faults::atomic_write`]: transient faults are retried
+/// under the workspace I/O retry policy
+/// ([`bevra_resilience::RetryPolicy::io`], overridable with
+/// `BEVRA_RETRY`), waiting on the ambient fault-aware clock
+/// (virtual-clock, sleep-free, whenever a fault plan is active);
+/// permanent ones surface as errors.
 ///
 /// # Errors
 ///
@@ -300,7 +303,7 @@ impl PersistentCache {
 /// non-transient error opening, creating the parent directory for, or
 /// writing the file.
 pub fn append_line(site: &str, path: &Path, line: &str) -> std::io::Result<()> {
-    use bevra_faults::io::{Clock, RetryPolicy, VirtualClock, WallClock};
+    use bevra_resilience::RetryPolicy;
     use std::io::Write as _;
 
     let mut buf = line.to_string();
@@ -313,39 +316,37 @@ pub fn append_line(site: &str, path: &Path, line: &str) -> std::io::Result<()> {
         }
     }
     let full_site = format!("io/{site}");
-    let policy = RetryPolicy::default();
-    let mut wall = WallClock::default();
-    let mut virt = VirtualClock::default();
-    let clock: &mut dyn Clock =
-        if bevra_faults::active() { &mut virt } else { &mut wall };
-    let mut attempt: u32 = 0;
-    loop {
-        let outcome = match bevra_faults::io_fault(&full_site, u64::from(attempt)) {
+    let policy = RetryPolicy::from_env("bevra-engine", RetryPolicy::io());
+    let mut clock = bevra_resilience::ambient_clock();
+    let attempt_once = |attempt: u32| -> Result<(), std::io::Error> {
+        match bevra_faults::io_fault(&full_site, u64::from(attempt)) {
             Some(bevra_faults::IoFault::Transient) => Err(std::io::Error::new(
                 std::io::ErrorKind::Interrupted,
                 format!("bevra-faults: injected transient I/O error at {full_site}"),
             )),
-            Some(bevra_faults::IoFault::Permanent) => {
-                return Err(std::io::Error::other(format!(
-                    "bevra-faults: injected permanent I/O error at {full_site}"
-                )));
-            }
+            Some(bevra_faults::IoFault::Permanent) => Err(std::io::Error::other(format!(
+                "bevra-faults: injected permanent I/O error at {full_site}"
+            ))),
             None => std::fs::OpenOptions::new()
                 .create(true)
                 .append(true)
                 .open(path)
                 .and_then(|mut f| f.write_all(buf.as_bytes())),
-        };
-        match outcome {
+        }
+    };
+    let schedule = policy.schedule();
+    let mut attempt: u32 = 0;
+    loop {
+        match attempt_once(attempt) {
             Ok(()) => return Ok(()),
             Err(e)
-                if attempt + 1 < policy.max_attempts.max(1)
+                if (attempt as usize) < schedule.len()
                     && matches!(
                         e.kind(),
                         std::io::ErrorKind::Interrupted | std::io::ErrorKind::WouldBlock
                     ) =>
             {
-                clock.sleep_ms(policy.backoff_ms(attempt));
+                clock.sleep_ms(schedule[attempt as usize]);
                 attempt += 1;
             }
             Err(e) => return Err(e),

@@ -75,6 +75,10 @@ pub struct WallClock {
 }
 
 impl Clock for WallClock {
+    // The one sanctioned raw sleep in the workspace: every other caller
+    // waits through a Clock so fault-injected runs stay sleep-free
+    // (clippy.toml bans std::thread::sleep everywhere else).
+    #[allow(clippy::disallowed_methods)]
     fn sleep_ms(&mut self, ms: u64) {
         std::thread::sleep(std::time::Duration::from_millis(ms));
         self.elapsed += ms;

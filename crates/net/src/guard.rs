@@ -1,0 +1,212 @@
+//! Guarded admission and evaluation: deadline + circuit-breaker fronting.
+//!
+//! The raw entry points ([`admit_reservations`],
+//! [`best_effort_utility`], [`reservation_utility`]) compute
+//! unconditionally. A long scenario sweep that has already blown its time
+//! budget, or an evaluation pipeline whose inputs keep failing, should
+//! instead *shed* work deterministically. [`NetGuard`] wraps the entry
+//! points with the two resilience primitives:
+//!
+//! * a cooperative [`Deadline`] (ambient `BEVRA_DEADLINE_MS` via
+//!   [`NetGuard::from_env`], or explicit) — once expired, every further
+//!   call returns [`GuardError::DeadlineExpired`] without computing;
+//! * a [`CircuitBreaker`] fed by those rejections — sustained deadline
+//!   pressure trips it open, after which calls fail fast with
+//!   [`GuardError::BreakerOpen`] even cheaper (no clock read), with the
+//!   breaker's deterministic call-counted probe cadence re-checking the
+//!   deadline periodically.
+//!
+//! Shedding is accounted, never silent: rejections bump the
+//! `net/guard/deadline_expired` and `net/guard/breaker_rejected`
+//! counters, and [`NetGuard::trips`] exposes the breaker ledger for the
+//! caller's health record.
+
+use crate::admission::{admit_reservations, AdmissionOutcome};
+use crate::evaluate::{best_effort_utility, reservation_utility, NetworkUtility};
+use crate::topology::{FlowSpec, Topology};
+use bevra_obs::metrics;
+use bevra_resilience::{BreakerState, CircuitBreaker, Deadline};
+use bevra_utility::Utility;
+use std::fmt;
+
+/// Failures with which a call is shed by a [`NetGuard`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GuardError {
+    /// The guard's deadline has passed; the call was not computed.
+    DeadlineExpired,
+    /// The breaker is open after repeated shed calls; the call was
+    /// rejected before even consulting the clock.
+    BreakerOpen,
+}
+
+impl fmt::Display for GuardError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GuardError::DeadlineExpired => write!(f, "deadline expired before the call"),
+            GuardError::BreakerOpen => write!(f, "circuit breaker open (load shed)"),
+        }
+    }
+}
+
+/// Consecutive shed calls that trip the guard's breaker.
+const FAILURE_THRESHOLD: u32 = 3;
+
+/// Rejected calls between half-open probes once open.
+const PROBE_AFTER: u32 = 16;
+
+/// Deadline + breaker front for the network entry points (see module
+/// docs). Construct per batch/sweep, not per call: the breaker's memory
+/// is the point.
+#[derive(Debug)]
+pub struct NetGuard {
+    deadline: Deadline,
+    breaker: CircuitBreaker,
+}
+
+impl NetGuard {
+    /// Guard with an explicit deadline.
+    #[must_use]
+    pub fn new(deadline: Deadline) -> Self {
+        Self { deadline, breaker: CircuitBreaker::new(FAILURE_THRESHOLD, PROBE_AFTER) }
+    }
+
+    /// Guard on the ambient `BEVRA_DEADLINE_MS` (disarmed when unset;
+    /// malformed values warn once, attributed to `bevra-net`, and
+    /// disarm).
+    #[must_use]
+    pub fn from_env() -> Self {
+        Self::new(Deadline::from_env("bevra-net"))
+    }
+
+    /// The admission gate: every guarded call passes through here.
+    fn admit_call(&mut self) -> Result<(), GuardError> {
+        if !self.breaker.allow() {
+            metrics::counter("net/guard/breaker_rejected").inc();
+            return Err(GuardError::BreakerOpen);
+        }
+        if self.deadline.expired() {
+            metrics::counter("net/guard/deadline_expired").inc();
+            self.breaker.record_failure();
+            return Err(GuardError::DeadlineExpired);
+        }
+        self.breaker.record_success();
+        Ok(())
+    }
+
+    /// Guarded [`admit_reservations`].
+    ///
+    /// # Errors
+    ///
+    /// [`GuardError`] when the call is shed (deadline passed or breaker
+    /// open); the computation is skipped entirely.
+    pub fn admit(
+        &mut self,
+        topology: &Topology,
+        flows: &[FlowSpec],
+    ) -> Result<AdmissionOutcome, GuardError> {
+        self.admit_call()?;
+        Ok(admit_reservations(topology, flows))
+    }
+
+    /// Guarded [`best_effort_utility`].
+    ///
+    /// # Errors
+    ///
+    /// [`GuardError`] when the call is shed.
+    pub fn best_effort(
+        &mut self,
+        topology: &Topology,
+        flows: &[FlowSpec],
+        utility: &dyn Utility,
+    ) -> Result<NetworkUtility, GuardError> {
+        self.admit_call()?;
+        Ok(best_effort_utility(topology, flows, utility))
+    }
+
+    /// Guarded [`reservation_utility`].
+    ///
+    /// # Errors
+    ///
+    /// [`GuardError`] when the call is shed.
+    pub fn reservation(
+        &mut self,
+        topology: &Topology,
+        flows: &[FlowSpec],
+        utility: &dyn Utility,
+    ) -> Result<NetworkUtility, GuardError> {
+        self.admit_call()?;
+        Ok(reservation_utility(topology, flows, utility))
+    }
+
+    /// Times the breaker has tripped open.
+    #[must_use]
+    pub fn trips(&self) -> u64 {
+        self.breaker.trips()
+    }
+
+    /// Current breaker state, for health ledgers.
+    #[must_use]
+    pub fn breaker_state(&self) -> BreakerState {
+        self.breaker.state()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bevra_utility::Rigid;
+
+    fn scenario() -> (Topology, Vec<FlowSpec>) {
+        let t = Topology::new(vec![3.0]);
+        let flows: Vec<FlowSpec> = (0..5).map(|_| FlowSpec::unit(vec![0])).collect();
+        (t, flows)
+    }
+
+    #[test]
+    fn disarmed_guard_is_transparent() {
+        let (t, flows) = scenario();
+        let mut g = NetGuard::new(Deadline::none());
+        let guarded = g.admit(&t, &flows).expect("disarmed guard admits");
+        let raw = admit_reservations(&t, &flows);
+        assert_eq!(guarded.admitted, raw.admitted);
+        let b = g.best_effort(&t, &flows, &Rigid::unit()).expect("best-effort passes");
+        let r = g.reservation(&t, &flows, &Rigid::unit()).expect("reservation passes");
+        assert!((b.total - best_effort_utility(&t, &flows, &Rigid::unit()).total).abs() < 1e-12);
+        assert!((r.total - reservation_utility(&t, &flows, &Rigid::unit()).total).abs() < 1e-12);
+        assert_eq!(g.trips(), 0);
+    }
+
+    #[test]
+    fn expired_deadline_sheds_without_computing() {
+        let (t, flows) = scenario();
+        let mut g = NetGuard::new(Deadline::after_ms(0));
+        assert_eq!(g.admit(&t, &flows).unwrap_err(), GuardError::DeadlineExpired);
+        assert_eq!(
+            g.best_effort(&t, &flows, &Rigid::unit()).unwrap_err(),
+            GuardError::DeadlineExpired
+        );
+    }
+
+    #[test]
+    fn sustained_deadline_pressure_trips_the_breaker() {
+        let (t, flows) = scenario();
+        let mut g = NetGuard::new(Deadline::after_ms(0));
+        let mut kinds = Vec::new();
+        for _ in 0..10 {
+            kinds.push(g.admit(&t, &flows).unwrap_err());
+        }
+        assert_eq!(g.trips(), 1, "three consecutive sheds open the breaker");
+        assert!(kinds.contains(&GuardError::DeadlineExpired));
+        assert!(
+            kinds.iter().filter(|k| **k == GuardError::BreakerOpen).count() >= 5,
+            "once open most calls are rejected without a clock read: {kinds:?}"
+        );
+        assert_eq!(g.breaker_state(), BreakerState::Open);
+    }
+
+    #[test]
+    fn guard_errors_render() {
+        assert!(GuardError::DeadlineExpired.to_string().contains("deadline"));
+        assert!(GuardError::BreakerOpen.to_string().contains("breaker"));
+    }
+}

@@ -65,6 +65,11 @@ fn parse_line(line: &str) -> Option<LedgerRecord> {
         degraded: get_u64(&doc, "degraded")?,
         failed: get_u64(&doc, "failed")?,
         non_finite: get_u64(&doc, "non_finite")?,
+        // Resilience counters arrived mid-schema; absent on older lines,
+        // which default to zero rather than being skipped.
+        retries: get_u64(&doc, "retries").unwrap_or(0),
+        breaker_trips: get_u64(&doc, "breaker_trips").unwrap_or(0),
+        restarts: get_u64(&doc, "restarts").unwrap_or(0),
         digest: get_hex(&doc, "digest")?,
     })
 }
@@ -217,12 +222,24 @@ pub fn trend_table(records: &[LedgerRecord]) -> String {
                 format!("{:.0}", r.ns_per_point()),
                 hit_rate,
                 format!("{}/{}/{}", r.ok, r.degraded, r.failed),
+                format!("{}/{}/{}", r.retries, r.breaker_trips, r.restarts),
                 format!("{:016x}", r.digest),
             ]
         })
         .collect();
     markdown_table(
-        &["id", "unix_ms", "kernel", "threads", "points", "ns/point", "cache-hit", "ok/deg/fail", "digest"],
+        &[
+            "id",
+            "unix_ms",
+            "kernel",
+            "threads",
+            "points",
+            "ns/point",
+            "cache-hit",
+            "ok/deg/fail",
+            "retry/trip/restart",
+            "digest",
+        ],
         &rows,
     )
 }
@@ -246,6 +263,9 @@ mod tests {
             degraded: 0,
             failed: 0,
             non_finite: 0,
+            retries: 2,
+            breaker_trips: 0,
+            restarts: 1,
             digest,
         }
     }
@@ -258,6 +278,24 @@ mod tests {
         let parsed = parse_ledger(&text);
         assert_eq!(parsed.skipped, 0);
         assert_eq!(parsed.records, vec![a, b]);
+    }
+
+    #[test]
+    fn pre_resilience_lines_default_counters_to_zero() {
+        // A v1 line written before the resilience counters existed: same
+        // schema tag, no retries/breaker_trips/restarts fields. Rebuild
+        // one by splicing them out of a fresh line and re-CRCing.
+        let line = rec("fig2", 0xAB, 0xCD, 0.25).to_line();
+        let crc_at = line.rfind(",\"crc\":\"").unwrap();
+        let old_prefix = line[..crc_at]
+            .replace(",\"retries\":2,\"breaker_trips\":0,\"restarts\":1", "");
+        let old_line = format!("{old_prefix},\"crc\":\"{:016x}\"}}", fnv1a(old_prefix.as_bytes()));
+        let parsed = parse_ledger(&old_line);
+        assert_eq!(parsed.skipped, 0, "old lines must still parse");
+        assert_eq!(parsed.records.len(), 1);
+        let r = &parsed.records[0];
+        assert_eq!((r.retries, r.breaker_trips, r.restarts), (0, 0, 0));
+        assert_eq!(r.digest, 0xCD, "other fields unaffected");
     }
 
     #[test]

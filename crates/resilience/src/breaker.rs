@@ -1,0 +1,208 @@
+//! Per-site circuit breakers with a deterministic probe cadence.
+
+/// The three breaker states.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Healthy: calls flow, consecutive failures are counted.
+    Closed,
+    /// Tripped: calls are rejected until the probe cadence admits one.
+    Open,
+    /// One probe call is in flight; its outcome decides the next state.
+    HalfOpen,
+}
+
+/// A closed/open/half-open circuit breaker.
+///
+/// Unlike the textbook breaker, the probe cadence is counted in **rejected
+/// calls**, not wall-clock time: after `probe_after` rejections while
+/// open, the next call is admitted as a half-open probe. A call-counted
+/// cadence is a pure function of the call sequence, so breaker decisions
+/// replay identically across runs — the same determinism contract the rest
+/// of the workspace holds (wall-clock cadences would make chaos replays
+/// timing-dependent).
+///
+/// The breaker is a plain state machine with no interior mutability;
+/// callers that share one across threads wrap it themselves (the workspace
+/// drives breakers from supervision loops that are already serial).
+#[derive(Debug, Clone)]
+pub struct CircuitBreaker {
+    failure_threshold: u32,
+    probe_after: u32,
+    state: BreakerState,
+    consecutive_failures: u32,
+    rejections_since_open: u32,
+    trips: u64,
+}
+
+impl CircuitBreaker {
+    /// A closed breaker tripping after `failure_threshold` consecutive
+    /// failures and probing after every `probe_after` rejections while
+    /// open. Both are clamped to at least 1.
+    #[must_use]
+    pub fn new(failure_threshold: u32, probe_after: u32) -> Self {
+        Self {
+            failure_threshold: failure_threshold.max(1),
+            probe_after: probe_after.max(1),
+            state: BreakerState::Closed,
+            consecutive_failures: 0,
+            rejections_since_open: 0,
+            trips: 0,
+        }
+    }
+
+    /// Whether the next call may proceed. While open, counts the rejection
+    /// and — every `probe_after` rejections — admits the call as a
+    /// half-open probe. While half-open, only the probe already admitted
+    /// may run; further calls are rejected until the probe reports.
+    pub fn allow(&mut self) -> bool {
+        match self.state {
+            BreakerState::Closed => true,
+            BreakerState::HalfOpen => false,
+            BreakerState::Open => {
+                self.rejections_since_open += 1;
+                if self.rejections_since_open >= self.probe_after {
+                    self.state = BreakerState::HalfOpen;
+                    true
+                } else {
+                    false
+                }
+            }
+        }
+    }
+
+    /// Report a successful call: closes a half-open breaker and resets the
+    /// failure count.
+    pub fn record_success(&mut self) {
+        self.state = BreakerState::Closed;
+        self.consecutive_failures = 0;
+        self.rejections_since_open = 0;
+    }
+
+    /// Report a failed call: a failed probe reopens immediately; enough
+    /// consecutive failures while closed trip the breaker. Each transition
+    /// to open counts one trip.
+    pub fn record_failure(&mut self) {
+        match self.state {
+            BreakerState::HalfOpen => self.trip(),
+            BreakerState::Closed => {
+                self.consecutive_failures += 1;
+                if self.consecutive_failures >= self.failure_threshold {
+                    self.trip();
+                }
+            }
+            BreakerState::Open => {}
+        }
+    }
+
+    fn trip(&mut self) {
+        self.state = BreakerState::Open;
+        self.trips += 1;
+        self.rejections_since_open = 0;
+        self.consecutive_failures = 0;
+    }
+
+    /// The current state.
+    #[must_use]
+    pub fn state(&self) -> BreakerState {
+        self.state
+    }
+
+    /// Whether calls are currently rejected outright.
+    #[must_use]
+    pub fn is_open(&self) -> bool {
+        self.state == BreakerState::Open
+    }
+
+    /// Transitions to open so far (the health-ledger counter).
+    #[must_use]
+    pub fn trips(&self) -> u64 {
+        self.trips
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trips_after_threshold_consecutive_failures() {
+        let mut b = CircuitBreaker::new(3, 4);
+        for _ in 0..2 {
+            assert!(b.allow());
+            b.record_failure();
+        }
+        assert_eq!(b.state(), BreakerState::Closed, "below threshold");
+        assert!(b.allow());
+        b.record_failure();
+        assert_eq!(b.state(), BreakerState::Open);
+        assert_eq!(b.trips(), 1);
+    }
+
+    #[test]
+    fn success_resets_the_failure_count() {
+        let mut b = CircuitBreaker::new(2, 1);
+        b.record_failure();
+        b.record_success();
+        b.record_failure();
+        assert_eq!(b.state(), BreakerState::Closed, "non-consecutive failures do not trip");
+    }
+
+    #[test]
+    fn open_breaker_probes_on_a_deterministic_cadence() {
+        let mut b = CircuitBreaker::new(1, 3);
+        b.record_failure();
+        assert!(b.is_open());
+        // Exactly two rejections, then the third call is the probe.
+        assert!(!b.allow());
+        assert!(!b.allow());
+        assert!(b.allow(), "third call while open is the half-open probe");
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+    }
+
+    #[test]
+    fn half_open_admits_only_the_probe_until_it_reports() {
+        let mut b = CircuitBreaker::new(1, 1);
+        b.record_failure();
+        assert!(b.allow(), "probe admitted");
+        assert!(!b.allow(), "no second call while the probe is outstanding");
+        b.record_success();
+        assert_eq!(b.state(), BreakerState::Closed);
+        assert!(b.allow());
+    }
+
+    #[test]
+    fn failed_probe_reopens_and_counts_a_trip() {
+        let mut b = CircuitBreaker::new(1, 2);
+        b.record_failure();
+        assert_eq!(b.trips(), 1);
+        assert!(!b.allow());
+        assert!(b.allow(), "probe");
+        b.record_failure();
+        assert!(b.is_open(), "failed probe reopens");
+        assert_eq!(b.trips(), 2);
+        // The cadence restarts after the failed probe.
+        assert!(!b.allow());
+        assert!(b.allow(), "next probe after the cadence elapses again");
+    }
+
+    #[test]
+    fn breaker_decisions_replay_identically() {
+        // The same allow/failure sequence produces the same decisions —
+        // no wall clock anywhere in the state machine.
+        let drive = || {
+            let mut b = CircuitBreaker::new(2, 3);
+            let mut decisions = Vec::new();
+            for i in 0..20 {
+                let allowed = b.allow();
+                decisions.push(allowed);
+                if allowed && i % 3 != 2 {
+                    b.record_failure();
+                } else if allowed {
+                    b.record_success();
+                }
+            }
+            (decisions, b.trips())
+        };
+        assert_eq!(drive(), drive());
+    }
+}

@@ -1,0 +1,110 @@
+//! Cooperative wall-clock deadlines.
+
+use bevra_num::env::{parse_millis, warn_malformed_env};
+use std::time::{Duration, Instant};
+
+/// Environment variable arming a run-wide [`Deadline`], in milliseconds.
+pub const DEADLINE_ENV: &str = "BEVRA_DEADLINE_MS";
+
+/// A cooperative deadline token.
+///
+/// Long-running loops (the checked sweep's grid walk, the simulator's
+/// event loop) poll [`expired`](Self::expired) at coarse, item-aligned
+/// granularity and degrade to a partial result with the shortfall recorded
+/// in their health ledger. The token never interrupts anything — work
+/// completed before expiry is bit-identical to the same prefix of an
+/// undeadlined run.
+///
+/// The disarmed token ([`Deadline::none`], or [`DEADLINE_ENV`] unset) is a
+/// single `Option` check and never expires, so the hot path cost of
+/// supporting deadlines is negligible.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Deadline {
+    expires: Option<Instant>,
+}
+
+impl Deadline {
+    /// The disarmed deadline: never expires.
+    #[must_use]
+    pub fn none() -> Self {
+        Self { expires: None }
+    }
+
+    /// A deadline `ms` milliseconds from now.
+    #[must_use]
+    pub fn after_ms(ms: u64) -> Self {
+        Self { expires: Instant::now().checked_add(Duration::from_millis(ms)) }
+    }
+
+    /// The ambient deadline: [`DEADLINE_ENV`] if set and well-formed
+    /// (a positive integer of milliseconds), else disarmed. Malformed
+    /// values are reported once per component and ignored.
+    #[must_use]
+    pub fn from_env(component: &str) -> Self {
+        match std::env::var(DEADLINE_ENV) {
+            Ok(raw) => match parse_millis(&raw) {
+                Some(ms) => Self::after_ms(ms),
+                None => {
+                    warn_malformed_env(
+                        component,
+                        DEADLINE_ENV,
+                        &format!("{raw:?} (want a positive integer of milliseconds)"),
+                    );
+                    Self::none()
+                }
+            },
+            Err(_) => Self::none(),
+        }
+    }
+
+    /// Whether the deadline is armed at all.
+    #[must_use]
+    pub fn armed(&self) -> bool {
+        self.expires.is_some()
+    }
+
+    /// Whether the deadline has passed. Disarmed deadlines never expire.
+    #[must_use]
+    pub fn expired(&self) -> bool {
+        self.expires.is_some_and(|at| Instant::now() >= at)
+    }
+
+    /// Milliseconds until expiry: `None` when disarmed, `Some(0)` once
+    /// expired.
+    #[must_use]
+    pub fn remaining_ms(&self) -> Option<u64> {
+        self.expires.map(|at| {
+            at.saturating_duration_since(Instant::now()).as_millis().min(u128::from(u64::MAX))
+                as u64
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disarmed_never_expires() {
+        let d = Deadline::none();
+        assert!(!d.armed());
+        assert!(!d.expired());
+        assert_eq!(d.remaining_ms(), None);
+    }
+
+    #[test]
+    fn zero_wait_deadline_expires_immediately() {
+        let d = Deadline::after_ms(0);
+        assert!(d.armed());
+        assert!(d.expired());
+        assert_eq!(d.remaining_ms(), Some(0));
+    }
+
+    #[test]
+    fn distant_deadline_is_not_expired() {
+        let d = Deadline::after_ms(60_000);
+        assert!(d.armed());
+        assert!(!d.expired());
+        assert!(d.remaining_ms().is_some_and(|ms| ms > 30_000));
+    }
+}

@@ -1,0 +1,141 @@
+//! Supervised restart of failed work units.
+
+use crate::breaker::CircuitBreaker;
+use crate::retry::RetryPolicy;
+use bevra_faults::io::Clock;
+
+/// Cumulative counters a [`Supervisor`] accumulates across work units —
+/// the numbers that flow into `FleetHealth` and the run ledger.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct SupervisorStats {
+    /// Restarts performed (retry attempts beyond each unit's first).
+    pub restarts: u64,
+    /// Units that stayed failed after the policy was exhausted.
+    pub gave_up: u64,
+    /// Units rejected outright by the open breaker.
+    pub rejected: u64,
+}
+
+/// Restarts failed work units under a [`RetryPolicy`], consulting a
+/// [`CircuitBreaker`] so persistent failure fails fast.
+///
+/// One supervisor drives many units serially (e.g. the dead lanes of a
+/// fleet shard): each unit is retried per the policy's deterministic
+/// schedule, each unit's *final* outcome feeds the breaker, and once the
+/// breaker opens, remaining units are rejected without burning their
+/// retry budget — the breaker's probe cadence decides when to test the
+/// waters again.
+#[derive(Debug)]
+pub struct Supervisor {
+    policy: RetryPolicy,
+    breaker: CircuitBreaker,
+    stats: SupervisorStats,
+}
+
+impl Supervisor {
+    /// A supervisor restarting units under `policy`, guarded by `breaker`.
+    #[must_use]
+    pub fn new(policy: RetryPolicy, breaker: CircuitBreaker) -> Self {
+        Self { policy, breaker, stats: SupervisorStats::default() }
+    }
+
+    /// Run one work unit: `op` is called with the attempt index and
+    /// retried per the policy. Returns `None` if the breaker rejected the
+    /// unit or every attempt failed; the distinction is visible in
+    /// [`stats`](Self::stats).
+    pub fn run_unit<T>(
+        &mut self,
+        clock: &mut dyn Clock,
+        mut op: impl FnMut(u32) -> Result<T, String>,
+    ) -> Option<T> {
+        if !self.breaker.allow() {
+            self.stats.rejected += 1;
+            return None;
+        }
+        let (result, outcome) = self.policy.run(clock, &mut op);
+        self.stats.restarts += u64::from(outcome.retries);
+        match result {
+            Ok(v) => {
+                self.breaker.record_success();
+                Some(v)
+            }
+            Err(_) => {
+                self.breaker.record_failure();
+                self.stats.gave_up += 1;
+                None
+            }
+        }
+    }
+
+    /// The counters accumulated so far.
+    #[must_use]
+    pub fn stats(&self) -> SupervisorStats {
+        self.stats
+    }
+
+    /// Breaker trips so far.
+    #[must_use]
+    pub fn breaker_trips(&self) -> u64 {
+        self.breaker.trips()
+    }
+
+    /// The breaker, for state inspection.
+    #[must_use]
+    pub fn breaker(&self) -> &CircuitBreaker {
+        &self.breaker
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bevra_faults::io::VirtualClock;
+
+    fn supervisor(attempts: u32, threshold: u32) -> Supervisor {
+        let policy = RetryPolicy {
+            max_attempts: attempts,
+            base_backoff_ms: 0,
+            max_backoff_ms: 0,
+            total_budget_ms: 0,
+            seed: 0,
+        };
+        Supervisor::new(policy, CircuitBreaker::new(threshold, 2))
+    }
+
+    #[test]
+    fn transient_unit_failure_is_restarted_and_counted() {
+        let mut s = supervisor(3, 4);
+        let mut clock = VirtualClock::default();
+        let got = s.run_unit(&mut clock, |attempt| {
+            if attempt == 0 { Err("transient".into()) } else { Ok(attempt) }
+        });
+        assert_eq!(got, Some(1));
+        assert_eq!(s.stats(), SupervisorStats { restarts: 1, gave_up: 0, rejected: 0 });
+        assert_eq!(s.breaker_trips(), 0);
+    }
+
+    #[test]
+    fn persistent_failures_trip_the_breaker_and_fail_fast() {
+        let mut s = supervisor(2, 2);
+        let mut clock = VirtualClock::default();
+        for _ in 0..2 {
+            assert_eq!(s.run_unit(&mut clock, |_| Err::<(), _>("dead".into())), None);
+        }
+        assert_eq!(s.breaker_trips(), 1, "two failed units at threshold 2 trip the breaker");
+        // The next unit is rejected without any attempt.
+        let mut called = false;
+        assert_eq!(
+            s.run_unit(&mut clock, |_| {
+                called = true;
+                Ok(())
+            }),
+            None
+        );
+        assert!(!called, "open breaker must not spend attempts");
+        assert_eq!(s.stats().rejected, 1);
+        // The probe cadence (2 rejections) eventually admits a unit again.
+        let recovered = s.run_unit(&mut clock, |_| Ok::<_, String>(42));
+        assert_eq!(recovered, Some(42), "probe call recovers the breaker");
+        assert!(!s.breaker().is_open());
+    }
+}

@@ -38,7 +38,10 @@ struct FlowSlot {
 pub fn run(cfg: &SimConfig) -> SimReport {
     match run_checked(cfg) {
         Ok(report) => report,
-        Err(SimError::BudgetExhausted { partial, .. }) => *partial,
+        Err(
+            SimError::BudgetExhausted { partial, .. }
+            | SimError::DeadlineExpired { partial, .. },
+        ) => *partial,
     }
 }
 

@@ -26,6 +26,7 @@ use crate::stats::Welford;
 use crate::wheel::{TimerWheelQueue, DEFAULT_GRANULARITY, WHEEL_GRANULARITY_ENV};
 use bevra_load::Tabulated;
 use bevra_obs::{enabled, metrics, ObsLevel};
+use bevra_resilience::Deadline;
 use bevra_utility::Utility;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -120,6 +121,94 @@ pub struct SimConfig {
     pub max_events: Option<u64>,
 }
 
+/// Probe bandwidths folded into the utility fingerprint of
+/// [`SimConfig::fingerprint`]: two utilities agreeing in name and on all
+/// probes to the bit are treated as identical (the same convention as the
+/// engine's persistent-cache key).
+const UTILITY_PROBES: [f64; 16] = [
+    0.0, 1e-9, 1e-6, 1e-3, 0.01, 0.1, 0.25, 0.5, 0.75, 1.0, 1.5, 2.0, 3.0, 5.0, 13.0, 144.0,
+];
+
+impl SimConfig {
+    /// Content hash of everything that determines this run's results:
+    /// capacity, discipline (including any retry policy), arrival process
+    /// configuration, holding distribution, utility fingerprint (name,
+    /// probed values, knots), warm-up, horizon, seed, and event budget.
+    ///
+    /// Two configs with equal fingerprints produce bitwise-identical
+    /// reports (queue kind and shard/thread counts never enter — they are
+    /// execution knobs). The fleet checkpoint keys its entries on this.
+    #[must_use]
+    pub fn fingerprint(&self) -> u64 {
+        use crate::stats::{fnv_fold, fnv_fold_bytes};
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        fnv_fold_bytes(&mut h, b"bevra-sim v1");
+        fnv_fold(&mut h, self.capacity.to_bits());
+        let fold_retry = |h: &mut u64, retry: &Option<crate::link::RetryPolicy>| match retry {
+            None => fnv_fold(h, 0),
+            Some(rp) => {
+                fnv_fold(h, 1);
+                fnv_fold(h, u64::from(rp.max_retries));
+                fnv_fold(h, rp.backoff_mean.to_bits());
+                fnv_fold(h, rp.penalty.to_bits());
+            }
+        };
+        match &self.discipline {
+            Discipline::BestEffort => fnv_fold(&mut h, 0),
+            Discipline::Reservation { k_max, retry } => {
+                fnv_fold(&mut h, 1);
+                fnv_fold(&mut h, *k_max);
+                fold_retry(&mut h, retry);
+            }
+            Discipline::MeasurementBased { target_share, ewma_weight, retry } => {
+                fnv_fold(&mut h, 2);
+                fnv_fold(&mut h, target_share.to_bits());
+                fnv_fold(&mut h, ewma_weight.to_bits());
+                fold_retry(&mut h, retry);
+            }
+        }
+        self.arrivals.digest_into(&mut h);
+        match self.holding {
+            HoldingDist::Exponential { mean } => {
+                fnv_fold(&mut h, 0);
+                fnv_fold(&mut h, mean.to_bits());
+            }
+            HoldingDist::Pareto { mean, z } => {
+                fnv_fold(&mut h, 1);
+                fnv_fold(&mut h, mean.to_bits());
+                fnv_fold(&mut h, z.to_bits());
+            }
+            HoldingDist::Deterministic { mean } => {
+                fnv_fold(&mut h, 2);
+                fnv_fold(&mut h, mean.to_bits());
+            }
+        }
+        fnv_fold_bytes(&mut h, self.utility.name().as_bytes());
+        for &b in &UTILITY_PROBES {
+            fnv_fold(&mut h, self.utility.value(b).to_bits());
+        }
+        for k in self.utility.knots() {
+            fnv_fold(&mut h, k.to_bits());
+        }
+        fnv_fold(&mut h, self.warmup.to_bits());
+        fnv_fold(&mut h, self.horizon.to_bits());
+        fnv_fold(&mut h, self.seed);
+        match self.max_events {
+            None => fnv_fold(&mut h, 0),
+            Some(n) => {
+                fnv_fold(&mut h, 1);
+                fnv_fold(&mut h, n);
+            }
+        }
+        h
+    }
+}
+
+/// How often (in events) the event loop polls its cooperative deadline.
+/// Coarse enough that the disarmed hot path pays one branch per event,
+/// fine enough that an expired deadline stops a run within microseconds.
+pub const DEADLINE_CHECK_EVENTS: u64 = 4096;
+
 /// Why a checked run stopped early.
 #[derive(Debug)]
 pub enum SimError {
@@ -133,6 +222,17 @@ pub enum SimError {
         /// is deterministic) but covers less simulated time than asked.
         partial: Box<SimReport>,
     },
+    /// The cooperative deadline (`BEVRA_DEADLINE_MS`, or one passed to
+    /// [`Simulation::run_checked_deadline_on`]) expired. Checked every
+    /// [`DEADLINE_CHECK_EVENTS`] events, so the partial report is a
+    /// self-consistent prefix — but *where* it is cut depends on wall
+    /// clock, so deadline-truncated digests are not replay-stable.
+    DeadlineExpired {
+        /// Events processed before the deadline check fired.
+        events: u64,
+        /// Statistics accumulated up to the cut-off.
+        partial: Box<SimReport>,
+    },
 }
 
 impl std::fmt::Display for SimError {
@@ -140,6 +240,9 @@ impl std::fmt::Display for SimError {
         match self {
             Self::BudgetExhausted { events, .. } => {
                 write!(f, "event budget exhausted after {events} event(s)")
+            }
+            Self::DeadlineExpired { events, .. } => {
+                write!(f, "cooperative deadline expired after {events} event(s)")
             }
         }
     }
@@ -284,7 +387,10 @@ impl Simulation {
     pub fn run(&self) -> SimReport {
         match self.run_checked() {
             Ok(report) => report,
-            Err(SimError::BudgetExhausted { partial, .. }) => *partial,
+            Err(
+                SimError::BudgetExhausted { partial, .. }
+                | SimError::DeadlineExpired { partial, .. },
+            ) => *partial,
         }
     }
 
@@ -309,20 +415,41 @@ impl Simulation {
     pub fn run_on(&self, kind: QueueKind) -> SimReport {
         match self.run_checked_on(kind) {
             Ok(report) => report,
-            Err(SimError::BudgetExhausted { partial, .. }) => *partial,
+            Err(
+                SimError::BudgetExhausted { partial, .. }
+                | SimError::DeadlineExpired { partial, .. },
+            ) => *partial,
         }
     }
 
     /// [`Simulation::run_checked`] on an explicitly chosen queue
     /// implementation — the differential suite runs both kinds and
-    /// asserts digest equality.
+    /// asserts digest equality. The ambient `BEVRA_DEADLINE_MS` deadline
+    /// (if any) is armed fresh for this run.
     ///
     /// # Errors
     ///
-    /// [`SimError::BudgetExhausted`] when the watchdog fires.
+    /// [`SimError::BudgetExhausted`] when the watchdog fires;
+    /// [`SimError::DeadlineExpired`] when the ambient deadline passes.
     pub fn run_checked_on(&self, kind: QueueKind) -> Result<SimReport, SimError> {
+        self.run_checked_deadline_on(kind, Deadline::from_env("bevra-sim"))
+    }
+
+    /// [`Simulation::run_checked_on`] under an explicit, possibly shared,
+    /// cooperative [`Deadline`] — the fleet arms one deadline and passes
+    /// it to every lane so the whole fleet shares a single time budget.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::BudgetExhausted`] when the watchdog fires;
+    /// [`SimError::DeadlineExpired`] when `deadline` passes.
+    pub fn run_checked_deadline_on(
+        &self,
+        kind: QueueKind,
+        deadline: Deadline,
+    ) -> Result<SimReport, SimError> {
         match kind {
-            QueueKind::Heap => EventLoop::new(&self.cfg, BinaryHeapQueue::new()).run(),
+            QueueKind::Heap => EventLoop::new(&self.cfg, BinaryHeapQueue::new()).run(deadline),
             QueueKind::Wheel => {
                 // ~1 pending event per level-0 bucket is the calendar-queue
                 // sweet spot; total event rate is ≈ 2·λ (each flow arrives
@@ -330,7 +457,7 @@ impl Simulation {
                 // gives the identical dequeue order.
                 let auto = (0.5 / self.cfg.arrivals.mean_rate()).clamp(1e-9, DEFAULT_GRANULARITY);
                 let g = bevra_num::env::env_positive_f64(WHEEL_GRANULARITY_ENV, 1e12, auto);
-                EventLoop::new(&self.cfg, TimerWheelQueue::with_granularity(g)).run()
+                EventLoop::new(&self.cfg, TimerWheelQueue::with_granularity(g)).run(deadline)
             }
         }
     }
@@ -393,7 +520,7 @@ impl<'a, Q: EventQueue> EventLoop<'a, Q> {
     }
 
     #[allow(clippy::too_many_lines)]
-    fn run(mut self) -> Result<SimReport, SimError> {
+    fn run(mut self, deadline: Deadline) -> Result<SimReport, SimError> {
         // Event-loop observability: a span per run (nests under
         // `sim/run_batch` when batched on the same thread) plus, at
         // `BEVRA_OBS=summary` and above, per-event counters and the
@@ -422,6 +549,7 @@ impl<'a, Q: EventQueue> EventLoop<'a, Q> {
         // over the configured ceiling. Checked before each event so a
         // budget of N processes exactly N events.
         let budget = bevra_faults::budget_override("sim/budget").or(self.cfg.max_events);
+        let deadline_armed = deadline.armed();
         let mut events: u64 = 0;
 
         while let Some(ev) = self.queue.pop() {
@@ -432,6 +560,20 @@ impl<'a, Q: EventQueue> EventLoop<'a, Q> {
                 self.report.census = self.census;
                 self.report.events = events;
                 return Err(SimError::BudgetExhausted {
+                    events,
+                    partial: Box::new(self.report),
+                });
+            }
+            // Cooperative deadline, polled every DEADLINE_CHECK_EVENTS
+            // events so the disarmed hot path pays one branch per event
+            // and an armed one touches the wall clock only rarely.
+            if deadline_armed
+                && events.is_multiple_of(DEADLINE_CHECK_EVENTS)
+                && deadline.expired()
+            {
+                self.report.census = self.census;
+                self.report.events = events;
+                return Err(SimError::DeadlineExpired {
                     events,
                     partial: Box::new(self.report),
                 });
@@ -809,7 +951,9 @@ mod tests {
         let mut cfg = base_cfg(40.0, Discipline::BestEffort);
         cfg.max_events = Some(5_000);
         let err = Simulation::new(cfg.clone()).run_checked().expect_err("budget must fire");
-        let SimError::BudgetExhausted { events, partial } = err;
+        let SimError::BudgetExhausted { events, partial } = err else {
+            panic!("expected BudgetExhausted, got {err}");
+        };
         assert_eq!(events, 5_000, "a budget of N processes exactly N events");
         assert_eq!(partial.events, 5_000, "partial report carries the event count");
         assert!(format!("{}", SimError::BudgetExhausted {

@@ -1,0 +1,120 @@
+//! Measure what the resilience runtime costs when nothing goes wrong —
+//! and what recovery costs when something does.
+//!
+//! Runs the committed-pin ~1M-flow fleet (the `tests/determinism.rs`
+//! configuration) four ways and reports wall time:
+//!
+//! 1. **baseline** — no checkpointing, no faults;
+//! 2. **checkpointed** — `FleetCheckpoint` attached (store cost on the
+//!    fault-free path);
+//! 3. **transient rescue** — one injected lane panic, rescued by the
+//!    recovery supervisor to the identical digest (restart cost);
+//! 4. **resume** — a run killed at the checkpoint barrier, then resumed
+//!    from disk (restore cost vs. recompute).
+//!
+//! ```text
+//! cargo run --release --example recovery_overhead
+//! ```
+//!
+//! Every variant must land on the same merged digest — the example
+//! asserts it, so the timings can't quietly compare different work.
+
+use bevra::prelude::*;
+use bevra::sim::{ckpt::FleetCheckpoint, Fleet, FleetConfig, QueueKind, SimReport};
+use bevra_engine::CacheMode;
+use bevra_faults::{install, FaultKind, FaultPlan, FaultRule};
+use std::sync::Arc;
+use std::time::Instant;
+
+fn fleet_config() -> FleetConfig {
+    FleetConfig {
+        base: SimConfig {
+            capacity: 3000.0,
+            discipline: Discipline::BestEffort,
+            arrivals: MixedPoisson::new(2500.0, RateMixing::Fixed, 5000.0),
+            holding: HoldingDist::Exponential { mean: 1.0 },
+            utility: Arc::new(AdaptiveExp::paper()),
+            warmup: 5.0,
+            horizon: 100.0,
+            seed: 0xF1EE7,
+            max_events: None,
+        },
+        lanes: 4,
+    }
+}
+
+fn timed(label: &str, run: impl FnOnce() -> SimReport) -> (f64, SimReport) {
+    let start = Instant::now();
+    let merged = run();
+    let secs = start.elapsed().as_secs_f64();
+    println!(
+        "{label:<28} {secs:>7.3} s   {:>9.0} events/s   digest {:016x}",
+        merged.events as f64 / secs,
+        merged.digest()
+    );
+    (secs, merged)
+}
+
+fn main() {
+    bevra_check::chaos::silence_injected_panics();
+    let dir = std::env::temp_dir().join(format!("bevra-recovery-ovh-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    println!("~1M-flow fleet (4 lanes, 4 shards, wheel queue), release build:\n");
+
+    let (base_s, baseline) =
+        timed("baseline", || Fleet::new(fleet_config()).run_on(4, QueueKind::Wheel).merged);
+
+    let (ckpt_s, ckpt) = timed("checkpointed (fault-free)", || {
+        Fleet::new(fleet_config())
+            .with_checkpoint(FleetCheckpoint::new(&dir, CacheMode::ReadWrite))
+            .run_on(4, QueueKind::Wheel)
+            .merged
+    });
+
+    let (rescue_s, rescued) = timed("transient lane panic", || {
+        let _guard = install(
+            FaultPlan::seeded(0)
+                .rule(FaultRule::at_key(FaultKind::Panic, "sim/lane", 2).with_n(1)),
+        );
+        let report = Fleet::new(fleet_config()).run_on(4, QueueKind::Wheel);
+        assert!(report.health.restarts >= 1, "the injected panic was never rescued");
+        report.merged
+    });
+
+    // Kill at the checkpoint barrier (all four lanes already stored),
+    // then time only the resumed run.
+    {
+        let _guard = install(
+            FaultPlan::seeded(0).rule(FaultRule::at_key(FaultKind::Panic, "sim/fleet-ckpt", 0)),
+        );
+        let killed = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            Fleet::new(fleet_config())
+                .with_checkpoint(FleetCheckpoint::new(&dir, CacheMode::ReadWrite))
+                .run_on(4, QueueKind::Wheel)
+        }));
+        assert!(killed.is_err(), "the fleet-ckpt kill site must fire");
+    }
+    let (resume_s, resumed) = timed("resume from checkpoint", || {
+        Fleet::new(fleet_config())
+            .with_checkpoint(FleetCheckpoint::new(&dir, CacheMode::ReadWrite))
+            .run_on(4, QueueKind::Wheel)
+            .merged
+    });
+
+    for (label, r) in
+        [("checkpointed", &ckpt), ("rescued", &rescued), ("resumed", &resumed)]
+    {
+        assert_eq!(
+            r.digest(),
+            baseline.digest(),
+            "{label} run drifted from the baseline digest"
+        );
+    }
+    println!(
+        "\ncheckpoint overhead {:+.1}%   rescue overhead {:+.1}%   resume {:.1}x faster than recompute",
+        (ckpt_s / base_s - 1.0) * 100.0,
+        (rescue_s / base_s - 1.0) * 100.0,
+        base_s / resume_s,
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -11,7 +11,7 @@
 //! Cases run serially inside each test (fault plans are process-global;
 //! the install lock inside `run_case` serializes across test threads).
 
-use bevra_check::chaos::{run_case, silence_injected_panics};
+use bevra_check::chaos::{run_case, run_recovery_case, silence_injected_panics};
 
 /// The same fixed corpus base the `check-chaos` binary and CI use.
 const CORPUS_BASE: u64 = 0xC4A05;
@@ -142,13 +142,16 @@ fn failing_corpus_cases_ship_a_blackbox() {
     assert!(checked > 0, "corpus produced no failing case to check");
 }
 
-/// Pinned sharded-simulator scenario: a panic injected into exactly one
-/// shard of a [`bevra::sim::Fleet`] run (`panic:sim/shard@at=1`) must
-/// degrade, not abort — the failed shard and its lane range accounted in
-/// [`bevra::sim::FleetHealth`], every *surviving* lane's digest
-/// bit-identical to a clean run (one shard dying cannot perturb its
-/// neighbours' census), and the armed flight-recorder black box shipped
-/// with a final synthetic `panic` event naming the `sim/shard` site.
+/// Pinned sharded-simulator scenario: *permanent* panics injected into
+/// two lanes of a [`bevra::sim::Fleet`] run (`panic:sim/lane@at=2`, `@at=3`)
+/// must degrade, not abort — the recovery supervisor burns its restart
+/// budget on each dead lane (ledgered in [`bevra::sim::FleetHealth`]),
+/// declares them dead one by one, every *surviving* lane's digest stays
+/// bit-identical to a clean run (dead lanes cannot perturb their
+/// neighbours' census), and the armed flight-recorder black box ships
+/// with a final synthetic `panic` event naming the `sim/lane` site.
+/// (A fault at the `sim/shard` site is no longer a way to kill lanes:
+/// per-lane recovery bypasses it — see the fleet unit tests.)
 #[test]
 fn pinned_shard_panic_is_accounted_and_isolated() {
     use bevra::prelude::*;
@@ -176,33 +179,40 @@ fn pinned_shard_panic_is_accounted_and_isolated() {
     let clean = fleet.run_on(3, QueueKind::Wheel);
     assert!(clean.health.all_ok(), "reference run must be healthy");
 
-    // One rule, keyed to shard 1 only: `chunk_ranges(6, 3)` puts lanes
-    // 2..4 there. The injection is deterministic (`at`, not `prob`), so
-    // the pool's one serial retry trips it again — a *persistently* dead
-    // shard, the case the health ledger exists for.
+    // Two rules, keyed to lanes 2 and 3 (both in shard 1 under
+    // `chunk_ranges(6, 3)`), with no `n` bound: the injection fires on
+    // *every* attempt, so the recovery supervisor's restarts trip it
+    // again — *persistently* dead lanes, the case the health ledger
+    // exists for.
     let dir = std::env::temp_dir().join("bevra-sim-shard-blackbox");
     let _ = std::fs::remove_dir_all(&dir);
     let id = format!("sim-shard-{}", std::process::id());
     let faulted = {
         let _guard = install(
-            FaultPlan::seeded(0x51AD).rule(FaultRule::at_key(FaultKind::Panic, "sim/shard", 1)),
+            FaultPlan::seeded(0x51AD)
+                .rule(FaultRule::at_key(FaultKind::Panic, "sim/lane", 2))
+                .rule(FaultRule::at_key(FaultKind::Panic, "sim/lane", 3)),
         );
         bevra::obs::recorder::arm_blackbox(&id, &dir);
         fleet.run_on(3, QueueKind::Wheel)
     };
 
-    // Exact accounting: shard 1 (lanes 2..4) failed, nothing else did.
+    // Exact accounting: lanes 2 and 3 failed (one entry each, in lane
+    // order, both attributed to shard 1), nothing else did, and the
+    // supervisor's futile restart attempts are ledgered.
     assert_eq!(faulted.health.ok_lanes, 4, "health: {:?}", faulted.health);
     assert_eq!(faulted.health.failed_lanes(), 2, "health: {:?}", faulted.health);
-    assert_eq!(faulted.health.failed.len(), 1);
-    let failure = &faulted.health.failed[0];
-    assert_eq!(failure.shard, 1);
-    assert_eq!(failure.lanes, 2..4);
-    assert!(
-        failure.error.contains("injected"),
-        "failure must carry the injected-panic message: {}",
-        failure.error
-    );
+    assert_eq!(faulted.health.failed.len(), 2);
+    assert!(faulted.health.restarts >= 2, "restarts ledgered: {:?}", faulted.health);
+    for (failure, lane) in faulted.health.failed.iter().zip([2u32, 3]) {
+        assert_eq!(failure.shard, 1);
+        assert_eq!(failure.lanes, lane..lane + 1);
+        assert!(
+            failure.error.contains("injected"),
+            "failure must carry the injected-panic message: {}",
+            failure.error
+        );
+    }
 
     // Isolation: surviving lanes reproduce the clean run bit for bit; the
     // dead shard's lanes are absent, not fabricated.
@@ -233,8 +243,24 @@ fn pinned_shard_panic_is_accounted_and_isolated() {
     }
     let last = JsonValue::parse(lines[lines.len() - 1]).expect("parsed above");
     assert_eq!(last.get("kind").and_then(JsonValue::as_str), Some("panic"));
-    assert_eq!(last.get("site").and_then(JsonValue::as_str), Some("sim/shard"));
+    assert_eq!(last.get("site").and_then(JsonValue::as_str), Some("sim/lane"));
     let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Every pinned recovery-corpus seed upholds the resilience invariants:
+/// transient fleet faults rescued to the bitwise fault-free digest,
+/// permanent faults degraded with per-lane accounting (and breaker
+/// fail-fast), kill-at-checkpoint runs resumed digest-equal.
+#[test]
+fn pinned_recovery_corpus_passes() {
+    silence_injected_panics();
+    let mut total = bevra_check::ChaosStats::default();
+    for seed in CORPUS_BASE..CORPUS_BASE + 4 {
+        total += run_recovery_case(seed).unwrap_or_else(|e| panic!("{e}"));
+    }
+    assert!(total.lane_restarts > 0, "no restart was exercised across the corpus");
+    assert!(total.rescued_lanes > 0, "no lane was rescued across the corpus");
+    assert!(total.dead_lanes > 0, "no permanent death was exercised");
 }
 
 /// The corpus actually exercises the fault machinery: across the pinned

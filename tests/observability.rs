@@ -29,6 +29,9 @@ fn record(id: &str, digest: u64) -> LedgerRecord {
         degraded: 1,
         failed: 1,
         non_finite: 2,
+        retries: 1,
+        breaker_trips: 0,
+        restarts: 0,
         digest,
     }
 }
