@@ -49,7 +49,7 @@
 //! `tests/batch_parity.rs`).
 
 use crate::discrete::DiscreteModel;
-use bevra_num::{argmax_unimodal_u64, NeumaierSum};
+use bevra_num::{argmax_unimodal_u64, kspan_total, NeumaierSum, KSPAN_ACCS};
 use bevra_utility::{total_utility, Utility};
 
 /// How the batched kernels evaluate `π` (see module docs).
@@ -506,6 +506,317 @@ pub fn sweep_grid<U: Utility>(
     GridSweep { k_max, best_effort, reservation }
 }
 
+/// Fused B+R sweep: one table traversal serves both architectures.
+///
+/// The reservation head `Σ_{k ≤ k_max} P(k)·k·π(C/k)` is a **prefix of the
+/// best-effort series** — the same terms, in the same order. The unfused
+/// composition ([`sweep_grid`]) nonetheless walks the admitted head a second
+/// time; this kernel evaluates each `(k, C)` pair once and feeds both
+/// accumulators:
+///
+/// * [`PiEval::Exact`] / [`PiEval::Portable`] — a pointwise fused loop that
+///   mirrors the unfused pair op for op (same `π` calls, same
+///   [`NeumaierSum`] order per accumulator, same early-exit and fault
+///   wrapping): results are **bitwise identical** to [`sweep_grid`] in the
+///   same mode, so pinned digests and the golden corpus are unaffected.
+/// * [`PiEval::Fast`] — if the utility implements
+///   [`Utility::accumulate_pi_kspan_fast`], each capacity lane walks the
+///   table in one vectorized k-span pass ([`bevra_num::KSPAN_ACCS`] strided
+///   sub-accumulators, reduced-degree polynomial, factored exponent
+///   denominator) with the R head taken as a **free snapshot** of the
+///   accumulator state at `k = k_max(C)`. Deterministic and bitwise
+///   identical across SIMD tiers, tolerance-close (≤ [`FAST_TRUNC_REL`]
+///   relative) to the scalar path — same contract as the unfused fast
+///   kernel, but *not* bitwise equal to it (different summation grouping).
+///   Utilities without the hook fall back to the unfused fast composition,
+///   bitwise that pair.
+///
+/// # Panics
+///
+/// Panics if `capacities` is not sorted ascending or contains NaN.
+pub fn sweep_grid_fused<U: Utility>(
+    model: &DiscreteModel<U>,
+    capacities: &[f64],
+    mode: PiEval,
+) -> GridSweep {
+    sweep_grid_fused_inner(model, capacities, mode, |k| k)
+}
+
+/// [`sweep_grid_fused`] with an injectable perturbation of the fast path's
+/// R/B span split point.
+///
+/// Mutation tests use this to prove the carried-accumulator snapshot is
+/// load-bearing: nudging the split off `k_max(C)` must detectably corrupt
+/// the reservation values while production (identity nudge) stays correct.
+#[doc(hidden)]
+pub fn sweep_grid_fused_with_split_nudge<U: Utility>(
+    model: &DiscreteModel<U>,
+    capacities: &[f64],
+    mode: PiEval,
+    nudge: impl Fn(u64) -> u64,
+) -> GridSweep {
+    sweep_grid_fused_inner(model, capacities, mode, nudge)
+}
+
+fn sweep_grid_fused_inner<U: Utility>(
+    model: &DiscreteModel<U>,
+    capacities: &[f64],
+    mode: PiEval,
+    nudge: impl Fn(u64) -> u64,
+) -> GridSweep {
+    assert_sorted(capacities);
+    let k_max = k_max_grid_pi(model, capacities, mode);
+    let load = model.load();
+    let u = model.utility();
+    let kbar = load.mean();
+    let g = capacities.len();
+    let len_m1 = load.len() as u64 - 1;
+
+    // Admitted-head lengths, clamped to the table exactly like
+    // `reservation_grid_pi`.
+    let mut cap_k = vec![0u64; g];
+    for i in 0..g {
+        if capacities[i] > 0.0 {
+            if let Some(m) = k_max[i] {
+                if m > 0 {
+                    cap_k[i] = m.min(len_m1);
+                }
+            }
+        }
+    }
+
+    enum Heads {
+        /// Per-lane Neumaier accumulators, finalized exactly like the
+        /// unfused reservation kernel (bitwise modes).
+        Pointwise(Vec<NeumaierSum>),
+        /// Per-lane snapshot totals from the k-span walk (fast mode).
+        Snapshot(Vec<f64>),
+    }
+
+    let (best_raw, heads) = match mode {
+        PiEval::Exact => {
+            let (b, r) = fused_grid_pointwise(model, capacities, &cap_k, U::value);
+            (b, Heads::Pointwise(r))
+        }
+        PiEval::Portable => {
+            let (b, r) = fused_grid_pointwise(model, capacities, &cap_k, U::value_portable);
+            (b, Heads::Pointwise(r))
+        }
+        PiEval::Fast => {
+            // Capability probe: an empty span accumulates nothing, so the
+            // return flag is the only observable effect.
+            let mut s = [0.0; KSPAN_ACCS];
+            let mut c = [0.0; KSPAN_ACCS];
+            if u.accumulate_pi_kspan_fast(1.0, 1.0, &[], &mut s, &mut c) {
+                let (b, r) = fused_grid_kspan(model, capacities, &cap_k, &nudge);
+                (b, Heads::Snapshot(r))
+            } else {
+                // No k-span kernel for this family: the unfused fast
+                // composition is already the best available pass, and
+                // reusing it keeps the results bitwise that pair.
+                let best_effort = best_effort_grid(model, capacities, PiEval::Fast);
+                let reservation =
+                    reservation_grid_pi(model, capacities, &k_max, &best_effort, PiEval::Fast);
+                return GridSweep { k_max, best_effort, reservation };
+            }
+        }
+    };
+
+    // Finalize B then R, in lane order — the same fault-wrapping order as
+    // the unfused composition, so `@at=N` fault ordinals line up.
+    let best_effort: Vec<f64> = capacities
+        .iter()
+        .zip(best_raw)
+        .map(|(&c, v)| {
+            if c <= 0.0 {
+                0.0
+            } else {
+                bevra_faults::corrupt_f64("eval/best_effort", c.to_bits(), v)
+            }
+        })
+        .collect();
+
+    let pi_scalar = |b: f64| match mode {
+        PiEval::Exact | PiEval::Fast => u.value(b),
+        PiEval::Portable => u.value_portable(b),
+    };
+    let mut heads = heads;
+    let reservation: Vec<f64> = (0..g)
+        .map(|i| {
+            let c = capacities[i];
+            let raw = if c <= 0.0 {
+                0.0
+            } else {
+                match k_max[i] {
+                    None => best_effort[i],
+                    Some(0) => 0.0,
+                    Some(m) => {
+                        let overload_mass = load.tail_mass_above(cap_k[i]);
+                        let tail = if overload_mass > 0.0 {
+                            m as f64 * pi_scalar(c / m as f64) * overload_mass
+                        } else {
+                            0.0
+                        };
+                        match &mut heads {
+                            // Mirror `reservation_grid_pi`: conditional
+                            // `add` then `total`, bit for bit.
+                            Heads::Pointwise(accs) => {
+                                if overload_mass > 0.0 {
+                                    accs[i].add(tail);
+                                }
+                                accs[i].total() / kbar
+                            }
+                            Heads::Snapshot(hs) => (hs[i] + tail) / kbar,
+                        }
+                    }
+                }
+            };
+            bevra_faults::corrupt_f64("eval/reservation", c.to_bits(), raw)
+        })
+        .collect();
+
+    GridSweep { k_max, best_effort, reservation }
+}
+
+/// Pointwise fused kernel (exact/portable modes): one `π(C/k)` evaluation
+/// per `(k, lane)` feeds both the best-effort accumulator (with the scalar
+/// path's early-exit frontier) and the reservation-head accumulator (for
+/// `k ≤ k_max(C)`). `π` is pure, so sharing the evaluation leaves every
+/// accumulated bit identical to the unfused pair.
+fn fused_grid_pointwise<U: Utility>(
+    model: &DiscreteModel<U>,
+    capacities: &[f64],
+    cap_k: &[u64],
+    pi_of: impl Fn(&U, f64) -> f64,
+) -> (Vec<f64>, Vec<NeumaierSum>) {
+    let load = model.load();
+    let u = model.utility();
+    let kbar = load.mean();
+    let g = capacities.len();
+    let len = load.len() as u64;
+    let max_cap_k = cap_k.iter().copied().max().unwrap_or(0);
+
+    let mut acc_b = vec![NeumaierSum::new(); g];
+    let mut acc_r = vec![NeumaierSum::new(); g];
+    let mut active: Vec<bool> = capacities.iter().map(|&c| c > 0.0).collect();
+    let mut alive = active.iter().filter(|&&a| a).count();
+    let mut start = 0usize;
+
+    for k in 1..len {
+        if alive == 0 && k > max_cap_k {
+            break;
+        }
+        let p = load.pmf(k);
+        let kf = k as f64;
+        let check = k % 64 == 0;
+        let tail_mean = load.tail_mean_above(k);
+        for i in start..g {
+            let b_live = active[i];
+            let r_live = k <= cap_k[i];
+            if !b_live && !r_live {
+                continue;
+            }
+            let pi = pi_of(u, capacities[i] / kf);
+            if r_live && p > 0.0 {
+                acc_r[i].add(p * kf * pi);
+            }
+            if b_live {
+                if p > 0.0 {
+                    acc_b[i].add(p * kf * pi);
+                }
+                if check || pi == 0.0 {
+                    let bound = pi * tail_mean;
+                    if bound <= 1e-15 * acc_b[i].total().abs().max(1e-300) {
+                        acc_b[i].add(0.5 * bound);
+                        active[i] = false;
+                        alive -= 1;
+                    }
+                }
+            }
+        }
+        while start < g && !active[start] && k >= cap_k[start] {
+            start += 1;
+        }
+    }
+    (acc_b.into_iter().map(|a| a.total() / kbar).collect(), acc_r)
+}
+
+/// Span length between early-exit probes in the fast fused kernel.
+///
+/// Block boundaries are the only places the fast k-span walk checks its
+/// tail bound; a shorter block exits sooner on light tails, a longer one
+/// amortizes the bound arithmetic better on heavy tails where no early exit
+/// ever fires (the paper's z = 3 family walks every table entry — see
+/// EXPERIMENTS.md). 512 keeps the light-tail overshoot below the cost of
+/// one extra bound probe per lane.
+const KSPAN_BLOCK: u64 = 512;
+
+/// Fast fused kernel: per-lane vectorized k-span walk with the reservation
+/// head captured as an accumulator snapshot at the `k_max` split.
+///
+/// Returns `(B_raw, R_head_raw)` where `B_raw` is normalized (`/k̄`, same
+/// contract as [`best_effort_grid_fast`]) and `R_head_raw` is the
+/// *unnormalized* admitted-head series, to be finished with the overload
+/// tail term by the caller.
+fn fused_grid_kspan<U: Utility>(
+    model: &DiscreteModel<U>,
+    capacities: &[f64],
+    cap_k: &[u64],
+    nudge: &impl Fn(u64) -> u64,
+) -> (Vec<f64>, Vec<f64>) {
+    let load = model.load();
+    let u = model.utility();
+    let kbar = load.mean();
+    let pmfs = load.pmf_values();
+    let len = pmfs.len() as u64;
+    let g = capacities.len();
+
+    let mut best = vec![0.0f64; g];
+    let mut heads = vec![0.0f64; g];
+    for i in 0..g {
+        let c = capacities[i];
+        if c <= 0.0 {
+            continue;
+        }
+        let mut sums = [0.0f64; KSPAN_ACCS];
+        let mut comps = [0.0f64; KSPAN_ACCS];
+        // R head: the B series prefix up to the (possibly nudged) split.
+        let split = nudge(cap_k[i]).min(len - 1);
+        if split >= 1 {
+            u.accumulate_pi_kspan_fast(c, 1.0, &pmfs[1..=split as usize], &mut sums, &mut comps);
+        }
+        heads[i] = kspan_total(&sums, &comps);
+        // B continues in the same accumulators — the head terms are shared.
+        let mut k = split + 1;
+        let mut total = heads[i];
+        while k < len {
+            let stop = (k + KSPAN_BLOCK).min(len);
+            u.accumulate_pi_kspan_fast(
+                c,
+                k as f64,
+                &pmfs[k as usize..stop as usize],
+                &mut sums,
+                &mut comps,
+            );
+            k = stop;
+            total = kspan_total(&sums, &comps);
+            if k < len {
+                // Same bound as the unfused kernels: remaining terms are
+                // ≤ π(C/k)·Σ_{k'≥k} k'·P(k'), probed at block boundaries
+                // only. Scalar π here — the bound is tolerance arithmetic,
+                // not part of the accumulated value.
+                let bound = u.value(c / k as f64) * load.tail_mean_above(k - 1);
+                if bound <= FAST_TRUNC_REL * total.abs().max(1e-300) {
+                    total += 0.5 * bound;
+                    break;
+                }
+            }
+        }
+        best[i] = total / kbar;
+    }
+    (best, heads)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -614,6 +925,105 @@ mod tests {
             assert_eq!(got.k_max[i], Some(7));
             assert_eq!(got.reservation[i].to_bits(), m.reservation(c).to_bits());
         }
+    }
+
+    #[test]
+    fn fused_exact_is_bitwise_equal_to_unfused() {
+        let caps = [-1.0, 0.0, 0.5, 2.0, 5.0, 10.0, 15.0, 20.0, 40.0, 80.0];
+        let load = Tabulated::from_model(&Poisson::new(20.0), 1e-12, 1 << 12);
+        let rigid = model_rigid();
+        let adaptive = DiscreteModel::new(load, AdaptiveExp::paper());
+        for mode in [PiEval::Exact, PiEval::Portable] {
+            let a = sweep_grid(&rigid, &caps, mode);
+            let b = sweep_grid_fused(&rigid, &caps, mode);
+            assert_eq!(a, b, "rigid {mode:?}");
+            let a = sweep_grid(&adaptive, &caps, mode);
+            let b = sweep_grid_fused(&adaptive, &caps, mode);
+            assert_eq!(a.k_max, b.k_max, "adaptive {mode:?}");
+            for i in 0..caps.len() {
+                assert_eq!(a.best_effort[i].to_bits(), b.best_effort[i].to_bits());
+                assert_eq!(a.reservation[i].to_bits(), b.reservation[i].to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn fused_exact_mirrors_cap_override_and_elastic() {
+        let load = Arc::new(Tabulated::from_model(&Poisson::new(20.0), 1e-12, 1 << 12));
+        let caps = [1.0, 10.0, 30.0];
+        let capped =
+            DiscreteModel::new(Arc::clone(&load), AdaptiveExp::paper()).with_admission_cap(7);
+        assert_eq!(sweep_grid(&capped, &caps, PiEval::Exact), sweep_grid_fused(&capped, &caps, PiEval::Exact));
+        let elastic = DiscreteModel::new(Arc::clone(&load), ExponentialElastic::default());
+        let got = sweep_grid_fused(&elastic, &caps, PiEval::Exact);
+        assert_eq!(sweep_grid(&elastic, &caps, PiEval::Exact), got);
+        for i in 0..caps.len() {
+            assert_eq!(got.k_max[i], None);
+            assert_eq!(got.reservation[i].to_bits(), got.best_effort[i].to_bits());
+        }
+    }
+
+    #[test]
+    fn fused_fast_kspan_within_budget_and_deterministic() {
+        let load = Tabulated::from_model(&Poisson::new(20.0), 1e-12, 1 << 12);
+        let m = DiscreteModel::new(load, AdaptiveExp::paper());
+        let caps = [0.5, 2.0, 5.0, 10.0, 20.0, 40.0];
+        let got = sweep_grid_fused(&m, &caps, PiEval::Fast);
+        for (i, &c) in caps.iter().enumerate() {
+            for (name, v, want) in [
+                ("B", got.best_effort[i], m.best_effort(c)),
+                ("R", got.reservation[i], m.reservation(c)),
+            ] {
+                assert!(
+                    (v - want).abs() <= 1e-13 * want.abs().max(1e-300),
+                    "C={c}: fused-fast {name} {v:e} vs scalar {want:e}"
+                );
+            }
+        }
+        let again = sweep_grid_fused(&m, &caps, PiEval::Fast);
+        assert_eq!(got, again, "fast fused sweep must be reproducible bit for bit");
+    }
+
+    #[test]
+    fn fused_fast_falls_back_bitwise_for_non_kspan_families() {
+        // Rigid and elastic have no k-span kernel: the fused entry point
+        // must degrade to exactly the unfused fast composition.
+        let caps = [0.5, 2.0, 5.0, 10.0, 20.0, 40.0];
+        let m = model_rigid();
+        assert_eq!(sweep_grid(&m, &caps, PiEval::Fast), sweep_grid_fused(&m, &caps, PiEval::Fast));
+        let load = Tabulated::from_model(&Poisson::new(20.0), 1e-12, 1 << 12);
+        let e = DiscreteModel::new(load, ExponentialElastic::default());
+        assert_eq!(sweep_grid(&e, &caps, PiEval::Fast), sweep_grid_fused(&e, &caps, PiEval::Fast));
+    }
+
+    #[test]
+    fn fused_split_nudge_corrupts_reservations() {
+        // The mutation hook: shifting the R/B span split off k_max(C) must
+        // be detectable — it folds admitted-head terms into the wrong side
+        // of the snapshot. Guards against the snapshot silently drifting.
+        let load = Tabulated::from_model(&Poisson::new(20.0), 1e-12, 1 << 12);
+        let m = DiscreteModel::new(load, AdaptiveExp::paper());
+        let caps = [5.0, 10.0, 20.0];
+        let clean = sweep_grid_fused(&m, &caps, PiEval::Fast);
+        let nudged = sweep_grid_fused_with_split_nudge(&m, &caps, PiEval::Fast, |k| k + 8);
+        // B sums the full series either way: moving the split only regroups
+        // the sub-accumulators, so it must stay inside the fast budget…
+        for (i, &c) in caps.iter().enumerate() {
+            let want = m.best_effort(c);
+            assert!(
+                (nudged.best_effort[i] - want).abs() <= 1e-13 * want.abs().max(1e-300),
+                "C={c}: nudged B left the budget"
+            );
+        }
+        // …while R, whose head is the snapshot at the split, must break.
+        assert!(
+            clean
+                .reservation
+                .iter()
+                .zip(&nudged.reservation)
+                .any(|(a, b)| a.to_bits() != b.to_bits()),
+            "an off-by-8 split must corrupt at least one reservation lane"
+        );
     }
 
     #[test]

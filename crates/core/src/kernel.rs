@@ -44,7 +44,8 @@
 
 use crate::discrete::DiscreteModel;
 use crate::discrete_batch::{
-    best_effort_grid, k_max_grid_pi, reservation_grid_pi, GridSweep, PiEval, FAST_TRUNC_REL,
+    best_effort_grid, k_max_grid_pi, reservation_grid_pi, sweep_grid_fused, GridSweep, PiEval,
+    FAST_TRUNC_REL,
 };
 use bevra_utility::Utility;
 
@@ -80,6 +81,39 @@ pub enum SimdLevel {
     /// Runtime-dispatched AVX2 intrinsics with a scalar fallback that is
     /// bitwise identical to the packed path.
     Avx2,
+    /// Runtime-dispatched AVX-512 intrinsics — same portable bodies as the
+    /// AVX2 tier recompiled with 8-lane registers, bitwise identical.
+    Avx512,
+    /// Runtime-dispatched NEON (aarch64), same bit-parity contract.
+    Neon,
+}
+
+impl SimdLevel {
+    /// Lowercase stable name, as stamped into health ledgers and reports.
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            SimdLevel::None => "none",
+            SimdLevel::Autovec => "autovec",
+            SimdLevel::Avx2 => "avx2",
+            SimdLevel::Avx512 => "avx512",
+            SimdLevel::Neon => "neon",
+        }
+    }
+}
+
+/// Map the numeric substrate's resolved dispatch tier
+/// ([`bevra_num::simd::level`], honoring `BEVRA_SIMD`) onto the kernel
+/// vocabulary. Used by backends whose hot loops run the dispatched
+/// kernels, so their capability record reflects what actually executes.
+#[must_use]
+pub fn resolved_simd_level() -> SimdLevel {
+    match bevra_num::simd::level() {
+        bevra_num::simd::Level::Scalar => SimdLevel::None,
+        bevra_num::simd::Level::Avx2 => SimdLevel::Avx2,
+        bevra_num::simd::Level::Avx512 => SimdLevel::Avx512,
+        bevra_num::simd::Level::Neon => SimdLevel::Neon,
+    }
 }
 
 /// Self-reported description of a backend, consumed by the engine, the
@@ -108,6 +142,15 @@ pub struct KernelCapability {
     /// lazily per point through the engine's memo caches — the scalar
     /// backend's contract, which also keeps it off the persistent cache.
     pub grid_priming: bool,
+    /// Whether [`Kernel::sweep_grid`] runs the fused B+R traversal
+    /// ([`sweep_grid_fused`]) instead of composing the three primitives —
+    /// one table pass serves both architectures. Informational for
+    /// bitwise backends (the fused exact pass is op-for-op the unfused
+    /// pair); for tolerance backends the fused fast pass regroups the
+    /// summation, so the flag pairs with a distinct [`cache_tag`].
+    ///
+    /// [`cache_tag`]: KernelCapability::cache_tag
+    pub fused: bool,
     /// Fault-injection sites (`bevra_faults` site names) that cover this
     /// backend's evaluations — the chaos harness asserts through these.
     pub fault_sites: &'static [&'static str],
@@ -184,11 +227,14 @@ pub trait Kernel: Send + Sync {
         best_efforts: &[f64],
     ) -> Vec<f64>;
 
-    /// Full sweep: `k_max`, `B`, and `R` for every capacity, composed
-    /// from the three primitives in the canonical order (thresholds →
-    /// best-effort → reservations). Mirrors
-    /// [`crate::discrete_batch::sweep_grid`]; same parity contract and
-    /// fault sites as the parts.
+    /// Full sweep: `k_max`, `B`, and `R` for every capacity. The default
+    /// composes the three primitives in the canonical order (thresholds →
+    /// best-effort → reservations), mirroring
+    /// [`crate::discrete_batch::sweep_grid`]. Backends with
+    /// [`KernelCapability::fused`] override this with the fused B+R
+    /// traversal ([`sweep_grid_fused`]) — same parity contract, same
+    /// fault sites in the same per-lane order (all `B` wraps, then all
+    /// `R` wraps), so `@at=N` fault ordinals are backend-independent.
     ///
     /// # Panics
     ///
@@ -227,6 +273,7 @@ impl Kernel for ScalarKernel {
             simd: SimdLevel::None,
             portable: false,
             grid_priming: false,
+            fused: false,
             fault_sites: EVAL_SITES,
             cache_tag: 0,
         }
@@ -270,8 +317,10 @@ impl Kernel for BatchKernel {
             simd: SimdLevel::Autovec,
             portable: false,
             grid_priming: true,
+            fused: true,
             fault_sites: EVAL_SITES,
-            // Shares the scalar tag: results are bitwise interchangeable.
+            // Shares the scalar tag: results are bitwise interchangeable
+            // (the fused exact sweep mirrors the unfused pair op for op).
             cache_tag: 0,
         }
     }
@@ -295,6 +344,12 @@ impl Kernel for BatchKernel {
     ) -> Vec<f64> {
         reservation_grid_pi(model, capacities, k_maxes, best_efforts, PiEval::Exact)
     }
+
+    fn sweep_grid(&self, model: &DynModel<'_>, capacities: &[f64]) -> GridSweep {
+        // Fused B+R traversal; bitwise identical to composing the three
+        // primitives (the pointwise fused loop is an op-for-op mirror).
+        sweep_grid_fused(model, capacities, PiEval::Exact)
+    }
 }
 
 /// The vectorized fast backend: packed polynomial π for `B`, carried
@@ -306,11 +361,19 @@ impl Kernel for FastKernel {
         KernelCapability {
             name: "fast",
             parity: ParityClass::Tolerance(FAST_TRUNC_REL),
-            simd: SimdLevel::Avx2,
+            // Runtime truth, not a static claim: reflects the dispatch
+            // tier the numeric kernels resolved (honoring `BEVRA_SIMD`).
+            // Cached after first use, so constant for the process life.
+            simd: resolved_simd_level(),
             portable: false,
             grid_priming: true,
+            fused: true,
             fault_sites: EVAL_SITES,
-            cache_tag: 1,
+            // Tag 3 (formerly 1): the fused k-span sweep changed the fast
+            // backend's result bits, so cached unfused rows must not be
+            // served to it. SIMD tier does NOT key the cache — all tiers
+            // produce identical bits by the wrapper contract.
+            cache_tag: 3,
         }
     }
 
@@ -333,6 +396,15 @@ impl Kernel for FastKernel {
     ) -> Vec<f64> {
         reservation_grid_pi(model, capacities, k_maxes, best_efforts, PiEval::Fast)
     }
+
+    fn sweep_grid(&self, model: &DynModel<'_>, capacities: &[f64]) -> GridSweep {
+        // Fused fast sweep: per-lane k-span walk with the R head as an
+        // accumulator snapshot (utilities without a k-span kernel fall
+        // back to the unfused fast composition inside). Same tolerance
+        // contract as the primitives, different summation grouping —
+        // hence this backend's distinct cache tag.
+        sweep_grid_fused(model, capacities, PiEval::Fast)
+    }
 }
 
 /// The cross-platform deterministic backend: scalar polynomial π
@@ -347,7 +419,10 @@ impl Kernel for PortableKernel {
             simd: SimdLevel::None,
             portable: true,
             grid_priming: true,
+            fused: true,
             fault_sites: EVAL_SITES,
+            // The fused exact/portable sweep is bitwise the unfused pair,
+            // so the tag (and the pinned portable digests) are unchanged.
             cache_tag: 2,
         }
     }
@@ -368,6 +443,12 @@ impl Kernel for PortableKernel {
         best_efforts: &[f64],
     ) -> Vec<f64> {
         reservation_grid_pi(model, capacities, k_maxes, best_efforts, PiEval::Portable)
+    }
+
+    fn sweep_grid(&self, model: &DynModel<'_>, capacities: &[f64]) -> GridSweep {
+        // Fused, and bitwise the unfused portable pair — pinned portable
+        // digests are unaffected.
+        sweep_grid_fused(model, capacities, PiEval::Portable)
     }
 }
 

@@ -54,7 +54,8 @@ pub mod welfare;
 
 pub use discrete::DiscreteModel;
 pub use discrete_batch::{
-    best_effort_grid, k_max_grid, reservation_grid, sweep_grid, GridSweep, PiEval,
+    best_effort_grid, k_max_grid, reservation_grid, sweep_grid, sweep_grid_fused, GridSweep,
+    PiEval,
 };
 pub use kernel::{DynModel, Kernel, KernelCapability, ParityClass, SimdLevel};
 pub use gaps::{bandwidth_gap, performance_gap};

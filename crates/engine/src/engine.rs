@@ -345,13 +345,15 @@ impl<U: Utility> SweepEngine<U> {
                 // Backends with a carried argmax restart the bracket per
                 // chunk; the search returns the smallest maximizer
                 // regardless of the carry, so chunking never changes bits.
-                let kmaxes = kernel.k_max_grid(&dyn_model, chunk);
-                let bs = kernel.best_effort_grid(&dyn_model, chunk);
-                let rs = kernel.reservation_grid(&dyn_model, chunk, &kmaxes, &bs);
-                kmaxes
+                // `sweep_grid` lets fused backends serve B and R from one
+                // table traversal; for the rest it composes the same three
+                // primitives this loop used to call, in the same order.
+                let sweep = kernel.sweep_grid(&dyn_model, chunk);
+                sweep
+                    .k_max
                     .into_iter()
-                    .zip(bs)
-                    .zip(rs)
+                    .zip(sweep.best_effort)
+                    .zip(sweep.reservation)
                     .map(|((k, b), r)| (k, b, r))
                     .collect::<Vec<GridRow>>()
             });
@@ -563,7 +565,9 @@ impl<U: Utility> SweepEngine<U> {
         }
 
         let mut health = SweepHealth::new();
-        health.kernel = Some(self.kernel.capability().name.to_string());
+        let cap = self.kernel.capability();
+        health.kernel = Some(cap.name.to_string());
+        health.simd = Some(cap.simd.as_str().to_string());
         health.retries = retries_total;
         let outcomes = slots
             .into_iter()
@@ -649,7 +653,9 @@ impl<U: Utility> SweepEngine<U> {
             })
         });
         let mut health = SweepHealth::new();
-        health.kernel = Some(self.kernel.capability().name.to_string());
+        let cap = self.kernel.capability();
+        health.kernel = Some(cap.name.to_string());
+        health.simd = Some(cap.simd.as_str().to_string());
         for (&c, &v) in cs.iter().zip(&vs) {
             if health.tally_non_finite(v) {
                 health.note_degraded(&format!("non-finite welfare value at C = {c}"));

@@ -62,6 +62,13 @@ pub struct SweepHealth {
     /// (`None` for ledgers not produced by an engine sweep, e.g. hand
     /// built or gamma-only ledgers).
     pub kernel: Option<String>,
+    /// Resolved SIMD dispatch tier of the backend's hot loop
+    /// ([`bevra_core::kernel::SimdLevel::as_str`]): `"none"`, `"autovec"`,
+    /// `"avx2"`, `"avx512"`, or `"neon"`. `None` when no kernel stamp
+    /// applies. Informational — dispatch never changes result bits — but
+    /// recorded so cross-machine ledger comparisons can tell a genuine
+    /// digest regression from a tier difference.
+    pub simd: Option<String>,
 }
 
 impl SweepHealth {
@@ -131,6 +138,9 @@ impl SweepHealth {
         }
         if self.kernel.is_none() {
             self.kernel.clone_from(&other.kernel);
+        }
+        if self.simd.is_none() {
+            self.simd.clone_from(&other.simd);
         }
     }
 }
@@ -335,8 +345,12 @@ impl SweepReport {
                 || "null".to_string(),
                 |k| format!("\"{}\"", esc(k)),
             );
+            let simd = h.simd.as_ref().map_or_else(
+                || "null".to_string(),
+                |k| format!("\"{}\"", esc(k)),
+            );
             out.push_str(&format!(
-                "    {{\"name\": \"{}\", \"ok\": {}, \"degraded\": {}, \"failed\": {}, \"non_finite\": {}, \"retries\": {}, \"breaker_trips\": {}, \"restarts\": {}, \"first_failure\": {}, \"kernel\": {}}}{}\n",
+                "    {{\"name\": \"{}\", \"ok\": {}, \"degraded\": {}, \"failed\": {}, \"non_finite\": {}, \"retries\": {}, \"breaker_trips\": {}, \"restarts\": {}, \"first_failure\": {}, \"kernel\": {}, \"simd\": {}}}{}\n",
                 esc(name),
                 h.ok,
                 h.degraded,
@@ -347,6 +361,7 @@ impl SweepReport {
                 h.restarts,
                 first,
                 kernel,
+                simd,
                 if i + 1 < self.health.len() { "," } else { "" }
             ));
         }
@@ -368,11 +383,11 @@ impl SweepReport {
             }
         }
         let mut out = String::from(
-            "kind,name,seconds,points,points_per_sec,hits,misses,hit_rate,ok,degraded,failed,non_finite,retries,breaker_trips,restarts,first_failure,kernel\n",
+            "kind,name,seconds,points,points_per_sec,hits,misses,hit_rate,ok,degraded,failed,non_finite,retries,breaker_trips,restarts,first_failure,kernel,simd\n",
         );
         for s in &self.stages {
             out.push_str(&format!(
-                "stage,{},{},{},{},,,,,,,,,,,,\n",
+                "stage,{},{},{},{},,,,,,,,,,,,,\n",
                 s.name,
                 cnum(s.seconds),
                 s.points,
@@ -381,7 +396,7 @@ impl SweepReport {
         }
         for (name, st) in &self.caches {
             out.push_str(&format!(
-                "cache,{},,,,{},{},{},,,,,,,,,\n",
+                "cache,{},,,,{},{},{},,,,,,,,,,\n",
                 name,
                 st.hits,
                 st.misses,
@@ -393,8 +408,9 @@ impl SweepReport {
             // CSV-quote the free-text cause (it may contain commas).
             let first = format!("\"{}\"", first.replace('"', "\"\""));
             let kernel = h.kernel.as_deref().unwrap_or("");
+            let simd = h.simd.as_deref().unwrap_or("");
             out.push_str(&format!(
-                "health,{},,,,,,,{},{},{},{},{},{},{},{},{}\n",
+                "health,{},,,,,,,{},{},{},{},{},{},{},{},{},{}\n",
                 name,
                 h.ok,
                 h.degraded,
@@ -404,7 +420,8 @@ impl SweepReport {
                 h.breaker_trips,
                 h.restarts,
                 first,
-                kernel
+                kernel,
+                simd
             ));
         }
         out
@@ -537,6 +554,7 @@ mod tests {
         dirty.note_degraded("bandwidth gap: \"no bracket\", giving up");
         dirty.non_finite = 1;
         dirty.kernel = Some("batch".into());
+        dirty.simd = Some("autovec".into());
         let report = SweepReport::new(vec![], vec![], 4)
             .with_health(vec![("fig2/sweep".into(), dirty), ("fig2/gamma".into(), SweepHealth::new())]);
         let json = report.to_json();
@@ -546,11 +564,13 @@ mod tests {
         assert!(json.contains("\"first_failure\": null"), "clean ledger: {json}");
         assert!(json.contains("\"kernel\": \"batch\""), "kernel stamp: {json}");
         assert!(json.contains("\"kernel\": null"), "unstamped ledger: {json}");
+        assert!(json.contains("\"simd\": \"autovec\""), "simd stamp: {json}");
+        assert!(json.contains("\"simd\": null"), "unstamped simd: {json}");
         let csv = report.to_csv();
-        assert!(csv.lines().next().is_some_and(|h| h.ends_with("kernel")));
+        assert!(csv.lines().next().is_some_and(|h| h.ends_with("kernel,simd")));
         assert!(csv.contains("health,fig2/sweep,,,,,,,1,1,0,1,"), "csv: {csv}");
         assert!(csv.contains("\"\"no bracket\"\""), "csv-quoted cause: {csv}");
-        assert!(csv.contains(", giving up\",batch\n"), "kernel column: {csv}");
+        assert!(csv.contains(", giving up\",batch,autovec\n"), "kernel+simd columns: {csv}");
     }
 
     #[test]

@@ -57,6 +57,12 @@ pub struct LedgerRecord {
     /// Capability name of the kernel backend that evaluated the run
     /// (empty when no engine sweep was involved).
     pub kernel: String,
+    /// Resolved SIMD dispatch tier of that backend (`"none"`, `"autovec"`,
+    /// `"avx2"`, `"avx512"`, `"neon"`; empty when no kernel stamp
+    /// applies). Appended to the schema mid-stream: readers treat an
+    /// absent field as `"unknown"`, so pre-existing ledger lines keep
+    /// parsing — see `bevra-report`'s append-tolerance test.
+    pub simd: String,
     /// Worker threads the run was configured with.
     pub threads: u64,
     /// Total evaluated points across stages.
@@ -116,7 +122,7 @@ impl LedgerRecord {
              \"cache_hits\":{},\"cache_misses\":{},\
              \"ok\":{},\"degraded\":{},\"failed\":{},\"non_finite\":{},\
              \"retries\":{},\"breaker_trips\":{},\"restarts\":{},\
-             \"digest\":\"{:016x}\"",
+             \"simd\":\"{}\",\"digest\":\"{:016x}\"",
             esc(&self.id),
             self.unix_ms,
             self.fingerprint,
@@ -134,6 +140,7 @@ impl LedgerRecord {
             self.retries,
             self.breaker_trips,
             self.restarts,
+            esc(&self.simd),
             self.digest,
         );
         let crc = fnv1a(prefix.as_bytes());
@@ -163,6 +170,7 @@ mod tests {
             unix_ms: 1_754_000_000_000,
             fingerprint: 0xDEAD_BEEF_0123_4567,
             kernel: "batch".into(),
+            simd: "autovec".into(),
             threads: 8,
             points: 1000,
             seconds: 0.5,

@@ -35,6 +35,7 @@
 //!             simd: SimdLevel::None,
 //!             portable: false,
 //!             grid_priming: true,
+//!             fused: false,
 //!             fault_sites: &["eval/best_effort", "eval/reservation"],
 //!             cache_tag: 17,
 //!         }
@@ -209,6 +210,7 @@ mod tests {
                 simd: SimdLevel::None,
                 portable: false,
                 grid_priming: true,
+                fused: false,
                 fault_sites: &["eval/best_effort", "eval/reservation"],
                 cache_tag: 0xAA,
             }

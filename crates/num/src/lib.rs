@@ -30,14 +30,16 @@ pub mod int_search;
 pub mod optimize;
 pub mod quad;
 pub mod roots;
+pub mod simd;
 pub mod special;
 pub mod sum;
 
 pub use env::{env_count, parse_bounded_count};
 pub use error::{NumError, NumResult};
 pub use fastexp::{
-    one_minus_exp_neg, one_minus_exp_neg_adaptive_grid, one_minus_exp_neg_adaptive_slice,
-    one_minus_exp_neg_scaled_slice, one_minus_exp_neg_slice,
+    kspan_total, one_minus_exp_neg, one_minus_exp_neg_adaptive_grid,
+    one_minus_exp_neg_adaptive_kspan, one_minus_exp_neg_adaptive_slice,
+    one_minus_exp_neg_scaled_slice, one_minus_exp_neg_slice, KSPAN_ACCS,
 };
 pub use fixed_point::fixed_point;
 pub use int_search::{argmax_unimodal_u64, first_true_u64};

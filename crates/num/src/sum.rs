@@ -76,23 +76,32 @@ fn masked_neumaier_step_body(
     }
 }
 
-#[cfg(target_arch = "x86_64")]
-mod x86 {
-    //! AVX2 instantiation of the masked step (same pattern as
-    //! `fastexp::x86`: identical per-element IEEE arithmetic — no FMA
-    //! contraction — on wider lanes, so dispatch is purely a throughput
-    //! decision and results are bitwise identical).
-    #[target_feature(enable = "avx2")]
-    pub unsafe fn masked_neumaier_step_avx2(
-        scale: f64,
-        terms: &[f64],
-        mask: &[f64],
-        sums: &mut [f64],
-        comps: &mut [f64],
-    ) {
-        super::masked_neumaier_step_body(scale, terms, mask, sums, comps);
-    }
+macro_rules! isa_step_wrapper {
+    ($modname:ident, $arch:literal, $feat:literal) => {
+        #[cfg(target_arch = $arch)]
+        mod $modname {
+            //! Wider-lane instantiation of the masked step (same pattern
+            //! as the `fastexp` wrappers: identical per-element IEEE
+            //! arithmetic — no FMA contraction — on wider lanes, so
+            //! dispatch is purely a throughput decision and results are
+            //! bitwise identical).
+            #[target_feature(enable = $feat)]
+            pub unsafe fn masked_step(
+                scale: f64,
+                terms: &[f64],
+                mask: &[f64],
+                sums: &mut [f64],
+                comps: &mut [f64],
+            ) {
+                super::masked_neumaier_step_body(scale, terms, mask, sums, comps);
+            }
+        }
+    };
 }
+
+isa_step_wrapper!(avx2, "x86_64", "avx2");
+isa_step_wrapper!(avx512, "x86_64", "avx512f");
+isa_step_wrapper!(neon, "aarch64", "neon");
 
 /// One lane-parallel, mask-gated step of Neumaier accumulation:
 /// for every `i`, add `scale·terms[i]·mask[i]` to the SoA accumulator
@@ -118,13 +127,10 @@ pub fn masked_neumaier_step(
         mask.len() == n && sums.len() == n && comps.len() == n,
         "accumulator slices must match the term slice"
     );
-    #[cfg(target_arch = "x86_64")]
-    if crate::fastexp::use_avx2() {
-        // SAFETY: AVX2 support was just verified at runtime.
-        unsafe { x86::masked_neumaier_step_avx2(scale, terms, mask, sums, comps) };
-        return;
-    }
-    masked_neumaier_step_body(scale, terms, mask, sums, comps);
+    crate::fastexp::dispatch_simd!(
+        masked_step(scale, terms, mask, sums, comps),
+        masked_neumaier_step_body(scale, terms, mask, sums, comps)
+    );
 }
 
 /// Sum `Σ_{k=start}^{∞} term(k)` for a nonnegative term sequence that is

@@ -1,0 +1,280 @@
+//! Zero-dependency RAPL energy probe over Linux `powercap` sysfs.
+//!
+//! Intel RAPL (Running Average Power Limit) exposes cumulative package
+//! energy counters at `/sys/class/powercap/intel-rapl:<n>/energy_uj`
+//! (microjoules, wrapping at `max_energy_range_uj`). Reading them costs
+//! two file reads per measurement — no libraries, no daemons — which is
+//! exactly the budget an offline bench harness can afford.
+//!
+//! The probe is **strictly optional**: [`EnergyProbe::open`] returns
+//! `None` whenever the hierarchy is absent (non-Linux, containers without
+//! sysfs, unreadable counters — they are often root-only), and every
+//! downstream consumer treats a missing probe as "no energy column", never
+//! as an error. The bench schema (`bevra-bench-v1`) reports
+//! `joules_per_sweep: null` in that case and no gate ever keys on it.
+//!
+//! Only top-level package domains (`intel-rapl:<n>`) are summed;
+//! subdomains (`intel-rapl:<n>:<m>`, e.g. `core`/`uncore`/`dram`) nest
+//! inside their package counter and would double-count. The mmio mirror
+//! hierarchy (`intel-rapl-mmio:*`) duplicates the MSR-backed one and is
+//! skipped for the same reason.
+//!
+//! ```no_run
+//! if let Some(probe) = bevra_obs::energy::EnergyProbe::open() {
+//!     let reading = probe.begin();
+//!     // ... measured region ...
+//!     if let Some(joules) = reading.and_then(|r| r.joules()) {
+//!         println!("{joules:.3} J");
+//!     }
+//! }
+//! ```
+
+use std::path::{Path, PathBuf};
+
+/// Root of the Linux powercap sysfs hierarchy.
+pub const POWERCAP_ROOT: &str = "/sys/class/powercap";
+
+/// One RAPL package domain: its cumulative counter file and wrap range.
+#[derive(Debug, Clone)]
+struct Domain {
+    /// `.../intel-rapl:<n>/energy_uj` — cumulative microjoules.
+    energy_path: PathBuf,
+    /// Counter wrap range in microjoules (0 when the kernel did not
+    /// expose `max_energy_range_uj`; wraps are then unrecoverable).
+    max_range_uj: u64,
+}
+
+/// A handle over the readable RAPL package domains on this machine.
+///
+/// Construct via [`EnergyProbe::open`] (production) or
+/// [`EnergyProbe::open_at`] (tests, pointed at a fake sysfs tree). The
+/// probe holds only paths; every measurement re-reads the counters.
+#[derive(Debug, Clone)]
+pub struct EnergyProbe {
+    domains: Vec<Domain>,
+}
+
+/// A snapshot of the package counters at the start of a measured region.
+///
+/// Obtained from [`EnergyProbe::begin`]; call [`EnergyReading::joules`]
+/// at the end of the region to get the energy spent in between.
+#[derive(Debug)]
+pub struct EnergyReading<'a> {
+    probe: &'a EnergyProbe,
+    start_uj: Vec<u64>,
+}
+
+fn read_u64(path: &Path) -> Option<u64> {
+    let text = std::fs::read_to_string(path).ok()?;
+    text.trim().parse::<u64>().ok()
+}
+
+impl EnergyProbe {
+    /// Open the machine's RAPL hierarchy. `None` when `/sys/class/powercap`
+    /// is absent or no package counter is readable — callers report null
+    /// energy and carry on.
+    #[must_use]
+    pub fn open() -> Option<Self> {
+        Self::open_at(Path::new(POWERCAP_ROOT))
+    }
+
+    /// Open a powercap-shaped tree rooted at `root`. Test seam for
+    /// [`EnergyProbe::open`]; same selection rules (top-level
+    /// `intel-rapl:<n>` domains only, readable `energy_uj` required).
+    #[must_use]
+    pub fn open_at(root: &Path) -> Option<Self> {
+        let entries = std::fs::read_dir(root).ok()?;
+        let mut domains = Vec::new();
+        for entry in entries.flatten() {
+            let name = entry.file_name();
+            let Some(name) = name.to_str() else { continue };
+            if !is_package_domain(name) {
+                continue;
+            }
+            let dir = entry.path();
+            let energy_path = dir.join("energy_uj");
+            // Counters are often root-only; an unreadable domain is as
+            // good as an absent one.
+            if read_u64(&energy_path).is_none() {
+                continue;
+            }
+            let max_range_uj = read_u64(&dir.join("max_energy_range_uj")).unwrap_or(0);
+            domains.push(Domain {
+                energy_path,
+                max_range_uj,
+            });
+        }
+        if domains.is_empty() {
+            return None;
+        }
+        // Deterministic sum order regardless of read_dir order.
+        domains.sort_by(|a, b| a.energy_path.cmp(&b.energy_path));
+        Some(Self { domains })
+    }
+
+    /// Number of package domains being summed.
+    #[must_use]
+    pub fn domain_count(&self) -> usize {
+        self.domains.len()
+    }
+
+    /// Snapshot the counters at the start of a measured region. `None` if
+    /// any counter became unreadable since [`EnergyProbe::open`].
+    #[must_use]
+    pub fn begin(&self) -> Option<EnergyReading<'_>> {
+        let mut start_uj = Vec::with_capacity(self.domains.len());
+        for d in &self.domains {
+            start_uj.push(read_u64(&d.energy_path)?);
+        }
+        Some(EnergyReading {
+            probe: self,
+            start_uj,
+        })
+    }
+}
+
+impl EnergyReading<'_> {
+    /// Energy spent since [`EnergyProbe::begin`], in joules, summed over
+    /// package domains. Corrects at most one counter wrap per domain via
+    /// `max_energy_range_uj`; returns `None` when a counter wrapped with
+    /// no declared range or became unreadable.
+    #[must_use]
+    pub fn joules(&self) -> Option<f64> {
+        let mut total_uj = 0u64;
+        for (d, &start) in self.probe.domains.iter().zip(&self.start_uj) {
+            let now = read_u64(&d.energy_path)?;
+            let delta = if now >= start {
+                now - start
+            } else if d.max_range_uj > start {
+                // One wrap: distance to the range top, then up to `now`.
+                (d.max_range_uj - start).checked_add(now)?
+            } else {
+                return None;
+            };
+            total_uj = total_uj.checked_add(delta)?;
+        }
+        #[allow(clippy::cast_precision_loss)] // ~52-bit µJ budget is years of runtime
+        Some(total_uj as f64 * 1e-6)
+    }
+}
+
+/// Accept exactly `intel-rapl:<digits>` — packages, not subdomains or the
+/// mmio mirror hierarchy.
+fn is_package_domain(name: &str) -> bool {
+    let Some(rest) = name.strip_prefix("intel-rapl:") else {
+        return false;
+    };
+    !rest.is_empty() && rest.bytes().all(|b| b.is_ascii_digit())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::fs;
+
+    fn fake_root(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("bevra-energy-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&d);
+        fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    fn write_domain(root: &Path, name: &str, energy_uj: u64, max_range: Option<u64>) {
+        let dir = root.join(name);
+        fs::create_dir_all(&dir).unwrap();
+        fs::write(dir.join("energy_uj"), format!("{energy_uj}\n")).unwrap();
+        if let Some(m) = max_range {
+            fs::write(dir.join("max_energy_range_uj"), format!("{m}\n")).unwrap();
+        }
+    }
+
+    #[test]
+    fn package_domain_filter() {
+        assert!(is_package_domain("intel-rapl:0"));
+        assert!(is_package_domain("intel-rapl:12"));
+        assert!(!is_package_domain("intel-rapl:0:0"), "subdomain");
+        assert!(!is_package_domain("intel-rapl-mmio:0"), "mmio mirror");
+        assert!(!is_package_domain("intel-rapl:"), "no index");
+        assert!(!is_package_domain("dtpm"), "other powercap driver");
+    }
+
+    #[test]
+    fn absent_root_yields_none() {
+        let root = std::env::temp_dir().join("bevra-energy-definitely-missing");
+        assert!(EnergyProbe::open_at(&root).is_none());
+    }
+
+    #[test]
+    fn empty_or_subdomain_only_root_yields_none() {
+        let root = fake_root("empty");
+        assert!(EnergyProbe::open_at(&root).is_none(), "no domains");
+        write_domain(&root, "intel-rapl:0:0", 10, None);
+        write_domain(&root, "intel-rapl-mmio:0", 10, None);
+        assert!(
+            EnergyProbe::open_at(&root).is_none(),
+            "subdomains and mirrors never count as packages"
+        );
+    }
+
+    #[test]
+    fn sums_packages_and_skips_subdomains() {
+        let root = fake_root("sum");
+        write_domain(&root, "intel-rapl:0", 1_000_000, Some(u64::MAX / 2));
+        write_domain(&root, "intel-rapl:1", 5_000_000, Some(u64::MAX / 2));
+        write_domain(&root, "intel-rapl:0:0", 999, Some(u64::MAX / 2));
+        let probe = EnergyProbe::open_at(&root).unwrap();
+        assert_eq!(probe.domain_count(), 2);
+
+        let reading = probe.begin().unwrap();
+        write_domain(&root, "intel-rapl:0", 1_500_000, Some(u64::MAX / 2));
+        write_domain(&root, "intel-rapl:1", 7_500_000, Some(u64::MAX / 2));
+        // Subdomain moves too; it must not contribute.
+        write_domain(&root, "intel-rapl:0:0", 2_000_000, Some(u64::MAX / 2));
+        let j = reading.joules().unwrap();
+        assert!((j - 3.0).abs() < 1e-12, "0.5 J + 2.5 J, got {j}");
+    }
+
+    #[test]
+    fn counter_wrap_is_corrected_via_max_range() {
+        let root = fake_root("wrap");
+        write_domain(&root, "intel-rapl:0", 9_000_000, Some(10_000_000));
+        let probe = EnergyProbe::open_at(&root).unwrap();
+        let reading = probe.begin().unwrap();
+        // Counter wrapped at 10 J: 9 → 10 (1 J) then 0 → 2 (2 J).
+        write_domain(&root, "intel-rapl:0", 2_000_000, Some(10_000_000));
+        let j = reading.joules().unwrap();
+        assert!((j - 3.0).abs() < 1e-12, "wrap-corrected 3 J, got {j}");
+    }
+
+    #[test]
+    fn wrap_without_declared_range_is_none() {
+        let root = fake_root("norange");
+        write_domain(&root, "intel-rapl:0", 9_000_000, None);
+        let probe = EnergyProbe::open_at(&root).unwrap();
+        let reading = probe.begin().unwrap();
+        write_domain(&root, "intel-rapl:0", 2_000_000, None);
+        assert!(reading.joules().is_none(), "unrecoverable wrap");
+    }
+
+    #[test]
+    fn unreadable_counter_mid_region_is_none() {
+        let root = fake_root("gone");
+        write_domain(&root, "intel-rapl:0", 1_000, Some(u64::MAX / 2));
+        let probe = EnergyProbe::open_at(&root).unwrap();
+        let reading = probe.begin().unwrap();
+        fs::remove_file(root.join("intel-rapl:0").join("energy_uj")).unwrap();
+        assert!(reading.joules().is_none());
+    }
+
+    #[test]
+    fn open_on_real_machine_never_panics() {
+        // Whatever this host has (usually nothing in CI containers), the
+        // optional contract holds: Some(probe) must produce a snapshot or
+        // cleanly decline.
+        if let Some(probe) = EnergyProbe::open() {
+            if let Some(r) = probe.begin() {
+                let _ = r.joules();
+            }
+        }
+    }
+}

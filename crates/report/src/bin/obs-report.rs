@@ -90,12 +90,25 @@ fn main() -> ExitCode {
     let regressions = find_regressions(&parsed.records, threshold);
     if regressions.is_empty() {
         println!("\nno regressions (threshold {threshold}x)");
-        ExitCode::SUCCESS
-    } else {
-        println!();
-        for r in &regressions {
+        return ExitCode::SUCCESS;
+    }
+    println!();
+    let mut fatal = false;
+    for r in &regressions {
+        // Digest mismatches across different SIMD tiers are informational
+        // (cross-machine ledgers mix tiers legitimately); everything else
+        // gates.
+        if r.is_fatal() {
+            fatal = true;
             println!("REGRESSION: {r}");
+        } else {
+            println!("NOTE: {r}");
         }
+    }
+    if fatal {
         ExitCode::FAILURE
+    } else {
+        println!("\nno gating regressions (threshold {threshold}x)");
+        ExitCode::SUCCESS
     }
 }

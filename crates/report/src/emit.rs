@@ -77,6 +77,7 @@ fn ledger_record(fig: &Figure, report: &SweepReport) -> LedgerRecord {
         unix_ms,
         fingerprint: figure_fingerprint(fig),
         kernel: health.kernel.clone().unwrap_or_default(),
+        simd: health.simd.clone().unwrap_or_default(),
         threads: report.threads as u64,
         points: report.total_points(),
         seconds: report.total_seconds(),

@@ -70,6 +70,13 @@ fn parse_line(line: &str) -> Option<LedgerRecord> {
         retries: get_u64(&doc, "retries").unwrap_or(0),
         breaker_trips: get_u64(&doc, "breaker_trips").unwrap_or(0),
         restarts: get_u64(&doc, "restarts").unwrap_or(0),
+        // The SIMD tier stamp also arrived mid-schema: older lines carry
+        // no field and parse as "unknown" (append-tolerant, never skipped).
+        simd: doc
+            .get("simd")
+            .and_then(JsonValue::as_str)
+            .unwrap_or("unknown")
+            .to_string(),
         digest: get_hex(&doc, "digest")?,
     })
 }
@@ -105,6 +112,27 @@ pub enum Regression {
         /// Digest of the later run.
         got: u64,
     },
+    /// Same id + fingerprint + kernel, different digest, but the runs
+    /// also report **different SIMD tiers**. The dispatched kernels are
+    /// bitwise across tiers by contract, so this *should* never happen —
+    /// but a cross-machine ledger (or a `BEVRA_SIMD` override) is the one
+    /// place an honest tier difference and a genuine determinism break
+    /// are indistinguishable. Surfaced as an informational divergence
+    /// instead of a gating regression.
+    TierDivergence {
+        /// Run id of the offending pair.
+        id: String,
+        /// Kernel capability stamp shared by the pair.
+        kernel: String,
+        /// SIMD tier of the earlier run.
+        prev_simd: String,
+        /// SIMD tier of the later run.
+        got_simd: String,
+        /// Digest of the earlier run.
+        prev: u64,
+        /// Digest of the later run.
+        got: u64,
+    },
     /// Latest ns-per-point blew past the history for this id + kernel.
     Perf {
         /// Run id.
@@ -118,6 +146,15 @@ pub enum Regression {
     },
 }
 
+impl Regression {
+    /// Whether this finding should fail the gate (`obs-report` exit 1).
+    /// Tier divergences are reported but non-fatal.
+    #[must_use]
+    pub fn is_fatal(&self) -> bool {
+        !matches!(self, Regression::TierDivergence { .. })
+    }
+}
+
 impl std::fmt::Display for Regression {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
@@ -125,6 +162,13 @@ impl std::fmt::Display for Regression {
                 f,
                 "digest regression: {id} ({kernel}): {prev:016x} -> {got:016x} \
                  for the same config fingerprint"
+            ),
+            Regression::TierDivergence { id, kernel, prev_simd, got_simd, prev, got } => write!(
+                f,
+                "digest divergence across SIMD tiers: {id} ({kernel}): \
+                 {prev:016x} [{prev_simd}] vs {got:016x} [{got_simd}] — \
+                 expected bitwise parity; compare tiers on one machine to \
+                 decide whether this is a determinism break"
             ),
             Regression::Perf { id, kernel, baseline_ns, latest_ns } => write!(
                 f,
@@ -144,19 +188,35 @@ impl std::fmt::Display for Regression {
 #[must_use]
 pub fn find_regressions(records: &[LedgerRecord], threshold: f64) -> Vec<Regression> {
     let mut out = Vec::new();
-    // Digest: map (id, fingerprint, kernel) -> first digest seen.
-    let mut first: Vec<((&str, u64, &str), u64)> = Vec::new();
+    // Digest: map (id, fingerprint, kernel) -> first (digest, simd) seen.
+    // A mismatch within one tier is a determinism regression; across
+    // tiers it is flagged as an informational divergence instead.
+    type FirstSeen<'a> = ((&'a str, u64, &'a str), (u64, &'a str));
+    let mut first: Vec<FirstSeen<'_>> = Vec::new();
     for r in records {
         let key = (r.id.as_str(), r.fingerprint, r.kernel.as_str());
         match first.iter().find(|(k, _)| *k == key) {
-            Some(&(_, digest)) if digest != r.digest => out.push(Regression::Digest {
-                id: r.id.clone(),
-                kernel: r.kernel.clone(),
-                prev: digest,
-                got: r.digest,
-            }),
+            Some(&(_, (digest, simd))) if digest != r.digest => {
+                if simd == r.simd {
+                    out.push(Regression::Digest {
+                        id: r.id.clone(),
+                        kernel: r.kernel.clone(),
+                        prev: digest,
+                        got: r.digest,
+                    });
+                } else {
+                    out.push(Regression::TierDivergence {
+                        id: r.id.clone(),
+                        kernel: r.kernel.clone(),
+                        prev_simd: simd.to_string(),
+                        got_simd: r.simd.clone(),
+                        prev: digest,
+                        got: r.digest,
+                    });
+                }
+            }
             Some(_) => {}
-            None => first.push((key, r.digest)),
+            None => first.push((key, (r.digest, r.simd.as_str()))),
         }
     }
     // Perf: per (id, kernel), latest vs median of priors.
@@ -217,6 +277,7 @@ pub fn trend_table(records: &[LedgerRecord]) -> String {
                 r.id.clone(),
                 r.unix_ms.to_string(),
                 if r.kernel.is_empty() { "-".to_string() } else { r.kernel.clone() },
+                if r.simd.is_empty() { "-".to_string() } else { r.simd.clone() },
                 r.threads.to_string(),
                 r.points.to_string(),
                 format!("{:.0}", r.ns_per_point()),
@@ -232,6 +293,7 @@ pub fn trend_table(records: &[LedgerRecord]) -> String {
             "id",
             "unix_ms",
             "kernel",
+            "simd",
             "threads",
             "points",
             "ns/point",
@@ -254,6 +316,7 @@ mod tests {
             unix_ms: 1_754_000_000_000,
             fingerprint,
             kernel: "batch".into(),
+            simd: "autovec".into(),
             threads: 4,
             points: 100,
             seconds,
@@ -296,6 +359,46 @@ mod tests {
         let r = &parsed.records[0];
         assert_eq!((r.retries, r.breaker_trips, r.restarts), (0, 0, 0));
         assert_eq!(r.digest, 0xCD, "other fields unaffected");
+    }
+
+    #[test]
+    fn pre_simd_lines_parse_as_unknown_tier() {
+        // A line written before the simd stamp existed: splice the field
+        // out and re-CRC, exactly as an old writer would have produced it.
+        let line = rec("fig2", 0xAB, 0xCD, 0.25).to_line();
+        let crc_at = line.rfind(",\"crc\":\"").unwrap();
+        let old_prefix = line[..crc_at].replace(",\"simd\":\"autovec\"", "");
+        assert!(!old_prefix.contains("simd"), "splice failed: {old_prefix}");
+        let old_line = format!("{old_prefix},\"crc\":\"{:016x}\"}}", fnv1a(old_prefix.as_bytes()));
+        let parsed = parse_ledger(&old_line);
+        assert_eq!(parsed.skipped, 0, "pre-simd lines must still parse");
+        assert_eq!(parsed.records.len(), 1);
+        assert_eq!(parsed.records[0].simd, "unknown");
+        assert_eq!(parsed.records[0].digest, 0xCD, "other fields unaffected");
+    }
+
+    #[test]
+    fn cross_tier_digest_mismatch_is_divergence_not_regression() {
+        let mut a = rec("fig2", 0xAA, 0x11, 0.2);
+        a.simd = "avx512".into();
+        let mut b = rec("fig2", 0xAA, 0x33, 0.2);
+        b.simd = "unknown".into(); // e.g. appended by an older binary
+        let regs = find_regressions(&[a.clone(), b], DEFAULT_THRESHOLD);
+        assert_eq!(regs.len(), 1);
+        match &regs[0] {
+            Regression::TierDivergence { prev_simd, got_simd, prev, got, .. } => {
+                assert_eq!((prev_simd.as_str(), got_simd.as_str()), ("avx512", "unknown"));
+                assert_eq!((*prev, *got), (0x11, 0x33));
+                assert!(!regs[0].is_fatal(), "divergence must not gate");
+            }
+            other => panic!("expected tier divergence, got {other:?}"),
+        }
+        // Same tier, same mismatch: a genuine (fatal) digest regression.
+        let mut c = rec("fig2", 0xAA, 0x33, 0.2);
+        c.simd = "avx512".into();
+        let regs = find_regressions(&[a, c], DEFAULT_THRESHOLD);
+        assert!(matches!(&regs[0], Regression::Digest { .. }));
+        assert!(regs[0].is_fatal());
     }
 
     #[test]

@@ -104,6 +104,22 @@ impl Utility for AdaptiveExp {
         // `bevra_num::one_minus_exp_neg_adaptive_grid`.
         bevra_num::one_minus_exp_neg_adaptive_grid(cs, kf, self.kappa, out);
     }
+
+    fn accumulate_pi_kspan_fast(
+        &self,
+        c: f64,
+        k0: f64,
+        pmfs: &[f64],
+        sums: &mut [f64; bevra_num::KSPAN_ACCS],
+        comps: &mut [f64; bevra_num::KSPAN_ACCS],
+    ) -> bool {
+        // One vectorized walk over a span of admission levels for a single
+        // capacity — the inner loop of the fused B+R grid pass. Contract
+        // (determinism, cross-tier bitwise, 1e-13 budget) documented on
+        // `bevra_num::one_minus_exp_neg_adaptive_kspan`.
+        bevra_num::one_minus_exp_neg_adaptive_kspan(c, self.kappa, k0, pmfs, sums, comps);
+        true
+    }
 }
 
 #[cfg(test)]

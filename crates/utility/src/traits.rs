@@ -115,6 +115,32 @@ pub trait Utility: Send + Sync {
         }
         self.value_slice_fast(scratch, out);
     }
+
+    /// Fused fast-path hook for the fused B+R grid pass
+    /// (`bevra_core::discrete_batch`): accumulate
+    /// `pmfs[i] · k · π(c/k)` for `k = k0, k0+1, …` into
+    /// `bevra_num::KSPAN_ACCS` stride-interleaved Neumaier accumulator
+    /// pairs, walking a whole span of admission levels for **one**
+    /// capacity `c > 0` in a single vectorized call.
+    ///
+    /// Returns `false` (the default) when the family has no k-span
+    /// kernel — the fused pass then falls back to the slice-kernel
+    /// composition. Overrides must return `true` after accumulating and
+    /// carry the k-span contract (see
+    /// `bevra_num::one_minus_exp_neg_adaptive_kspan`): deterministic,
+    /// bitwise identical across SIMD tiers, within the fast kernels'
+    /// 1e-13 relative budget of the scalar composition, resumable by
+    /// calling again with the next `k0`.
+    fn accumulate_pi_kspan_fast(
+        &self,
+        _c: f64,
+        _k0: f64,
+        _pmfs: &[f64],
+        _sums: &mut [f64; bevra_num::KSPAN_ACCS],
+        _comps: &mut [f64; bevra_num::KSPAN_ACCS],
+    ) -> bool {
+        false
+    }
 }
 
 /// Blanket impl so `&U`, `Box<U>`, `Arc<U>` can be used wherever a utility
@@ -144,6 +170,16 @@ impl<U: Utility + ?Sized> Utility for &U {
     fn value_capacity_slice_fast(&self, cs: &[f64], kf: f64, scratch: &mut [f64], out: &mut [f64]) {
         (**self).value_capacity_slice_fast(cs, kf, scratch, out);
     }
+    fn accumulate_pi_kspan_fast(
+        &self,
+        c: f64,
+        k0: f64,
+        pmfs: &[f64],
+        sums: &mut [f64; bevra_num::KSPAN_ACCS],
+        comps: &mut [f64; bevra_num::KSPAN_ACCS],
+    ) -> bool {
+        (**self).accumulate_pi_kspan_fast(c, k0, pmfs, sums, comps)
+    }
 }
 
 impl<U: Utility + ?Sized> Utility for std::sync::Arc<U> {
@@ -170,6 +206,16 @@ impl<U: Utility + ?Sized> Utility for std::sync::Arc<U> {
     }
     fn value_capacity_slice_fast(&self, cs: &[f64], kf: f64, scratch: &mut [f64], out: &mut [f64]) {
         (**self).value_capacity_slice_fast(cs, kf, scratch, out);
+    }
+    fn accumulate_pi_kspan_fast(
+        &self,
+        c: f64,
+        k0: f64,
+        pmfs: &[f64],
+        sums: &mut [f64; bevra_num::KSPAN_ACCS],
+        comps: &mut [f64; bevra_num::KSPAN_ACCS],
+    ) -> bool {
+        (**self).accumulate_pi_kspan_fast(c, k0, pmfs, sums, comps)
     }
 }
 

@@ -18,7 +18,12 @@ rows. `--min-speedup FAST:SLOW:RATIO` (repeatable) additionally asserts
 an *absolute* architecture claim within the fresh run: bench FAST must be
 at least RATIO× faster (by median ns) than bench SLOW — used by the
 sim-scale job to hold the timer-wheel/SoA loop to its ≥10× events/s
-improvement over the legacy heap loop.
+improvement over the legacy heap loop, and by the kernel job to hold the
+fused B+R pass to its ≥1.5× claim over the unfused composition.
+
+Rows may carry an optional `joules_per_sweep` field (null when the RAPL
+probe was unavailable). It is printed when present and never gated —
+energy varies across machines far more than wall time does.
 
 Usage: perf_smoke.py [fresh] [baseline] [--threshold X]
                      [--require NAME ...] [--min-speedup FAST:SLOW:RATIO ...]
@@ -102,6 +107,16 @@ def main():
         print(f"{name:40} {b / 1e6:10.2f}ms {f / 1e6:10.2f}ms {ratio:6.2f}x{flag}")
         if ratio > args.threshold:
             failures.append((name, ratio))
+
+    energy = [
+        (name, row["joules_per_sweep"])
+        for name, row in sorted(fresh.items())
+        if row.get("joules_per_sweep") is not None
+    ]
+    if energy:
+        print("energy (informational, never gated):")
+        for name, joules in energy:
+            print(f"  {name:38} {joules:.4f} J/sweep")
 
     if failures:
         worst = ", ".join(f"{n} ({r:.1f}x)" for n, r in failures)

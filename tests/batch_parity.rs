@@ -7,13 +7,20 @@
 //! suite: `BEVRA_CHECK_SEED` rotates the corpus,
 //! `BEVRA_CHECK_REPLAY=<case seed>` replays one case.
 
-use bevra::analysis::{k_max_grid, sweep_grid, DiscreteModel, PiEval};
+use bevra::analysis::{k_max_grid, sweep_grid, sweep_grid_fused, DiscreteModel, PiEval};
 use bevra::analysis::kernel::{self, ParityClass};
 use bevra::engine::{CacheMode, ExecMode, PersistentCache, SweepEngine};
 use bevra::load::Tabulated;
+use bevra::num::simd;
 use bevra::utility::{Rigid, Utility};
 use bevra_check::{ensure, Checker, Scenario, ScenarioStrategy};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
+
+/// Serializes the tests that force a SIMD dispatch tier. `force_level` is
+/// process-global; the bit-parity contract makes a concurrent reader's
+/// *results* identical either way, but a tier-comparison test must know
+/// which tier it actually measured.
+static TIER_LOCK: Mutex<()> = Mutex::new(());
 
 /// Build the scenario's model for one load table (mirrors the
 /// differential suite's cell construction, including the admission cap).
@@ -339,6 +346,236 @@ fn every_registered_backend_holds_its_parity_contract() {
     );
 }
 
+/// The fused B+R traversal holds the same parity contract as the unfused
+/// composition it replaces, across randomized load × utility scenarios:
+/// `Exact` and `Portable` modes are **bitwise** the unfused pair (the
+/// fused finalization mirrors their operation order exactly), and `Fast`
+/// stays within the fast budget of the scalar reference. `k_max` is
+/// always bitwise — fusion never touches the threshold search.
+#[test]
+fn fused_sweep_holds_parity_against_unfused() {
+    Checker::new("fused_vs_unfused").scale_cases(6).run(
+        &ScenarioStrategy::default(),
+        |sc: &Scenario| {
+            let utility = sc.utility.as_dyn();
+            let cs = sorted_grid(sc);
+            for (li, load) in sc.loads.iter().enumerate() {
+                let table = Arc::new(load.tabulate()?);
+                let model = scenario_model(&table, &utility, sc);
+                for mode in [PiEval::Exact, PiEval::Portable] {
+                    let plain = sweep_grid(&model, &cs, mode);
+                    let fused = sweep_grid_fused(&model, &cs, mode);
+                    for (i, &c) in cs.iter().enumerate() {
+                        let cell = format!("load[{li}]={load:?} C={c} {mode:?}");
+                        ensure(fused.k_max[i] == plain.k_max[i], || {
+                            format!("{cell}: fused k_max diverged")
+                        })?;
+                        ensure(
+                            fused.best_effort[i].to_bits() == plain.best_effort[i].to_bits(),
+                            || {
+                                format!(
+                                    "{cell}: fused B {:e} != unfused {:e}",
+                                    fused.best_effort[i], plain.best_effort[i]
+                                )
+                            },
+                        )?;
+                        ensure(
+                            fused.reservation[i].to_bits() == plain.reservation[i].to_bits(),
+                            || {
+                                format!(
+                                    "{cell}: fused R {:e} != unfused {:e}",
+                                    fused.reservation[i], plain.reservation[i]
+                                )
+                            },
+                        )?;
+                    }
+                }
+                // Fast mode: the k-span walk regroups the series, so it is
+                // tolerance-class against the scalar reference, not bitwise
+                // against the unfused fast pair.
+                let fused = sweep_grid_fused(&model, &cs, PiEval::Fast);
+                for (i, &c) in cs.iter().enumerate() {
+                    let cell = format!("load[{li}]={load:?} C={c} Fast");
+                    ensure(fused.k_max[i] == model.k_max(c), || {
+                        format!("{cell}: fused fast k_max diverged")
+                    })?;
+                    for (name, got, reference) in [
+                        ("B", fused.best_effort[i], model.best_effort(c)),
+                        ("R", fused.reservation[i], model.reservation(c)),
+                    ] {
+                        let tol = 1e-12 * reference.abs().max(1e-12);
+                        ensure((got - reference).abs() <= tol, || {
+                            format!("{cell}: fused fast {name} {got:e} vs scalar {reference:e}")
+                        })?;
+                    }
+                }
+            }
+            Ok(())
+        },
+    );
+}
+
+/// The identity nudge is transparent: routing a fused fast sweep through
+/// the mutation hook with `|k| k` must reproduce `sweep_grid_fused`
+/// bit-for-bit on every randomized scenario — otherwise the hook itself
+/// perturbs the path it exists to test, and the mutation test below
+/// proves nothing. Runs under the Checker so a violation shrinks to a
+/// minimal scenario.
+#[test]
+fn fused_split_nudge_identity_is_transparent() {
+    use bevra::analysis::discrete_batch::sweep_grid_fused_with_split_nudge;
+    Checker::new("fused_nudge_identity").scale_cases(4).run(
+        &ScenarioStrategy::default(),
+        |sc: &Scenario| {
+            let utility = sc.utility.as_dyn();
+            let cs = sorted_grid(sc);
+            for (li, load) in sc.loads.iter().enumerate() {
+                let table = Arc::new(load.tabulate()?);
+                let model = scenario_model(&table, &utility, sc);
+                let clean = sweep_grid_fused(&model, &cs, PiEval::Fast);
+                let hooked =
+                    sweep_grid_fused_with_split_nudge(&model, &cs, PiEval::Fast, |k| k);
+                for (i, &c) in cs.iter().enumerate() {
+                    let cell = format!("load[{li}]={load:?} C={c}");
+                    ensure(
+                        hooked.best_effort[i].to_bits() == clean.best_effort[i].to_bits()
+                            && hooked.reservation[i].to_bits() == clean.reservation[i].to_bits(),
+                        || format!("{cell}: identity nudge changed the fused sweep"),
+                    )?;
+                }
+            }
+            Ok(())
+        },
+    );
+}
+
+/// Forced SIMD tiers are **bitwise-identical**: the dispatch contract
+/// (one portable body, fixed sub-accumulator stride, never FMA) promises
+/// that `BEVRA_SIMD` only changes throughput, never bits. Sweeps the
+/// fused and unfused fast paths at every tier runnable on this host and
+/// compares against the scalar-tier bits.
+#[test]
+fn forced_simd_tiers_are_bitwise_identical() {
+    let _guard = TIER_LOCK.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+    let restore = simd::level();
+    let detected = simd::detected();
+    let tiers: Vec<simd::Level> = [simd::Level::Scalar, simd::Level::Avx2, simd::Level::Avx512]
+        .into_iter()
+        .filter(|t| t.runnable_at(detected))
+        .collect();
+    assert!(tiers.contains(&simd::Level::Scalar), "scalar runs everywhere");
+
+    let load = Arc::new(Tabulated::from_model(
+        &bevra::load::Algebraic::from_mean(3.0, 100.0).expect("fig4 family"),
+        1e-9,
+        1 << 14,
+    ));
+    let model = DiscreteModel::new(load, bevra::utility::AdaptiveExp::paper());
+    let cs: Vec<f64> = (1..=32).map(|i| f64::from(i) * 1.5).collect();
+
+    let mut per_tier = Vec::new();
+    for &tier in &tiers {
+        simd::force_level(tier);
+        let unfused = sweep_grid(&model, &cs, PiEval::Fast);
+        let fused = sweep_grid_fused(&model, &cs, PiEval::Fast);
+        per_tier.push((tier, unfused, fused));
+    }
+    simd::force_level(restore);
+
+    let (_, ref u0, ref f0) = per_tier[0];
+    for (tier, unfused, fused) in &per_tier[1..] {
+        for i in 0..cs.len() {
+            assert_eq!(
+                unfused.best_effort[i].to_bits(),
+                u0.best_effort[i].to_bits(),
+                "unfused B bits diverged at tier {} lane {i}",
+                tier.as_str()
+            );
+            assert_eq!(
+                fused.best_effort[i].to_bits(),
+                f0.best_effort[i].to_bits(),
+                "fused B bits diverged at tier {} lane {i}",
+                tier.as_str()
+            );
+            assert_eq!(
+                fused.reservation[i].to_bits(),
+                f0.reservation[i].to_bits(),
+                "fused R bits diverged at tier {} lane {i}",
+                tier.as_str()
+            );
+        }
+    }
+}
+
+/// Every registered backend holds its parity contract *under forced
+/// SIMD tiers* as well — the registry sweep above at the detected tier,
+/// repeated pinned to scalar and (when runnable) AVX2. A backend whose
+/// wide path silently regroups arithmetic would pass at one tier and
+/// fail here.
+#[test]
+fn registered_backends_hold_parity_under_forced_tiers() {
+    let _guard = TIER_LOCK.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+    let restore = simd::level();
+    let detected = simd::detected();
+    let backends = bevra::engine::registry::backends();
+    for tier in [simd::Level::Scalar, simd::Level::Avx2] {
+        if !tier.runnable_at(detected) {
+            continue;
+        }
+        simd::force_level(tier);
+        Checker::new("backend_parity_forced_tier").cases(2).run(
+            &ScenarioStrategy::default(),
+            |sc: &Scenario| {
+                let utility = sc.utility.as_dyn();
+                let cs = sorted_grid(sc);
+                for (li, load) in sc.loads.iter().enumerate() {
+                    let table = Arc::new(load.tabulate()?);
+                    let model = scenario_model(&table, &utility, sc);
+                    let dyn_model = model.as_dyn();
+                    for k in &backends {
+                        let cap = k.capability();
+                        let got = k.sweep_grid(&dyn_model, &cs);
+                        for (i, &c) in cs.iter().enumerate() {
+                            let cell = format!(
+                                "{}@{}: load[{li}]={load:?} C={c}",
+                                cap.name,
+                                tier.as_str()
+                            );
+                            let b_ref = model.best_effort(c);
+                            let r_ref = model.reservation(c);
+                            match cap.parity {
+                                ParityClass::Bitwise => {
+                                    ensure(
+                                        got.best_effort[i].to_bits() == b_ref.to_bits()
+                                            && got.reservation[i].to_bits() == r_ref.to_bits(),
+                                        || format!("{cell}: bitwise backend diverged"),
+                                    )?;
+                                }
+                                ParityClass::Tolerance(t) => {
+                                    let tol_b = 10.0 * t * b_ref.abs().max(1e-12);
+                                    let tol_r = 10.0 * t * r_ref.abs().max(1e-12);
+                                    ensure(
+                                        (got.best_effort[i] - b_ref).abs() <= tol_b
+                                            && (got.reservation[i] - r_ref).abs() <= tol_r,
+                                        || {
+                                            format!(
+                                                "{cell}: B {:e}/R {:e} vs scalar {b_ref:e}/{r_ref:e}",
+                                                got.best_effort[i], got.reservation[i]
+                                            )
+                                        },
+                                    )?;
+                                }
+                            }
+                        }
+                    }
+                }
+                Ok(())
+            },
+        );
+    }
+    simd::force_level(restore);
+}
+
 /// Capability records of the built-ins carry the contract the rest of
 /// the workspace depends on: distinct names, scalar/batch sharing one
 /// bitwise cache class, fast/portable in tolerance classes of their own.
@@ -357,6 +594,13 @@ fn builtin_capability_records_are_coherent() {
     assert_eq!(scalar.cache_tag, batch.cache_tag, "bitwise twins share entries");
     assert_ne!(fast.cache_tag, batch.cache_tag);
     assert_ne!(portable.cache_tag, fast.cache_tag);
+    assert!(!scalar.fused, "scalar composes point-by-point");
+    assert!(batch.fused && fast.fused && portable.fused, "grid backends fuse B+R");
+    assert_eq!(
+        fast.simd,
+        kernel::resolved_simd_level(),
+        "fast capability reports the runtime dispatch tier"
+    );
     for cap in [scalar, batch, fast, portable] {
         assert!(!cap.fault_sites.is_empty(), "{}: no declared fault sites", cap.name);
     }

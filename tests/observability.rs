@@ -20,6 +20,7 @@ fn record(id: &str, digest: u64) -> LedgerRecord {
         unix_ms: 1_754_000_000_000,
         fingerprint: 0xF00D,
         kernel: "batch".into(),
+        simd: "autovec".into(),
         threads: 4,
         points: 240,
         seconds: 0.125,
